@@ -1,0 +1,46 @@
+// Ablation: SMOTE's neighbourhood size k — the memorization knob. Small k
+// interpolates between very close records (DCR -> 0); larger k spreads
+// samples but can bleed across modes. Quantifies the paper's privacy
+// argument against SMOTE.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "models/smote.hpp"
+
+int main(int argc, char** argv) {
+  using namespace surro;
+  const auto opts = bench::parse_options(argc, argv,
+                                         bench::Profile::kQuick);
+  auto cfg = bench::experiment_config(opts.profile);
+
+  std::printf("=== Ablation: SMOTE neighbourhood size k ===\n\n");
+  const auto data = eval::prepare_data(cfg);
+  const double train_mlef =
+      metrics::mlef_mse(data.train, data.test, cfg.mlef);
+  std::printf("%6s %8s %8s %10s %8s %10s\n", "k", "WD", "JSD", "diff-CORR",
+              "DCR", "diff-MLEF");
+
+  std::string csv = "k,wd,jsd,diff_corr,dcr,diff_mlef\n";
+  for (const std::size_t k : {1u, 3u, 5u, 15u, 51u}) {
+    models::SmoteConfig mc;
+    mc.k_neighbors = k;
+    models::Smote model(mc);
+    model.fit(data.train);
+    const auto synth = model.sample(cfg.synth_rows, 17);
+    const auto s = eval::score_model("SMOTE", synth, data.train, data.test,
+                                     train_mlef, cfg);
+    std::printf("%6zu %8.3f %8.3f %10.3f %8.3f %10.3f\n", k, s.wd, s.jsd,
+                s.diff_corr, s.dcr, s.diff_mlef);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%zu,%.5f,%.5f,%.5f,%.5f,%.5f\n", k,
+                  s.wd, s.jsd, s.diff_corr, s.dcr, s.diff_mlef);
+    csv += buf;
+  }
+  std::printf("\nExpected shape: DCR grows with k (less memorization) while "
+              "fidelity degrades slowly — but even k=51 stays far below the "
+              "neural models' DCR, supporting the paper's privacy "
+              "conclusion.\n");
+  bench::write_text_file(opts.out_dir + "/ablation_smote_k.csv", csv);
+  return 0;
+}

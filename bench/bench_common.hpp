@@ -1,0 +1,90 @@
+#pragma once
+// Shared CLI handling for the experiment harnesses. Every table/figure
+// binary accepts:
+//   --quick   tiny profile (seconds; CI smoke)
+//   --paper   large profile (closer to paper scale; minutes)
+//   (default) medium profile balancing fidelity and wall-clock
+//   --out DIR write CSV artifacts into DIR (default: current directory)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "eval/experiment.hpp"
+
+namespace surro::bench {
+
+enum class Profile { kQuick, kMedium, kPaper };
+
+struct HarnessOptions {
+  Profile profile = Profile::kMedium;
+  std::string out_dir = ".";
+};
+
+inline HarnessOptions parse_options(int argc, char** argv,
+                                    Profile default_profile = Profile::kMedium) {
+  HarnessOptions opts;
+  opts.profile = default_profile;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opts.profile = Profile::kQuick;
+    } else if (std::strcmp(argv[i], "--medium") == 0) {
+      opts.profile = Profile::kMedium;
+    } else if (std::strcmp(argv[i], "--paper") == 0) {
+      opts.profile = Profile::kPaper;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opts.out_dir = argv[++i];
+    }
+  }
+  return opts;
+}
+
+/// Experiment configuration per profile. The medium profile is the default
+/// used by the recorded EXPERIMENTS.md runs.
+inline eval::ExperimentConfig experiment_config(Profile profile) {
+  if (profile == Profile::kQuick) {
+    auto cfg = eval::quick_experiment_config();
+    cfg.verbose = true;
+    return cfg;
+  }
+  eval::ExperimentConfig cfg;
+  cfg.verbose = true;
+  if (profile == Profile::kMedium) {
+    cfg.data.model.days = 30.0;
+    cfg.data.model.base_jobs_per_day = 240.0;
+    cfg.data.model.campaigns_per_day = 1.2;
+    cfg.data.extra_tier2_sites = 64;
+    cfg.budget.epochs = 30;
+    cfg.synth_rows = 4000;
+    cfg.dcr.max_train_rows = 6000;
+    cfg.dcr.max_synth_rows = 2000;
+    cfg.mlef.boosting.iterations = 60;
+    cfg.mlef.boosting.tree.max_depth = 8;
+  } else {  // kPaper
+    cfg.data.model.days = 150.0;
+    cfg.data.model.base_jobs_per_day = 400.0;
+    cfg.data.model.campaigns_per_day = 1.5;
+    cfg.data.extra_tier2_sites = 96;
+    cfg.budget.epochs = 60;
+    cfg.synth_rows = 10000;
+    cfg.dcr.max_train_rows = 12000;
+    cfg.dcr.max_synth_rows = 4000;
+    cfg.mlef.boosting.iterations = 120;
+    cfg.mlef.boosting.tree.max_depth = 10;
+  }
+  return cfg;
+}
+
+inline void write_text_file(const std::string& path,
+                            const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << content;
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace surro::bench

@@ -1,0 +1,61 @@
+// Extension experiment (paper Sec. VI, limitation 1): do the surrogates
+// reproduce the *temporal* structure of job submission — the weekly
+// periodicity, diurnal cycle, and autocorrelation of the creation-time
+// process? The paper only eyeballs the creationdate marginal in Fig. 4(a);
+// this harness measures it.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "panda/filters.hpp"
+#include "temporal/series.hpp"
+
+int main(int argc, char** argv) {
+  using namespace surro;
+  const auto opts = bench::parse_options(argc, argv,
+                                         bench::Profile::kQuick);
+  auto cfg = bench::experiment_config(opts.profile);
+
+  std::printf("=== Extension: temporal fidelity of surrogate models ===\n\n");
+  const auto result = eval::run_experiment(cfg);
+  const std::size_t c_time =
+      result.train.schema().index_of(panda::features::kCreationTime);
+  const auto real_times = result.train.numerical(c_time);
+  const double horizon = cfg.data.model.days;
+
+  // Ground-truth temporal facts.
+  const auto real_week = temporal::day_of_week_profile(real_times, horizon);
+  std::printf("ground-truth day-of-week profile (mean=1):\n  ");
+  static constexpr const char* kDays[] = {"Mon", "Tue", "Wed", "Thu",
+                                          "Fri", "Sat", "Sun"};
+  for (std::size_t d = 0; d < 7; ++d) {
+    std::printf("%s %.2f  ", kDays[d], real_week[d]);
+  }
+  const auto real_series = temporal::bin_counts(real_times, horizon, 0.25);
+  std::printf("\n  dominant period: %.1f days (weekly cycle)\n\n",
+              temporal::dominant_period_days(real_series, 0.25));
+
+  std::printf("%-10s %14s %14s %12s %12s\n", "model", "weekly L1",
+              "diurnal L1", "period (d)", "ACF rmse");
+  std::string csv =
+      "model,weekly_l1,diurnal_l1,dominant_period_days,acf_rmse\n";
+  for (const auto& [name, table] : result.samples) {
+    const auto synth_times = table.numerical(c_time);
+    const auto f = temporal::compare_temporal(real_times, synth_times,
+                                              horizon);
+    std::printf("%-10s %14.3f %14.3f %12.1f %12.3f\n", name.c_str(),
+                f.weekly_profile_distance, f.diurnal_profile_distance,
+                f.synth_dominant_period, f.acf_rmse);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s,%.5f,%.5f,%.3f,%.5f\n", name.c_str(),
+                  f.weekly_profile_distance, f.diurnal_profile_distance,
+                  f.synth_dominant_period, f.acf_rmse);
+    csv += buf;
+  }
+  std::printf("\nReading: low weekly/diurnal L1 and a recovered ~7-day "
+              "period mean the model reproduces the paper's 'periodic ups "
+              "and downs due to weekends' — answering Sec. VI's open "
+              "question quantitatively.\n");
+  bench::write_text_file(opts.out_dir + "/ext_temporal.csv", csv);
+  return 0;
+}

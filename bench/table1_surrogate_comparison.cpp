@@ -1,0 +1,42 @@
+// Regenerates Table I: WD / JSD / diff-CORR / DCR / diff-MLEF for the four
+// surrogate models on the synthetic PanDA workload, and checks the paper's
+// qualitative shape. Flags: --quick | --paper, --out DIR.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "metrics/report.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace surro;
+  const auto opts = bench::parse_options(argc, argv);
+  auto cfg = bench::experiment_config(opts.profile);
+
+  std::printf("=== Table I: performance comparisons on surrogate models ===\n");
+  std::printf("window %.0f days, ~%.0f background jobs/day, %zu epochs/model\n\n",
+              cfg.data.model.days, cfg.data.model.base_jobs_per_day,
+              cfg.budget.epochs);
+
+  util::Stopwatch watch;
+  const auto result = eval::run_experiment(cfg);
+
+  std::printf("\nDataset funnel (Fig. 3(b) view of this run):\n");
+  for (const auto& line : result.funnel.describe()) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf("\ntrain rows: %zu   test rows: %zu   real-train MLEF: %.4f\n\n",
+              result.train.num_rows(), result.test.num_rows(),
+              result.train_mlef);
+
+  std::printf("%s\n", metrics::render_table1(result.scores).c_str());
+  std::printf("Paper-shape consistency checks:\n");
+  for (const auto& line : metrics::check_paper_shape(result.scores)) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf("\ntotal wall-clock: %.1fs\n", watch.seconds());
+
+  bench::write_text_file(opts.out_dir + "/table1_scores.csv",
+                         metrics::scores_to_csv(result.scores));
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Scheduler calibration: the downstream use case motivating the paper —
+// "provide more realistic workload inputs to calibrate large-scale
+// event-based simulations" (Sec. VI).
+//
+// We run the multi-site cluster simulator twice per allocation policy: once
+// driven by the (simulated) real PanDA stream and once by surrogate data,
+// then compare the policy rankings. If the surrogate is faithful, a policy
+// study run entirely on synthetic data reaches the same conclusions —
+// without ever touching real (privacy-sensitive) job records.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/surro.hpp"
+#include "util/stringx.hpp"
+
+int main() {
+  using namespace surro;
+
+  auto cfg = eval::quick_experiment_config();
+  std::printf("scheduler calibration: generating workload...\n");
+  const auto data = eval::prepare_data(cfg);
+
+  panda::RecordGenerator generator(cfg.data);
+  const auto& catalog = generator.catalog();
+
+  std::printf("training SMOTE surrogate on %zu job records...\n\n",
+              data.train.num_rows());
+  models::Smote surrogate;
+  surrogate.fit(data.train);
+  const auto synth = surrogate.sample(data.train.num_rows(), 7);
+
+  sched::SimConfig sim_cfg;
+  sim_cfg.capacity_scale = 0.0002;
+  sched::ClusterSimulator sim(catalog, sim_cfg);
+
+  sched::RandomPolicy random;
+  sched::DataLocalityPolicy locality;
+  sched::LeastLoadedPolicy least;
+  sched::HybridPolicy hybrid(0.85);
+  std::vector<sched::AllocationPolicy*> policies = {&random, &locality,
+                                                    &least, &hybrid};
+
+  const auto real_jobs = sched::jobs_from_table(data.train, catalog, 11);
+  const auto synth_jobs = sched::jobs_from_table(synth, catalog, 12);
+
+  std::printf("%-14s | %22s | %22s\n", "policy", "real stream",
+              "surrogate stream");
+  std::printf("%-14s | %10s %11s | %10s %11s\n", "", "wait (h)",
+              "moved", "wait (h)", "moved");
+  std::printf("%s\n", std::string(66, '-').c_str());
+
+  std::vector<double> real_waits;
+  std::vector<double> synth_waits;
+  for (auto* policy : policies) {
+    const auto mr = sim.run(real_jobs, *policy, 3);
+    const auto ms = sim.run(synth_jobs, *policy, 3);
+    real_waits.push_back(mr.mean_wait_hours);
+    synth_waits.push_back(ms.mean_wait_hours);
+    std::printf("%-14s | %10.2f %11s | %10.2f %11s\n",
+                policy->name().c_str(), mr.mean_wait_hours,
+                util::format_bytes(mr.transferred_bytes).c_str(),
+                ms.mean_wait_hours,
+                util::format_bytes(ms.transferred_bytes).c_str());
+  }
+
+  // Rank agreement between the two streams.
+  const auto rank_of = [](const std::vector<double>& waits) {
+    std::vector<std::size_t> rank(waits.size());
+    for (std::size_t i = 0; i < waits.size(); ++i) {
+      for (std::size_t j = 0; j < waits.size(); ++j) {
+        rank[i] += waits[j] < waits[i];
+      }
+    }
+    return rank;
+  };
+  const auto rr = rank_of(real_waits);
+  const auto rs = rank_of(synth_waits);
+  std::size_t agreements = 0;
+  for (std::size_t i = 0; i < rr.size(); ++i) agreements += rr[i] == rs[i];
+  std::printf("\npolicy-rank agreement real vs surrogate: %zu/%zu\n",
+              agreements, rr.size());
+  std::printf("=> surrogate-driven calibration %s the real-data study.\n",
+              agreements >= 3 ? "reproduces" : "diverges from");
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "anomaly/inject.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "panda/filters.hpp"
+
+namespace surro::anomaly {
+
+InjectionResult inject_anomalies(const tabular::Table& table,
+                                 const InjectionConfig& cfg) {
+  if (cfg.fraction <= 0.0 || cfg.fraction >= 1.0) {
+    throw std::invalid_argument("anomaly: fraction must be in (0,1)");
+  }
+  if (cfg.kinds.empty()) {
+    throw std::invalid_argument("anomaly: no anomaly kinds enabled");
+  }
+  const auto& schema = table.schema();
+  const std::size_t c_workload =
+      schema.index_of(panda::features::kWorkload);
+  const std::size_t c_bytes =
+      schema.index_of(panda::features::kInputFileBytes);
+  const std::size_t c_nfiles =
+      schema.index_of(panda::features::kNInputDataFiles);
+  const std::size_t c_site =
+      schema.index_of(panda::features::kComputingSite);
+
+  InjectionResult out;
+  // Whole-table copy.
+  std::vector<std::size_t> all(table.num_rows());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  out.table = table.select_rows(all);
+  out.labels.assign(table.num_rows(), 0);
+
+  util::Rng rng(cfg.seed);
+  const auto n_anom = static_cast<std::size_t>(
+      cfg.fraction * static_cast<double>(table.num_rows()));
+  const auto victims =
+      rng.sample_without_replacement(table.num_rows(), n_anom);
+
+  auto workload = out.table.numerical_mut(c_workload);
+  auto bytes = out.table.numerical_mut(c_bytes);
+  auto nfiles = out.table.numerical_mut(c_nfiles);
+  auto sites = out.table.categorical_mut(c_site);
+  const std::size_t site_card = out.table.cardinality(c_site);
+
+  for (const std::size_t r : victims) {
+    const AnomalyKind kind =
+        cfg.kinds[rng.uniform_index(cfg.kinds.size())];
+    switch (kind) {
+      case AnomalyKind::kRunawayWorkload:
+        // Infinite-loop payload: workload blows up without more input.
+        workload[r] *= rng.uniform(30.0, 120.0);
+        break;
+      case AnomalyKind::kStarvedTransfer:
+        // One enormous "file": transfer pathology.
+        nfiles[r] = 1.0;
+        bytes[r] = rng.uniform(2.0, 10.0) * 1e12;
+        break;
+      case AnomalyKind::kZeroWork:
+        // Black-hole worker: consumes the job, burns no CPU.
+        workload[r] = rng.uniform(1e-6, 1e-3);
+        break;
+      case AnomalyKind::kMisroutedBurst:
+        // Heavy job routed to a uniformly random (usually tiny) site.
+        sites[r] = static_cast<std::int32_t>(rng.uniform_index(site_card));
+        workload[r] *= rng.uniform(5.0, 15.0);
+        bytes[r] *= rng.uniform(5.0, 15.0);
+        break;
+    }
+    out.labels[r] = 1;
+  }
+  out.num_anomalies = n_anom;
+  return out;
+}
+
+double roc_auc(std::span<const double> scores,
+               std::span<const std::uint8_t> labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("anomaly: score/label length mismatch");
+  }
+  const std::size_t n = scores.size();
+  std::size_t positives = 0;
+  for (const auto l : labels) positives += l != 0;
+  const std::size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  // Midrank-based Mann–Whitney U.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&scores](std::size_t a,
+                                                  std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank =
+        0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+  double rank_sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (labels[k] != 0) rank_sum += ranks[k];
+  }
+  const double u = rank_sum - static_cast<double>(positives) *
+                                  (static_cast<double>(positives) + 1.0) /
+                                  2.0;
+  return u / (static_cast<double>(positives) *
+              static_cast<double>(negatives));
+}
+
+double precision_at_k(std::span<const double> scores,
+                      std::span<const std::uint8_t> labels, std::size_t k) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("anomaly: score/label length mismatch");
+  }
+  k = std::min(k, scores.size());
+  if (k == 0) return 0.0;
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&scores](std::size_t a, std::size_t b) {
+                      return scores[a] > scores[b];
+                    });
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < k; ++i) hits += labels[order[i]] != 0;
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+}  // namespace surro::anomaly

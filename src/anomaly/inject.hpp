@@ -1,0 +1,55 @@
+#pragma once
+// Abnormal-scenario injection — the paper's second limitation ("we presume
+// the majority of the jobs are normal operations ... it is unclear if such
+// a generative modeling approach can be extended to abnormal scenarios").
+// This module manufactures the abnormal scenarios so the question can be
+// tested: a configurable fraction of job rows is corrupted with realistic
+// failure signatures, labeled, and handed to a detector for scoring.
+
+#include <cstdint>
+#include <vector>
+
+#include "tabular/table.hpp"
+#include "util/rng.hpp"
+
+namespace surro::anomaly {
+
+enum class AnomalyKind {
+  kRunawayWorkload,   // workload inflated far beyond the datatype's band
+  kStarvedTransfer,   // huge input bytes with a single input file
+  kZeroWork,          // finished status but ~zero workload (black-hole node)
+  kMisroutedBurst,    // rare site suddenly hosting a heavy-input job
+};
+
+struct InjectionConfig {
+  double fraction = 0.05;          // corrupted fraction of rows
+  std::uint64_t seed = 1234;
+  /// Enabled anomaly kinds (sampled uniformly per corrupted row).
+  std::vector<AnomalyKind> kinds{
+      AnomalyKind::kRunawayWorkload, AnomalyKind::kStarvedTransfer,
+      AnomalyKind::kZeroWork, AnomalyKind::kMisroutedBurst};
+};
+
+struct InjectionResult {
+  tabular::Table table;          // copy with corrupted rows
+  std::vector<std::uint8_t> labels;  // 1 = anomalous
+  std::size_t num_anomalies = 0;
+};
+
+/// Corrupt a labeled fraction of rows of a 9-column job table. Throws when
+/// the table lacks the expected columns.
+[[nodiscard]] InjectionResult inject_anomalies(const tabular::Table& table,
+                                               const InjectionConfig& cfg);
+
+/// Area under the ROC curve of `scores` against binary `labels`
+/// (1 = positive). Ties handled by midrank; returns 0.5 for degenerate
+/// label sets.
+[[nodiscard]] double roc_auc(std::span<const double> scores,
+                             std::span<const std::uint8_t> labels);
+
+/// Detection precision in the top-k scored rows.
+[[nodiscard]] double precision_at_k(std::span<const double> scores,
+                                    std::span<const std::uint8_t> labels,
+                                    std::size_t k);
+
+}  // namespace surro::anomaly

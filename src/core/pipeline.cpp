@@ -1,0 +1,52 @@
+#include "core/pipeline.hpp"
+
+#include <stdexcept>
+
+namespace surro::core {
+
+SurrogatePipeline::SurrogatePipeline(PipelineConfig cfg)
+    : cfg_(std::move(cfg)) {}
+
+void SurrogatePipeline::fit() {
+  if (fitted_) throw std::logic_error("pipeline: fit called twice");
+  eval::PreparedData data = eval::prepare_data(cfg_.experiment);
+  funnel_ = data.funnel;
+  train_ = std::move(data.train);
+  test_ = std::move(data.test);
+
+  model_ = models::make_generator(cfg_.model, cfg_.experiment.budget,
+                                  cfg_.experiment.seed);
+  model_->fit(train_);
+  fitted_ = true;
+}
+
+tabular::Table SurrogatePipeline::sample(std::size_t rows,
+                                         std::uint64_t seed) {
+  if (!fitted_) throw std::logic_error("pipeline: sample before fit");
+  return model_->sample(rows, seed);
+}
+
+metrics::ModelScore SurrogatePipeline::evaluate(
+    const tabular::Table& synthetic) {
+  if (!fitted_) throw std::logic_error("pipeline: evaluate before fit");
+  if (!train_mlef_.has_value()) {
+    train_mlef_ = metrics::mlef_mse(train_, test_, cfg_.experiment.mlef);
+  }
+  return eval::score_model(model_->name(), synthetic, train_, test_,
+                           *train_mlef_, cfg_.experiment);
+}
+
+const tabular::Table& SurrogatePipeline::train_table() const {
+  if (!fitted_) throw std::logic_error("pipeline: not fitted");
+  return train_;
+}
+const tabular::Table& SurrogatePipeline::test_table() const {
+  if (!fitted_) throw std::logic_error("pipeline: not fitted");
+  return test_;
+}
+models::TabularGenerator& SurrogatePipeline::model() {
+  if (!fitted_) throw std::logic_error("pipeline: not fitted");
+  return *model_;
+}
+
+}  // namespace surro::core

@@ -1,0 +1,59 @@
+#pragma once
+// SurrogatePipeline: the three-line user experience —
+//
+//   surro::core::SurrogatePipeline pipe(cfg);
+//   pipe.fit();                               // simulate -> filter -> train
+//   auto synth = pipe.sample(100000);         // deterministic synthesis
+//   auto score = pipe.evaluate(synth);        // the five Table I metrics
+//
+// Wraps the eval harness for users who want one model (default TabDDPM, the
+// paper's recommendation) rather than the whole comparison.
+
+#include <memory>
+#include <optional>
+
+#include "eval/experiment.hpp"
+#include "models/generator.hpp"
+
+namespace surro::core {
+
+struct PipelineConfig {
+  eval::ExperimentConfig experiment = eval::quick_experiment_config();
+  models::GeneratorKind model = models::GeneratorKind::kTabDdpm;
+};
+
+class SurrogatePipeline {
+ public:
+  explicit SurrogatePipeline(PipelineConfig cfg = {});
+
+  /// Simulate the PanDA window, filter (Fig. 3(b)), split 80/20, and train
+  /// the selected surrogate on the training partition.
+  void fit();
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+  /// Synthetic job records with the training schema and vocabularies.
+  [[nodiscard]] tabular::Table sample(std::size_t rows,
+                                      std::uint64_t seed = 1234);
+
+  /// Score a synthetic table on all five metrics (against this pipeline's
+  /// train/test partitions).
+  [[nodiscard]] metrics::ModelScore evaluate(const tabular::Table& synthetic);
+
+  [[nodiscard]] const tabular::Table& train_table() const;
+  [[nodiscard]] const tabular::Table& test_table() const;
+  [[nodiscard]] const panda::FilterFunnel& funnel() const noexcept {
+    return funnel_;
+  }
+  [[nodiscard]] models::TabularGenerator& model();
+
+ private:
+  PipelineConfig cfg_;
+  bool fitted_ = false;
+  panda::FilterFunnel funnel_;
+  tabular::Table train_;
+  tabular::Table test_;
+  std::optional<double> train_mlef_;  // computed lazily for evaluate()
+  std::unique_ptr<models::TabularGenerator> model_;
+};
+
+}  // namespace surro::core

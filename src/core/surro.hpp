@@ -1,0 +1,36 @@
+#pragma once
+// Umbrella header: the full public API of the surro library.
+//
+//   surro::panda    — synthetic PanDA workload simulator + Fig. 3(b) funnel
+//   surro::tabular  — mixed-type columnar tables
+//   surro::preprocess — quantile transform, one-hot, mixed encoder
+//   surro::models   — TVAE, CTABGAN+, SMOTE, TabDDPM surrogates
+//   surro::metrics  — WD, JSD, diff-CORR, DCR, MLEF
+//   surro::eval     — end-to-end experiment + figure builders
+//   surro::sched    — event-driven multi-site scheduler simulator
+//   surro::core     — SurrogatePipeline high-level façade (this header's
+//                     namespace) and version info
+
+#include "core/pipeline.hpp"
+#include "core/version.hpp"
+#include "eval/experiment.hpp"
+#include "eval/figures.hpp"
+#include "metrics/correlation.hpp"
+#include "metrics/dcr.hpp"
+#include "metrics/jsd.hpp"
+#include "metrics/mlef.hpp"
+#include "metrics/report.hpp"
+#include "metrics/wasserstein.hpp"
+#include "models/ctabgan.hpp"
+#include "models/generator.hpp"
+#include "models/smote.hpp"
+#include "models/tabddpm.hpp"
+#include "models/tvae.hpp"
+#include "panda/filters.hpp"
+#include "panda/generator.hpp"
+#include "preprocess/mixed_encoder.hpp"
+#include "sched/policies.hpp"
+#include "sched/simulator.hpp"
+#include "tabular/split.hpp"
+#include "tabular/stats.hpp"
+#include "tabular/table_io.hpp"

@@ -1,0 +1,115 @@
+#include "eval/experiment.hpp"
+
+#include "metrics/correlation.hpp"
+#include "metrics/jsd.hpp"
+#include "metrics/wasserstein.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace surro::eval {
+
+ExperimentConfig quick_experiment_config() {
+  ExperimentConfig cfg;
+  cfg.data.model.days = 21.0;
+  cfg.data.model.base_jobs_per_day = 220.0;
+  cfg.data.model.campaigns_per_day = 1.0;
+  cfg.data.model.campaign_min_jobs = 60.0;
+  cfg.data.model.campaign_max_jobs = 2500.0;
+  cfg.data.extra_tier2_sites = 24;
+  cfg.budget.epochs = 12;
+  cfg.budget.batch_size = 256;
+  cfg.synth_rows = 2000;
+  cfg.dcr.max_train_rows = 4000;
+  cfg.dcr.max_synth_rows = 1500;
+  cfg.mlef.boosting.iterations = 60;
+  cfg.mlef.boosting.tree.max_depth = 6;
+  return cfg;
+}
+
+PreparedData prepare_data(const ExperimentConfig& cfg) {
+  PreparedData out;
+  panda::RecordGenerator generator(cfg.data);
+  const auto records = generator.generate();
+  out.full = panda::build_job_table(records, generator.catalog(),
+                                    &out.funnel);
+  util::Rng rng(cfg.seed ^ 0x5EEDULL);
+  auto split = tabular::train_test_split(out.full, cfg.train_fraction, rng);
+  out.train = std::move(split.train);
+  out.test = std::move(split.test);
+  return out;
+}
+
+tabular::Table train_and_sample(models::GeneratorKind kind,
+                                const ExperimentConfig& cfg,
+                                const tabular::Table& train,
+                                std::size_t rows) {
+  auto model = models::make_generator(kind, cfg.budget, cfg.seed);
+  util::Stopwatch watch;
+  model->fit(train);
+  const double fit_s = watch.seconds();
+  watch.reset();
+  tabular::Table sample = model->sample(rows, cfg.seed ^ 0xABCDEFULL);
+  if (cfg.verbose) {
+    util::log_info("%s: fit %.1fs, sampled %zu rows in %.1fs",
+                   model->name().c_str(), fit_s, rows, watch.seconds());
+  }
+  return sample;
+}
+
+metrics::ModelScore score_model(const std::string& name,
+                                const tabular::Table& synthetic,
+                                const tabular::Table& train,
+                                const tabular::Table& test,
+                                double train_mlef,
+                                const ExperimentConfig& cfg) {
+  metrics::ModelScore score;
+  score.model = name;
+  score.wd = metrics::mean_wasserstein(train, synthetic);
+  score.jsd = metrics::mean_jsd(train, synthetic);
+  score.diff_corr = metrics::diff_corr(train, synthetic);
+  score.dcr = metrics::mean_dcr(train, synthetic, cfg.dcr);
+  const double synth_mlef = metrics::mlef_mse(synthetic, test, cfg.mlef);
+  score.diff_mlef = metrics::diff_mlef(synth_mlef, train_mlef);
+  return score;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  ExperimentResult result;
+  {
+    PreparedData data = prepare_data(cfg);
+    result.funnel = data.funnel;
+    result.full = std::move(data.full);
+    result.train = std::move(data.train);
+    result.test = std::move(data.test);
+  }
+  if (cfg.verbose) {
+    util::log_info("experiment: %zu train rows, %zu test rows",
+                   result.train.num_rows(), result.test.num_rows());
+  }
+
+  result.train_mlef = metrics::mlef_mse(result.train, result.test, cfg.mlef);
+  if (cfg.verbose) {
+    util::log_info("experiment: real-train MLEF (MSE) = %.4f",
+                   result.train_mlef);
+  }
+
+  const std::size_t rows =
+      cfg.synth_rows > 0 ? cfg.synth_rows : result.train.num_rows();
+  for (const auto kind : cfg.kinds) {
+    const std::string name = models::to_string(kind);
+    tabular::Table sample = train_and_sample(kind, cfg, result.train, rows);
+    result.scores.push_back(score_model(name, sample, result.train,
+                                        result.test, result.train_mlef,
+                                        cfg));
+    if (cfg.verbose) {
+      const auto& s = result.scores.back();
+      util::log_info(
+          "%s: WD %.3f JSD %.3f diff-CORR %.3f DCR %.3f diff-MLEF %.3f",
+          name.c_str(), s.wd, s.jsd, s.diff_corr, s.dcr, s.diff_mlef);
+    }
+    result.samples.emplace(name, std::move(sample));
+  }
+  return result;
+}
+
+}  // namespace surro::eval

@@ -1,0 +1,73 @@
+#pragma once
+// End-to-end experiment driver: simulate the PanDA collection window, run
+// the Fig. 3(b) funnel, split 80/20, train each surrogate, sample, and score
+// all five Table I metrics. This is the code path behind
+// bench/table1_surrogate_comparison and the integration tests.
+
+#include <map>
+#include <vector>
+
+#include "metrics/dcr.hpp"
+#include "metrics/mlef.hpp"
+#include "metrics/report.hpp"
+#include "models/generator.hpp"
+#include "panda/filters.hpp"
+#include "panda/generator.hpp"
+#include "tabular/split.hpp"
+
+namespace surro::eval {
+
+struct ExperimentConfig {
+  panda::GeneratorConfig data;
+  double train_fraction = 0.8;  // paper: 80/20
+  models::TrainBudget budget;
+  /// Synthetic rows per model (0 = match the training-set size).
+  std::size_t synth_rows = 0;
+  metrics::MlefConfig mlef;
+  metrics::DcrConfig dcr;
+  std::vector<models::GeneratorKind> kinds{
+      models::GeneratorKind::kTvae, models::GeneratorKind::kCtabganPlus,
+      models::GeneratorKind::kSmote, models::GeneratorKind::kTabDdpm};
+  std::uint64_t seed = 42;
+  bool verbose = false;
+};
+
+/// A configuration whose full pipeline runs in tens of seconds on one core
+/// (small window, light budgets) — used by tests and quick demos.
+[[nodiscard]] ExperimentConfig quick_experiment_config();
+
+struct ExperimentResult {
+  panda::FilterFunnel funnel;
+  tabular::Table full;   // merged (train+test) table, paper's Fig. 3(a) view
+  tabular::Table train;
+  tabular::Table test;
+  double train_mlef = 0.0;  // MLEF of the real-train-fitted probe
+  std::vector<metrics::ModelScore> scores;
+  std::map<std::string, tabular::Table> samples;  // per-model synthetic data
+};
+
+/// Prepare data only (generate, filter, split) — shared by figure benches.
+struct PreparedData {
+  panda::FilterFunnel funnel;
+  tabular::Table full;
+  tabular::Table train;
+  tabular::Table test;
+};
+[[nodiscard]] PreparedData prepare_data(const ExperimentConfig& cfg);
+
+/// Train + sample one generator on prepared data.
+[[nodiscard]] tabular::Table train_and_sample(models::GeneratorKind kind,
+                                              const ExperimentConfig& cfg,
+                                              const tabular::Table& train,
+                                              std::size_t rows);
+
+/// Score one synthetic table against train/test.
+[[nodiscard]] metrics::ModelScore score_model(
+    const std::string& name, const tabular::Table& synthetic,
+    const tabular::Table& train, const tabular::Table& test,
+    double train_mlef, const ExperimentConfig& cfg);
+
+/// The whole Table I pipeline.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+}  // namespace surro::eval

@@ -1,0 +1,78 @@
+#pragma once
+// Series builders for every figure in the paper. Each returns plain data
+// (and the benches render it as ASCII + CSV), so plotting scripts can
+// regenerate the actual figures from the CSVs.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/correlation.hpp"
+#include "tabular/table.hpp"
+
+namespace surro::eval {
+
+// ---- Fig. 1: cumulative data volume growth ---------------------------------
+struct GrowthPoint {
+  double year = 0.0;
+  double disk_petabytes = 0.0;
+  double tape_petabytes = 0.0;
+};
+/// Multi-year extrapolation of the simulator's dataset-production volume
+/// (exponential-ish growth toward the exabyte scale the paper's Fig. 1
+/// shows).
+[[nodiscard]] std::vector<GrowthPoint> fig1_data_growth(
+    double start_year = 2015.0, double end_year = 2024.0,
+    std::uint64_t seed = 11);
+
+// ---- Fig. 4(a): numerical marginals ----------------------------------------
+struct MarginalSeries {
+  std::string feature;
+  bool log_scale = false;
+  std::vector<double> bin_centers;
+  /// model name ("GT" for ground truth) -> normalized bin mass.
+  std::map<std::string, std::vector<double>> mass;
+};
+/// Histograms of every numerical feature for the ground truth plus each
+/// synthetic table. Bins are fit on the ground truth so curves overlay.
+[[nodiscard]] std::vector<MarginalSeries> fig4a_numerical_marginals(
+    const tabular::Table& ground_truth,
+    const std::map<std::string, tabular::Table>& samples,
+    std::size_t bins = 40);
+
+// ---- Fig. 4(b): top-k categorical counts -----------------------------------
+struct CategoricalSeries {
+  std::string feature;
+  std::vector<std::string> top_labels;  // by GT count, descending
+  /// model name -> normalized frequency of each top label.
+  std::map<std::string, std::vector<double>> freq;
+};
+[[nodiscard]] std::vector<CategoricalSeries> fig4b_categorical_tops(
+    const tabular::Table& ground_truth,
+    const std::map<std::string, tabular::Table>& samples,
+    std::size_t top_k = 5);
+
+// ---- Fig. 5: association matrices ------------------------------------------
+struct CorrelationFigure {
+  std::vector<std::string> feature_names;
+  metrics::AssociationMatrix ground_truth;
+  /// model name -> (matrix, element-wise difference vs. ground truth).
+  std::map<std::string, metrics::AssociationMatrix> models;
+  std::map<std::string, metrics::AssociationMatrix> differences;
+};
+[[nodiscard]] CorrelationFigure fig5_correlations(
+    const tabular::Table& ground_truth,
+    const std::map<std::string, tabular::Table>& samples);
+
+// ---- rendering helpers -------------------------------------------------------
+[[nodiscard]] std::string render_marginal_ascii(const MarginalSeries& s,
+                                                std::size_t width = 40);
+[[nodiscard]] std::string render_matrix_ascii(
+    const metrics::AssociationMatrix& m,
+    const std::vector<std::string>& names);
+[[nodiscard]] std::string marginals_to_csv(
+    const std::vector<MarginalSeries>& series);
+[[nodiscard]] std::string categoricals_to_csv(
+    const std::vector<CategoricalSeries>& series);
+
+}  // namespace surro::eval

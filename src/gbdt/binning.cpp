@@ -1,0 +1,61 @@
+#include "gbdt/binning.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace surro::gbdt {
+
+BinnedFeature bin_feature(std::span<const double> values,
+                          std::size_t max_bins) {
+  if (values.empty()) throw std::invalid_argument("binning: empty column");
+  max_bins = std::clamp<std::size_t>(max_bins, 2, 256);
+
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  BinnedFeature out;
+  // Candidate thresholds at evenly spaced quantiles, deduplicated.
+  out.thresholds.reserve(max_bins - 1);
+  for (std::size_t b = 1; b < max_bins; ++b) {
+    const double q = static_cast<double>(b) / static_cast<double>(max_bins);
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const double v = sorted[static_cast<std::size_t>(pos)];
+    // A threshold equal to the maximum separates nothing (everything goes
+    // left), so constant columns end up with a single bin.
+    if (v >= sorted.back()) continue;
+    if (out.thresholds.empty() || v > out.thresholds.back()) {
+      out.thresholds.push_back(v);
+    }
+  }
+
+  out.codes.resize(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out.codes[i] = bin_code(out, values[i]);
+  }
+  return out;
+}
+
+std::uint8_t bin_code(const BinnedFeature& f, double v) noexcept {
+  // code = number of thresholds strictly below v (upper_bound semantics:
+  // rows with value <= threshold[c] get code <= c).
+  const auto it =
+      std::lower_bound(f.thresholds.begin(), f.thresholds.end(), v);
+  return static_cast<std::uint8_t>(it - f.thresholds.begin());
+}
+
+BinnedDataset bin_dataset(const std::vector<std::vector<double>>& columns,
+                          std::size_t max_bins) {
+  BinnedDataset ds;
+  if (columns.empty()) throw std::invalid_argument("binning: no columns");
+  ds.num_rows = columns.front().size();
+  for (const auto& col : columns) {
+    if (col.size() != ds.num_rows) {
+      throw std::invalid_argument("binning: ragged columns");
+    }
+    ds.features.push_back(bin_feature(col, max_bins));
+  }
+  return ds;
+}
+
+}  // namespace surro::gbdt

@@ -1,0 +1,41 @@
+#pragma once
+// Histogram binning of features for fast GBDT split search: each numerical
+// feature is quantized into at most 255 quantile bins; split candidates are
+// bin boundaries. Categorical features arrive already target-statistic
+// encoded (see target_stats.hpp) and are binned the same way.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace surro::gbdt {
+
+struct BinnedFeature {
+  std::vector<double> thresholds;   // ascending upper edges (size = bins-1)
+  std::vector<std::uint8_t> codes;  // per-row bin code
+  [[nodiscard]] std::size_t num_bins() const noexcept {
+    return thresholds.size() + 1;
+  }
+};
+
+/// Quantile-bin one feature column. `max_bins` in [2, 256].
+[[nodiscard]] BinnedFeature bin_feature(std::span<const double> values,
+                                        std::size_t max_bins = 255);
+
+/// Bin code for a new value against fitted thresholds.
+[[nodiscard]] std::uint8_t bin_code(const BinnedFeature& f, double v) noexcept;
+
+/// Dataset of binned features (column-major).
+struct BinnedDataset {
+  std::vector<BinnedFeature> features;
+  std::size_t num_rows = 0;
+  [[nodiscard]] std::size_t num_features() const noexcept {
+    return features.size();
+  }
+};
+
+[[nodiscard]] BinnedDataset bin_dataset(
+    const std::vector<std::vector<double>>& columns,
+    std::size_t max_bins = 255);
+
+}  // namespace surro::gbdt

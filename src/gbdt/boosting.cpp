@@ -1,0 +1,158 @@
+#include "gbdt/boosting.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace surro::gbdt {
+
+GbdtRegressor::GbdtRegressor(BoostingConfig cfg) : cfg_(cfg) {}
+
+std::vector<std::vector<double>> GbdtRegressor::featurize(
+    const tabular::Table& table) const {
+  std::vector<std::vector<double>> cols;
+  cols.reserve(feature_columns_.size());
+  std::size_t cat_slot = 0;
+  for (const std::size_t col : feature_columns_) {
+    if (table.schema().column(col).kind == tabular::ColumnKind::kNumerical) {
+      const auto data = table.numerical(col);
+      cols.emplace_back(data.begin(), data.end());
+    } else {
+      // Remap this table's codes to fit-time codes via labels: the same
+      // label may carry a different dictionary code in another table.
+      const auto& fit_vocab = cat_vocabs_[cat_slot];
+      const auto& table_vocab = table.vocabulary(col);
+      std::vector<std::int32_t> remap(table_vocab.size(), -1);
+      for (std::size_t c = 0; c < table_vocab.size(); ++c) {
+        for (std::size_t f = 0; f < fit_vocab.size(); ++f) {
+          if (fit_vocab[f] == table_vocab[c]) {
+            remap[c] = static_cast<std::int32_t>(f);
+            break;
+          }
+        }
+      }
+      const auto codes = table.categorical(col);
+      std::vector<double> encoded;
+      encoded.reserve(codes.size());
+      const auto& enc = cat_encoders_[cat_slot];
+      for (const std::int32_t c : codes) {
+        encoded.push_back(
+            enc.encode_one(remap[static_cast<std::size_t>(c)]));
+      }
+      cols.push_back(std::move(encoded));
+      ++cat_slot;
+    }
+  }
+  return cols;
+}
+
+void GbdtRegressor::fit(const tabular::Table& table,
+                        const std::string& target_column) {
+  if (table.num_rows() < 2) {
+    throw std::invalid_argument("gbdt: need at least two training rows");
+  }
+  target_column_ = target_column;
+  target_index_ = table.schema().index_of(target_column);
+  if (table.schema().column(target_index_).kind !=
+      tabular::ColumnKind::kNumerical) {
+    throw std::invalid_argument("gbdt: target column must be numerical");
+  }
+  const auto target = table.numerical(target_index_);
+
+  feature_columns_.clear();
+  cat_encoders_.clear();
+  cat_vocabs_.clear();
+  for (std::size_t c = 0; c < table.num_columns(); ++c) {
+    if (c == target_index_) continue;
+    feature_columns_.push_back(c);
+    if (table.schema().column(c).kind == tabular::ColumnKind::kCategorical) {
+      TargetStatEncoder enc;
+      enc.fit(table.categorical(c), target, table.cardinality(c));
+      cat_encoders_.push_back(std::move(enc));
+      cat_vocabs_.push_back(table.vocabulary(c));
+    }
+  }
+
+  const auto columns = featurize(table);
+  BinnedDataset data = bin_dataset(columns, cfg_.max_bins);
+  thresholds_.clear();
+  for (const auto& f : data.features) thresholds_.push_back(f.thresholds);
+
+  base_score_ = 0.0;
+  for (const double t : target) base_score_ += t;
+  base_score_ /= static_cast<double>(target.size());
+
+  std::vector<double> preds(target.size(), base_score_);
+  std::vector<double> residuals(target.size(), 0.0);
+  util::Rng rng(cfg_.seed);
+
+  trees_.clear();
+  trees_.reserve(cfg_.iterations);
+  for (std::size_t it = 0; it < cfg_.iterations; ++it) {
+    for (std::size_t i = 0; i < target.size(); ++i) {
+      residuals[i] = target[i] - preds[i];
+    }
+    std::vector<std::size_t> rows;
+    if (cfg_.subsample < 1.0) {
+      const auto n_sub = static_cast<std::size_t>(
+          cfg_.subsample * static_cast<double>(target.size()));
+      rows = rng.sample_without_replacement(target.size(),
+                                            std::max<std::size_t>(n_sub, 2));
+    } else {
+      rows.resize(target.size());
+      std::iota(rows.begin(), rows.end(), std::size_t{0});
+    }
+
+    RegressionTree tree;
+    tree.fit(data, residuals, rows, cfg_.tree);
+    tree.predict_dataset(data, cfg_.learning_rate, preds);
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+std::vector<double> GbdtRegressor::predict(
+    const tabular::Table& table) const {
+  if (!fitted_) throw std::logic_error("gbdt: predict before fit");
+  const auto columns = featurize(table);
+  assert(columns.size() == thresholds_.size());
+
+  // Bin with the *fit-time* thresholds.
+  BinnedDataset data;
+  data.num_rows = table.num_rows();
+  data.features.resize(columns.size());
+  for (std::size_t f = 0; f < columns.size(); ++f) {
+    data.features[f].thresholds = thresholds_[f];
+    data.features[f].codes.resize(columns[f].size());
+    for (std::size_t r = 0; r < columns[f].size(); ++r) {
+      data.features[f].codes[r] = bin_code(data.features[f], columns[f][r]);
+    }
+  }
+
+  std::vector<double> preds(table.num_rows(), base_score_);
+  for (const auto& tree : trees_) {
+    tree.predict_dataset(data, cfg_.learning_rate, preds);
+  }
+  return preds;
+}
+
+double GbdtRegressor::mse(const tabular::Table& table) const {
+  const auto preds = predict(table);
+  const auto target = table.numerical(target_index_);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    const double d = preds[i] - target[i];
+    acc += d * d;
+  }
+  return preds.empty() ? 0.0 : acc / static_cast<double>(preds.size());
+}
+
+double GbdtRegressor::rmse(const tabular::Table& table) const {
+  return std::sqrt(mse(table));
+}
+
+}  // namespace surro::gbdt

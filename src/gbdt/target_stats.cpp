@@ -1,0 +1,60 @@
+#include "gbdt/target_stats.hpp"
+
+#include <stdexcept>
+
+namespace surro::gbdt {
+
+TargetStatEncoder::TargetStatEncoder(double smoothing)
+    : smoothing_(smoothing) {
+  if (smoothing < 0.0) {
+    throw std::invalid_argument("target_stats: negative smoothing");
+  }
+}
+
+void TargetStatEncoder::fit(std::span<const std::int32_t> codes,
+                            std::span<const double> targets,
+                            std::size_t cardinality) {
+  if (codes.size() != targets.size()) {
+    throw std::invalid_argument("target_stats: size mismatch");
+  }
+  if (codes.empty()) {
+    throw std::invalid_argument("target_stats: empty fit data");
+  }
+  double total = 0.0;
+  for (const double t : targets) total += t;
+  prior_ = total / static_cast<double>(targets.size());
+
+  std::vector<double> sums(cardinality, 0.0);
+  std::vector<double> counts(cardinality, 0.0);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const auto c = static_cast<std::size_t>(codes[i]);
+    if (c >= cardinality) {
+      throw std::out_of_range("target_stats: code out of range");
+    }
+    sums[c] += targets[i];
+    counts[c] += 1.0;
+  }
+  encoding_.resize(cardinality);
+  for (std::size_t c = 0; c < cardinality; ++c) {
+    encoding_[c] =
+        (sums[c] + prior_ * smoothing_) / (counts[c] + smoothing_);
+  }
+  fitted_ = true;
+}
+
+double TargetStatEncoder::encode_one(std::int32_t code) const noexcept {
+  if (code < 0 || static_cast<std::size_t>(code) >= encoding_.size()) {
+    return prior_;
+  }
+  return encoding_[static_cast<std::size_t>(code)];
+}
+
+std::vector<double> TargetStatEncoder::encode(
+    std::span<const std::int32_t> codes) const {
+  std::vector<double> out;
+  out.reserve(codes.size());
+  for (const std::int32_t c : codes) out.push_back(encode_one(c));
+  return out;
+}
+
+}  // namespace surro::gbdt

@@ -1,0 +1,38 @@
+#pragma once
+// CatBoost-style target-statistic encoding of categorical features: each
+// category code is replaced by a smoothed mean of the regression target,
+//   enc(c) = (sum_target(c) + prior·a) / (count(c) + a),
+// which is how CatBoost consumes categoricals without one-hot blowup. The
+// encoder is fit on training rows only and applied to any table, so the
+// MLEF probe treats real and synthetic data identically.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace surro::gbdt {
+
+class TargetStatEncoder {
+ public:
+  /// `smoothing` is CatBoost's `a` (pseudo-count toward the global prior).
+  explicit TargetStatEncoder(double smoothing = 10.0);
+
+  void fit(std::span<const std::int32_t> codes,
+           std::span<const double> targets, std::size_t cardinality);
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+  /// Encoded value of a code; unseen/out-of-range codes get the prior.
+  [[nodiscard]] double encode_one(std::int32_t code) const noexcept;
+  [[nodiscard]] std::vector<double> encode(
+      std::span<const std::int32_t> codes) const;
+
+  [[nodiscard]] double prior() const noexcept { return prior_; }
+
+ private:
+  double smoothing_;
+  double prior_ = 0.0;
+  std::vector<double> encoding_;
+  bool fitted_ = false;
+};
+
+}  // namespace surro::gbdt

@@ -1,0 +1,165 @@
+#include "gbdt/tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "util/thread_pool.hpp"
+
+namespace surro::gbdt {
+
+namespace {
+
+struct SplitCandidate {
+  double gain = 0.0;
+  std::int32_t feature = -1;
+  std::uint8_t threshold_code = 0;
+};
+
+// Best split of one feature by scanning its bin histogram of (count, sum).
+SplitCandidate best_split_for_feature(
+    const BinnedFeature& feature, std::span<const double> targets,
+    std::span<const std::size_t> rows, double total_sum, double parent_score,
+    const TreeConfig& cfg, std::int32_t feature_id) {
+  const std::size_t bins = feature.num_bins();
+  // Histogram build: O(rows).
+  std::vector<double> bin_sum(bins, 0.0);
+  std::vector<std::size_t> bin_cnt(bins, 0);
+  for (const std::size_t r : rows) {
+    const std::uint8_t c = feature.codes[r];
+    bin_sum[c] += targets[r];
+    bin_cnt[c] += 1;
+  }
+  SplitCandidate best;
+  best.feature = -1;
+  double left_sum = 0.0;
+  std::size_t left_cnt = 0;
+  const std::size_t total_cnt = rows.size();
+  for (std::size_t c = 0; c + 1 < bins; ++c) {
+    left_sum += bin_sum[c];
+    left_cnt += bin_cnt[c];
+    const std::size_t right_cnt = total_cnt - left_cnt;
+    if (left_cnt < cfg.min_samples_leaf || right_cnt < cfg.min_samples_leaf) {
+      continue;
+    }
+    const double right_sum = total_sum - left_sum;
+    // Gain = sum²/(n+λ) improvement (Friedman's variance-gain with L2).
+    const double score =
+        left_sum * left_sum / (static_cast<double>(left_cnt) + cfg.l2_reg) +
+        right_sum * right_sum / (static_cast<double>(right_cnt) + cfg.l2_reg);
+    const double gain = score - parent_score;
+    if (gain > best.gain) {
+      best.gain = gain;
+      best.feature = feature_id;
+      best.threshold_code = static_cast<std::uint8_t>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void RegressionTree::fit(const BinnedDataset& data,
+                         std::span<const double> targets,
+                         std::span<const std::size_t> row_index,
+                         const TreeConfig& cfg) {
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<std::size_t> rows(row_index.begin(), row_index.end());
+  grow(data, targets, rows, 0, cfg);
+}
+
+std::int32_t RegressionTree::grow(const BinnedDataset& data,
+                                  std::span<const double> targets,
+                                  std::vector<std::size_t>& rows,
+                                  std::size_t depth, const TreeConfig& cfg) {
+  depth_ = std::max(depth_, depth);
+  const auto id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back({});
+
+  double total_sum = 0.0;
+  for (const std::size_t r : rows) total_sum += targets[r];
+  const double leaf_value =
+      total_sum / (static_cast<double>(rows.size()) + cfg.l2_reg);
+
+  const bool can_split = depth < cfg.max_depth &&
+                         rows.size() >= 2 * cfg.min_samples_leaf;
+  SplitCandidate best;
+  if (can_split) {
+    const double parent_score =
+        total_sum * total_sum /
+        (static_cast<double>(rows.size()) + cfg.l2_reg);
+    // Evaluate all features in parallel; reduce to the best.
+    std::vector<SplitCandidate> per_feature(data.num_features());
+    util::parallel_for_each(
+        0, data.num_features(),
+        [&](std::size_t f) {
+          per_feature[f] = best_split_for_feature(
+              data.features[f], targets, rows, total_sum, parent_score, cfg,
+              static_cast<std::int32_t>(f));
+        },
+        /*grain=*/1);
+    for (const auto& cand : per_feature) {
+      if (cand.feature >= 0 && cand.gain > best.gain) best = cand;
+    }
+  }
+
+  if (best.feature < 0 || best.gain < cfg.min_gain) {
+    nodes_[static_cast<std::size_t>(id)].value = leaf_value;
+    return id;
+  }
+
+  const auto& feature = data.features[static_cast<std::size_t>(best.feature)];
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  left_rows.reserve(rows.size() / 2);
+  right_rows.reserve(rows.size() / 2);
+  for (const std::size_t r : rows) {
+    (feature.codes[r] <= best.threshold_code ? left_rows : right_rows)
+        .push_back(r);
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  const std::int32_t left = grow(data, targets, left_rows, depth + 1, cfg);
+  const std::int32_t right = grow(data, targets, right_rows, depth + 1, cfg);
+  Node& node = nodes_[static_cast<std::size_t>(id)];
+  node.feature = best.feature;
+  node.threshold_code = best.threshold_code;
+  node.left = left;
+  node.right = right;
+  node.value = leaf_value;
+  return id;
+}
+
+double RegressionTree::predict_codes(
+    std::span<const std::uint8_t> codes) const {
+  assert(!nodes_.empty());
+  std::size_t id = 0;
+  for (;;) {
+    const Node& node = nodes_[id];
+    if (node.feature < 0) return node.value;
+    const std::uint8_t c = codes[static_cast<std::size_t>(node.feature)];
+    id = static_cast<std::size_t>(c <= node.threshold_code ? node.left
+                                                           : node.right);
+  }
+}
+
+void RegressionTree::predict_dataset(const BinnedDataset& data, double scale,
+                                     std::span<double> out) const {
+  assert(out.size() == data.num_rows);
+  util::parallel_for(
+      0, data.num_rows,
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<std::uint8_t> codes(data.num_features());
+        for (std::size_t r = lo; r < hi; ++r) {
+          for (std::size_t f = 0; f < data.num_features(); ++f) {
+            codes[f] = data.features[f].codes[r];
+          }
+          out[r] += scale * predict_codes(codes);
+        }
+      },
+      /*grain=*/256);
+}
+
+}  // namespace surro::gbdt

@@ -1,0 +1,59 @@
+#pragma once
+// A single depth-limited regression tree grown greedily on binned features
+// with variance-reduction splits — the weak learner of the boosting loop.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gbdt/binning.hpp"
+
+namespace surro::gbdt {
+
+struct TreeConfig {
+  std::size_t max_depth = 6;
+  std::size_t min_samples_leaf = 20;
+  /// L2 regularization on leaf values (lambda in the XGBoost formulation).
+  double l2_reg = 1.0;
+  /// Minimum gain to accept a split.
+  double min_gain = 1e-7;
+};
+
+class RegressionTree {
+ public:
+  /// Fit to gradients (negative residuals) over the rows in `row_index`.
+  void fit(const BinnedDataset& data, std::span<const double> targets,
+           std::span<const std::size_t> row_index, const TreeConfig& cfg);
+
+  /// Predict a single row given its per-feature bin codes.
+  [[nodiscard]] double predict_codes(
+      std::span<const std::uint8_t> codes) const;
+
+  /// Predict every row of a binned dataset (appends into out, scaled).
+  void predict_dataset(const BinnedDataset& data, double scale,
+                       std::span<double> out) const;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+ private:
+  struct Node {
+    std::int32_t feature = -1;     // -1: leaf
+    std::uint8_t threshold_code = 0;  // go left when code <= threshold_code
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double value = 0.0;            // leaf output
+  };
+
+  std::int32_t grow(const BinnedDataset& data,
+                    std::span<const double> targets,
+                    std::vector<std::size_t>& rows, std::size_t depth,
+                    const TreeConfig& cfg);
+
+  std::vector<Node> nodes_;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace surro::gbdt

@@ -1,0 +1,96 @@
+#include "knn/brute.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace surro::knn {
+
+namespace {
+inline float dist_sq(const float* a, const float* b, std::size_t d) noexcept {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < d; ++i) {
+    const float diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+}  // namespace
+
+std::vector<Neighbor> brute_knn(const linalg::Matrix& data,
+                                std::span<const float> query, std::size_t k,
+                                std::ptrdiff_t exclude) {
+  if (data.rows() == 0) throw std::invalid_argument("knn: empty data");
+  if (query.size() != data.cols()) {
+    throw std::invalid_argument("knn: query dimension mismatch");
+  }
+  k = std::min(k, data.rows() - (exclude >= 0 ? 1 : 0));
+  // Max-heap of the current best k, keyed by distance.
+  std::vector<Neighbor> heap;
+  heap.reserve(k + 1);
+  const auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return a.dist_sq < b.dist_sq;
+  };
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    if (exclude >= 0 && i == static_cast<std::size_t>(exclude)) continue;
+    const float d = dist_sq(data.data() + i * data.cols(), query.data(),
+                            data.cols());
+    if (heap.size() < k) {
+      heap.push_back({i, d});
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (k > 0 && d < heap.front().dist_sq) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = {i, d};
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), cmp);
+  return heap;
+}
+
+std::vector<std::vector<Neighbor>> brute_knn_batch(
+    const linalg::Matrix& data, const linalg::Matrix& queries, std::size_t k,
+    bool self_mode) {
+  if (queries.cols() != data.cols()) {
+    throw std::invalid_argument("knn: dimension mismatch");
+  }
+  std::vector<std::vector<Neighbor>> out(queries.rows());
+  util::parallel_for_each(
+      0, queries.rows(),
+      [&](std::size_t q) {
+        out[q] = brute_knn(data, queries.row(q), k,
+                           self_mode ? static_cast<std::ptrdiff_t>(q) : -1);
+      },
+      /*grain=*/16);
+  return out;
+}
+
+std::vector<float> nearest_distances(const linalg::Matrix& data,
+                                     const linalg::Matrix& queries) {
+  if (queries.cols() != data.cols()) {
+    throw std::invalid_argument("knn: dimension mismatch");
+  }
+  if (data.rows() == 0) throw std::invalid_argument("knn: empty data");
+  std::vector<float> out(queries.rows(), 0.0f);
+  const std::size_t d = data.cols();
+  util::parallel_for(
+      0, queries.rows(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t q = lo; q < hi; ++q) {
+          const float* qp = queries.data() + q * d;
+          float best = dist_sq(data.data(), qp, d);
+          for (std::size_t i = 1; i < data.rows(); ++i) {
+            const float dd = dist_sq(data.data() + i * d, qp, d);
+            best = std::min(best, dd);
+          }
+          out[q] = std::sqrt(best);
+        }
+      },
+      /*grain=*/8);
+  return out;
+}
+
+}  // namespace surro::knn

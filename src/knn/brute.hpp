@@ -1,0 +1,39 @@
+#pragma once
+// Exact k-nearest-neighbour search, brute force, parallel over queries.
+// Distances are squared Euclidean over float rows. Used by SMOTE (k=5
+// neighbourhoods) and by the DCR privacy metric (1-NN from synthetic to
+// train).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace surro::knn {
+
+struct Neighbor {
+  std::size_t index = 0;
+  float dist_sq = 0.0f;
+};
+
+/// k nearest rows of `data` to `query` (k clamped to data rows). Ascending
+/// by distance. `exclude` (optional) is a row index to skip — pass the query
+/// row itself for self-neighbourhoods.
+[[nodiscard]] std::vector<Neighbor> brute_knn(
+    const linalg::Matrix& data, std::span<const float> query, std::size_t k,
+    std::ptrdiff_t exclude = -1);
+
+/// All-queries variant: result[i] = k nearest rows of `data` to `queries`
+/// row i. When `self_mode` is true, data and queries are the same matrix and
+/// each query excludes its own row.
+[[nodiscard]] std::vector<std::vector<Neighbor>> brute_knn_batch(
+    const linalg::Matrix& data, const linalg::Matrix& queries, std::size_t k,
+    bool self_mode = false);
+
+/// 1-NN distances (not squared) from every query row to the data set —
+/// exactly what DCR needs. Parallel over queries.
+[[nodiscard]] std::vector<float> nearest_distances(
+    const linalg::Matrix& data, const linalg::Matrix& queries);
+
+}  // namespace surro::knn

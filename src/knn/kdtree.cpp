@@ -1,0 +1,154 @@
+#include "knn/kdtree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace surro::knn {
+
+namespace {
+inline float dist_sq(const float* a, const float* b, std::size_t d) noexcept {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < d; ++i) {
+    const float diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+}  // namespace
+
+KdTree::KdTree(const linalg::Matrix& data, std::size_t leaf_size)
+    : n_(data.rows()), d_(data.cols()), leaf_size_(std::max<std::size_t>(leaf_size, 1)) {
+  if (n_ == 0 || d_ == 0) throw std::invalid_argument("kdtree: empty data");
+  points_.assign(data.data(), data.data() + n_ * d_);
+  index_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) index_[i] = i;
+  nodes_.reserve(2 * n_ / leaf_size_ + 2);
+  root_ = build(0, n_, 0);
+}
+
+std::int32_t KdTree::build(std::size_t begin, std::size_t end,
+                           std::size_t depth) {
+  const auto id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back({});
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  if (end - begin <= leaf_size_) {
+    nodes_[static_cast<std::size_t>(id)] = node;
+    return id;
+  }
+  // Split along the dimension with the largest spread at this depth band
+  // (cheap heuristic: cycle dims, but pick the better of the cycled dim and
+  // the max-spread dim over a sample).
+  std::size_t dim = depth % d_;
+  {
+    float best_spread = -1.0f;
+    for (std::size_t cand = 0; cand < d_; ++cand) {
+      float lo = points_[begin * d_ + cand];
+      float hi = lo;
+      const std::size_t stride = std::max<std::size_t>((end - begin) / 64, 1);
+      for (std::size_t i = begin; i < end; i += stride) {
+        const float v = points_[i * d_ + cand];
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      if (hi - lo > best_spread) {
+        best_spread = hi - lo;
+        dim = cand;
+      }
+    }
+  }
+  const std::size_t mid = begin + (end - begin) / 2;
+
+  // nth_element over interleaved storage: sort index ranges by building a
+  // permutation of positions. We swap whole rows to keep points_ contiguous.
+  std::vector<std::size_t> order(end - begin);
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = begin + i;
+  std::nth_element(order.begin(), order.begin() + (mid - begin), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return points_[a * d_ + dim] < points_[b * d_ + dim];
+                   });
+  // Apply permutation to rows and index_ (cycle-following apply).
+  {
+    std::vector<float> tmp_rows((end - begin) * d_);
+    std::vector<std::size_t> tmp_idx(end - begin);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      std::copy_n(points_.data() + order[i] * d_, d_,
+                  tmp_rows.data() + i * d_);
+      tmp_idx[i] = index_[order[i]];
+    }
+    std::copy(tmp_rows.begin(), tmp_rows.end(),
+              points_.begin() + begin * d_);
+    std::copy(tmp_idx.begin(), tmp_idx.end(), index_.begin() + begin);
+  }
+
+  node.split_dim = dim;
+  node.split_val = points_[mid * d_ + dim];
+  node.left = build(begin, mid, depth + 1);
+  node.right = build(mid, end, depth + 1);
+  nodes_[static_cast<std::size_t>(id)] = node;
+  return id;
+}
+
+void KdTree::search(std::size_t node_id, std::span<const float> point,
+                    std::size_t k, std::ptrdiff_t exclude,
+                    std::vector<Neighbor>& heap) const {
+  const auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return a.dist_sq < b.dist_sq;
+  };
+  const Node& node = nodes_[node_id];
+  if (node.is_leaf()) {
+    for (std::size_t i = node.begin; i < node.end; ++i) {
+      const std::size_t orig = index_[i];
+      if (exclude >= 0 && orig == static_cast<std::size_t>(exclude)) continue;
+      const float d = dist_sq(points_.data() + i * d_, point.data(), d_);
+      if (heap.size() < k) {
+        heap.push_back({orig, d});
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      } else if (d < heap.front().dist_sq) {
+        std::pop_heap(heap.begin(), heap.end(), cmp);
+        heap.back() = {orig, d};
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      }
+    }
+    return;
+  }
+  const float diff = point[node.split_dim] - node.split_val;
+  const auto near = static_cast<std::size_t>(diff < 0.0f ? node.left
+                                                         : node.right);
+  const auto far = static_cast<std::size_t>(diff < 0.0f ? node.right
+                                                        : node.left);
+  search(near, point, k, exclude, heap);
+  // Prune the far side when the splitting plane is farther than the worst
+  // current neighbour.
+  if (heap.size() < k || diff * diff < heap.front().dist_sq) {
+    search(far, point, k, exclude, heap);
+  }
+}
+
+std::vector<Neighbor> KdTree::query(std::span<const float> point,
+                                    std::size_t k,
+                                    std::ptrdiff_t exclude) const {
+  if (point.size() != d_) {
+    throw std::invalid_argument("kdtree: query dimension mismatch");
+  }
+  k = std::min(k, n_ - (exclude >= 0 ? 1 : 0));
+  std::vector<Neighbor> heap;
+  heap.reserve(k + 1);
+  if (k > 0) search(static_cast<std::size_t>(root_), point, k, exclude, heap);
+  std::sort_heap(heap.begin(), heap.end(),
+                 [](const Neighbor& a, const Neighbor& b) {
+                   return a.dist_sq < b.dist_sq;
+                 });
+  return heap;
+}
+
+float KdTree::nearest_distance(std::span<const float> point,
+                               std::ptrdiff_t exclude) const {
+  const auto nn = query(point, 1, exclude);
+  return nn.empty() ? 0.0f : std::sqrt(nn.front().dist_sq);
+}
+
+}  // namespace surro::knn

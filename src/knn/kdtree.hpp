@@ -1,0 +1,58 @@
+#pragma once
+// KD-tree for exact nearest-neighbour queries in the moderate-dimensional
+// encoded space. Faster than brute force when dimensionality is small (the
+// numerical-only slice used for DCR's heavy sweeps); the metric layer picks
+// between KD-tree and brute force based on dimensionality.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "knn/brute.hpp"
+#include "linalg/matrix.hpp"
+
+namespace surro::knn {
+
+class KdTree {
+ public:
+  /// Builds over the rows of `data` (copied). Throws on empty input.
+  explicit KdTree(const linalg::Matrix& data, std::size_t leaf_size = 16);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t dims() const noexcept { return d_; }
+
+  /// k nearest rows (ascending by distance), optionally excluding one index.
+  [[nodiscard]] std::vector<Neighbor> query(std::span<const float> point,
+                                            std::size_t k,
+                                            std::ptrdiff_t exclude = -1) const;
+
+  /// Distance (not squared) to the single nearest row.
+  [[nodiscard]] float nearest_distance(std::span<const float> point,
+                                       std::ptrdiff_t exclude = -1) const;
+
+ private:
+  struct Node {
+    std::size_t begin = 0;
+    std::size_t end = 0;           // leaf: points_[begin, end)
+    std::size_t split_dim = 0;
+    float split_val = 0.0f;
+    std::int32_t left = -1;        // children as node indices
+    std::int32_t right = -1;
+    [[nodiscard]] bool is_leaf() const noexcept { return left < 0; }
+  };
+
+  std::int32_t build(std::size_t begin, std::size_t end, std::size_t depth);
+  void search(std::size_t node, std::span<const float> point, std::size_t k,
+              std::ptrdiff_t exclude, std::vector<Neighbor>& heap) const;
+
+  std::size_t n_ = 0;
+  std::size_t d_ = 0;
+  std::size_t leaf_size_;
+  std::vector<float> points_;        // permuted row storage
+  std::vector<std::size_t> index_;   // permuted -> original row index
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace surro::knn

@@ -1,0 +1,4 @@
+// Matrix is header-only; this TU anchors the target so the build file stays
+// uniform (one .cpp per module) and gives a home for any future out-of-line
+// members.
+#include "linalg/matrix.hpp"

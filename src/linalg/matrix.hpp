@@ -1,0 +1,84 @@
+#pragma once
+// Row-major dense matrix of float. This is the tensor type of the NN engine:
+// a batch is (rows = batch size, cols = features). Kept deliberately small —
+// storage + shape + element access — with all kernels in linalg/ops.hpp so
+// they can be tested and benchmarked in isolation.
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace surro::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix from_rows(std::size_t rows, std::size_t cols,
+                          std::span<const float> values) {
+    assert(values.size() == rows * cols);
+    Matrix m(rows, cols);
+    std::copy(values.begin(), values.end(), m.data_.begin());
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] float& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] float operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<float> row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const float> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<float> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> flat() const noexcept { return data_; }
+
+  void fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+  void zero() noexcept { fill(0.0f); }
+
+  /// Reshape without reallocation; total size must match.
+  void reshape(std::size_t rows, std::size_t cols) noexcept {
+    assert(rows * cols == data_.size());
+    rows_ = rows;
+    cols_ = cols;
+  }
+
+  /// Resize (contents unspecified afterwards except new cells zeroed by
+  /// vector semantics only when growing; callers should fill).
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) noexcept {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace surro::linalg

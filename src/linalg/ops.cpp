@@ -1,0 +1,234 @@
+#include "linalg/ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/thread_pool.hpp"
+
+namespace surro::linalg {
+
+namespace {
+// Rows-per-task grain: GEMM over fewer rows than this stays serial.
+constexpr std::size_t kRowGrain = 16;
+}  // namespace
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.rows());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  if (out.rows() != m || out.cols() != n) out.resize(m, n);
+  out.zero();
+  util::parallel_for(
+      0, m,
+      [&](std::size_t lo, std::size_t hi) {
+        // i-k-j loop order: streams through b row-wise (cache friendly).
+        for (std::size_t i = lo; i < hi; ++i) {
+          float* out_row = out.data() + i * n;
+          const float* a_row = a.data() + i * k;
+          for (std::size_t p = 0; p < k; ++p) {
+            const float av = a_row[p];
+            if (av == 0.0f) continue;
+            const float* b_row = b.data() + p * n;
+            for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+          }
+        }
+      },
+      kRowGrain);
+}
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.cols());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.rows();
+  if (out.rows() != m || out.cols() != n) out.resize(m, n);
+  util::parallel_for(
+      0, m,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float* a_row = a.data() + i * k;
+          float* out_row = out.data() + i * n;
+          for (std::size_t j = 0; j < n; ++j) {
+            const float* b_row = b.data() + j * k;
+            float acc = 0.0f;
+            for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+            out_row[j] = acc;
+          }
+        }
+      },
+      kRowGrain);
+}
+
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.rows() == b.rows());
+  const std::size_t m = a.cols();
+  const std::size_t n = b.cols();
+  if (out.rows() != m || out.cols() != n) out.resize(m, n);
+  out.zero();
+  gemm_tn_acc(a, b, out);
+}
+
+void gemm_tn_acc(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.rows() == b.rows());
+  const std::size_t k = a.rows();
+  const std::size_t m = a.cols();
+  const std::size_t n = b.cols();
+  assert(out.rows() == m && out.cols() == n);
+  // Parallelize over output rows (columns of a) to avoid write conflicts.
+  util::parallel_for(
+      0, m,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t p = 0; p < k; ++p) {
+          const float* a_row = a.data() + p * m;
+          const float* b_row = b.data() + p * n;
+          for (std::size_t i = lo; i < hi; ++i) {
+            const float av = a_row[i];
+            if (av == 0.0f) continue;
+            float* out_row = out.data() + i * n;
+            for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+          }
+        }
+      },
+      kRowGrain);
+}
+
+void gemm_acc(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.rows());
+  assert(out.rows() == a.rows() && out.cols() == b.cols());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  util::parallel_for(
+      0, m,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          float* out_row = out.data() + i * n;
+          const float* a_row = a.data() + i * k;
+          for (std::size_t p = 0; p < k; ++p) {
+            const float av = a_row[p];
+            if (av == 0.0f) continue;
+            const float* b_row = b.data() + p * n;
+            for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+          }
+        }
+      },
+      kRowGrain);
+}
+
+void add_row_vector(Matrix& m, std::span<const float> bias) {
+  assert(bias.size() == m.cols());
+  const std::size_t n = m.cols();
+  util::parallel_for(
+      0, m.rows(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          float* row = m.data() + i * n;
+          for (std::size_t j = 0; j < n; ++j) row[j] += bias[j];
+        }
+      },
+      kRowGrain * 8);
+}
+
+void col_sums(const Matrix& m, std::span<float> out) {
+  assert(out.size() == m.cols());
+  std::fill(out.begin(), out.end(), 0.0f);
+  const std::size_t n = m.cols();
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) out[j] += row[j];
+  }
+}
+
+namespace {
+template <typename F>
+void elementwise(const Matrix& a, const Matrix& b, Matrix& out, F f) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  if (out.rows() != a.rows() || out.cols() != a.cols()) {
+    out.resize(a.rows(), a.cols());
+  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const std::size_t total = a.size();
+  for (std::size_t i = 0; i < total; ++i) po[i] = f(pa[i], pb[i]);
+}
+}  // namespace
+
+void add(const Matrix& a, const Matrix& b, Matrix& out) {
+  elementwise(a, b, out, [](float x, float y) { return x + y; });
+}
+void sub(const Matrix& a, const Matrix& b, Matrix& out) {
+  elementwise(a, b, out, [](float x, float y) { return x - y; });
+}
+void hadamard(const Matrix& a, const Matrix& b, Matrix& out) {
+  elementwise(a, b, out, [](float x, float y) { return x * y; });
+}
+
+void axpy(float alpha, const Matrix& x, Matrix& y) {
+  assert(x.rows() == y.rows() && x.cols() == y.cols());
+  const float* px = x.data();
+  float* py = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) py[i] += alpha * px[i];
+}
+
+void scale(Matrix& m, float alpha) {
+  for (float& v : m.flat()) v *= alpha;
+}
+
+void softmax_rows(Matrix& m, std::size_t col_begin, std::size_t col_end) {
+  assert(col_begin < col_end && col_end <= m.cols());
+  const std::size_t n = m.cols();
+  util::parallel_for(
+      0, m.rows(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          float* row = m.data() + i * n;
+          float peak = row[col_begin];
+          for (std::size_t j = col_begin + 1; j < col_end; ++j) {
+            peak = std::max(peak, row[j]);
+          }
+          float sum = 0.0f;
+          for (std::size_t j = col_begin; j < col_end; ++j) {
+            row[j] = std::exp(row[j] - peak);
+            sum += row[j];
+          }
+          for (std::size_t j = col_begin; j < col_end; ++j) row[j] /= sum;
+        }
+      },
+      kRowGrain * 8);
+}
+
+float frobenius_norm(const Matrix& m) noexcept {
+  double acc = 0.0;
+  for (const float v : m.flat()) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float mean_all(const Matrix& m) noexcept {
+  if (m.empty()) return 0.0f;
+  double acc = 0.0;
+  for (const float v : m.flat()) acc += v;
+  return static_cast<float>(acc / static_cast<double>(m.size()));
+}
+
+void copy_rows(const Matrix& src, std::size_t row_begin, std::size_t row_end,
+               Matrix& out) {
+  assert(row_begin <= row_end && row_end <= src.rows());
+  const std::size_t n = src.cols();
+  out.resize(row_end - row_begin, n);
+  std::copy(src.data() + row_begin * n, src.data() + row_end * n, out.data());
+}
+
+void gather_rows(const Matrix& src, std::span<const std::size_t> indices,
+                 Matrix& out) {
+  const std::size_t n = src.cols();
+  out.resize(indices.size(), n);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] < src.rows());
+    std::copy_n(src.data() + indices[i] * n, n, out.data() + i * n);
+  }
+}
+
+}  // namespace surro::linalg

@@ -1,0 +1,52 @@
+#pragma once
+// Dense kernels for the NN engine. GEMM variants are cache-blocked and run on
+// the global thread pool; everything takes explicit output matrices so the
+// training loop can reuse buffers and stay allocation-free in steady state.
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace surro::linalg {
+
+/// out = a * b.           a: (m,k)  b: (k,n)  out: (m,n)
+void gemm(const Matrix& a, const Matrix& b, Matrix& out);
+/// out = a * b^T.         a: (m,k)  b: (n,k)  out: (m,n)
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& out);
+/// out = a^T * b.         a: (k,m)  b: (k,n)  out: (m,n)
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out += a * b (accumulating variants used by gradient accumulation).
+void gemm_acc(const Matrix& a, const Matrix& b, Matrix& out);
+void gemm_tn_acc(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Broadcast-add a row vector (bias) to every row of m.
+void add_row_vector(Matrix& m, std::span<const float> bias);
+/// Column sums of m accumulated into out (size = cols).
+void col_sums(const Matrix& m, std::span<float> out);
+
+/// Elementwise out = a + b / a - b / a ⊙ b (shapes must match).
+void add(const Matrix& a, const Matrix& b, Matrix& out);
+void sub(const Matrix& a, const Matrix& b, Matrix& out);
+void hadamard(const Matrix& a, const Matrix& b, Matrix& out);
+/// In-place axpy over the flat storage: y += alpha * x.
+void axpy(float alpha, const Matrix& x, Matrix& y);
+/// In-place scale.
+void scale(Matrix& m, float alpha);
+
+/// Row-wise softmax over a column slice [col_begin, col_end) of m, in place.
+/// Used for per-categorical-block softmax heads.
+void softmax_rows(Matrix& m, std::size_t col_begin, std::size_t col_end);
+
+/// Frobenius norm and mean of all elements.
+[[nodiscard]] float frobenius_norm(const Matrix& m) noexcept;
+[[nodiscard]] float mean_all(const Matrix& m) noexcept;
+
+/// Copy a contiguous block of rows [row_begin, row_end) into `out`.
+void copy_rows(const Matrix& src, std::size_t row_begin, std::size_t row_end,
+               Matrix& out);
+/// Gather rows by index list into `out` (out resized to match).
+void gather_rows(const Matrix& src, std::span<const std::size_t> indices,
+                 Matrix& out);
+
+}  // namespace surro::linalg

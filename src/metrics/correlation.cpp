@@ -1,0 +1,151 @@
+#include "metrics/correlation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace surro::metrics {
+
+double correlation_ratio(std::span<const std::int32_t> codes,
+                         std::span<const double> values,
+                         std::size_t cardinality) {
+  if (codes.size() != values.size()) {
+    throw std::invalid_argument("correlation_ratio: length mismatch");
+  }
+  if (codes.empty()) return 0.0;
+  std::vector<double> sums(cardinality, 0.0);
+  std::vector<double> counts(cardinality, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const auto c = static_cast<std::size_t>(codes[i]);
+    sums[c] += values[i];
+    counts[c] += 1.0;
+    total += values[i];
+  }
+  const double grand_mean = total / static_cast<double>(values.size());
+  double between = 0.0;
+  for (std::size_t c = 0; c < cardinality; ++c) {
+    if (counts[c] > 0.0) {
+      const double mean_c = sums[c] / counts[c];
+      between += counts[c] * (mean_c - grand_mean) * (mean_c - grand_mean);
+    }
+  }
+  double total_var = 0.0;
+  for (const double v : values) {
+    total_var += (v - grand_mean) * (v - grand_mean);
+  }
+  if (total_var <= 0.0) return 0.0;
+  return std::sqrt(between / total_var);
+}
+
+namespace {
+double entropy_from_counts(std::span<const double> counts, double total) {
+  double h = 0.0;
+  for (const double c : counts) {
+    if (c > 0.0) {
+      const double p = c / total;
+      h -= p * std::log(p);
+    }
+  }
+  return h;
+}
+}  // namespace
+
+double theils_u(std::span<const std::int32_t> x, std::size_t card_x,
+                std::span<const std::int32_t> y, std::size_t card_y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("theils_u: length mismatch");
+  }
+  if (x.empty()) return 0.0;
+  const auto n = static_cast<double>(x.size());
+
+  std::vector<double> cx(card_x, 0.0);
+  std::vector<double> cy(card_y, 0.0);
+  std::vector<double> joint(card_x * card_y, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto a = static_cast<std::size_t>(x[i]);
+    const auto b = static_cast<std::size_t>(y[i]);
+    cx[a] += 1.0;
+    cy[b] += 1.0;
+    joint[a * card_y + b] += 1.0;
+  }
+  const double hx = entropy_from_counts(cx, n);
+  if (hx <= 0.0) return 1.0;  // x is constant: trivially predictable
+  // H(x|y) = Σ_y p(y) H(x|Y=y).
+  double hxy = 0.0;
+  for (std::size_t b = 0; b < card_y; ++b) {
+    if (cy[b] <= 0.0) continue;
+    double h = 0.0;
+    for (std::size_t a = 0; a < card_x; ++a) {
+      const double c = joint[a * card_y + b];
+      if (c > 0.0) {
+        const double p = c / cy[b];
+        h -= p * std::log(p);
+      }
+    }
+    hxy += (cy[b] / n) * h;
+  }
+  return (hx - hxy) / hx;
+}
+
+AssociationMatrix association_matrix(const tabular::Table& table) {
+  const auto& schema = table.schema();
+  const std::size_t n = schema.num_columns();
+  AssociationMatrix out;
+  out.n = n;
+  out.values.assign(n * n, 0.0);
+
+  const auto kind = [&schema](std::size_t c) {
+    return schema.column(c).kind;
+  };
+  using tabular::ColumnKind;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double v = 0.0;
+      if (i == j) {
+        v = 1.0;
+      } else if (kind(i) == ColumnKind::kNumerical &&
+                 kind(j) == ColumnKind::kNumerical) {
+        v = util::pearson(table.numerical(i), table.numerical(j));
+      } else if (kind(i) == ColumnKind::kCategorical &&
+                 kind(j) == ColumnKind::kCategorical) {
+        v = theils_u(table.categorical(i), table.cardinality(i),
+                     table.categorical(j), table.cardinality(j));
+      } else if (kind(i) == ColumnKind::kCategorical) {
+        v = correlation_ratio(table.categorical(i), table.numerical(j),
+                              table.cardinality(i));
+      } else {
+        v = correlation_ratio(table.categorical(j), table.numerical(i),
+                              table.cardinality(j));
+      }
+      out.values[i * n + j] = v;
+    }
+  }
+  return out;
+}
+
+double diff_corr(const AssociationMatrix& a, const AssociationMatrix& b) {
+  if (a.n != b.n) throw std::invalid_argument("diff_corr: size mismatch");
+  if (a.n == 0) return 0.0;
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < a.n; ++i) {
+    for (std::size_t j = 0; j < a.n; ++j) {
+      if (i == j) continue;  // diagonal is identically 1
+      const double d = a.values[i * a.n + j] - b.values[i * a.n + j];
+      acc += d * d;
+      ++count;
+    }
+  }
+  return std::sqrt(acc / static_cast<double>(count));
+}
+
+double diff_corr(const tabular::Table& real, const tabular::Table& synthetic) {
+  if (!(real.schema() == synthetic.schema())) {
+    throw std::invalid_argument("diff_corr: schema mismatch");
+  }
+  return diff_corr(association_matrix(real), association_matrix(synthetic));
+}
+
+}  // namespace surro::metrics

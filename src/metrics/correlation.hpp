@@ -1,0 +1,47 @@
+#pragma once
+// Pairwise association matrix over mixed-type columns (the paper's Fig. 5):
+//   numerical–numerical:    Pearson correlation            ∈ [−1, 1]
+//   categorical–numerical:  correlation ratio η            ∈ [0, 1]
+//   categorical–categorical: Theil's U (uncertainty coeff.) ∈ [0, 1]
+// Theil's U is asymmetric — entry (i, j) is U(column_i | column_j) — which
+// matches the matrix the paper plots. diff-CORR is the RMS of the
+// element-wise difference between the real and synthetic matrices.
+
+#include <vector>
+
+#include "tabular/table.hpp"
+
+namespace surro::metrics {
+
+/// η(categorical, numerical): fraction of the numerical variance explained
+/// by the grouping (square root of the variance ratio).
+[[nodiscard]] double correlation_ratio(std::span<const std::int32_t> codes,
+                                       std::span<const double> values,
+                                       std::size_t cardinality);
+
+/// Theil's U(x|y): how predictable x is from y; 0 = independent,
+/// 1 = fully determined.
+[[nodiscard]] double theils_u(std::span<const std::int32_t> x,
+                              std::size_t card_x,
+                              std::span<const std::int32_t> y,
+                              std::size_t card_y);
+
+/// Full N×N association matrix in schema column order.
+struct AssociationMatrix {
+  std::size_t n = 0;
+  std::vector<double> values;  // row-major
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const {
+    return values[i * n + j];
+  }
+};
+
+[[nodiscard]] AssociationMatrix association_matrix(
+    const tabular::Table& table);
+
+/// RMS of the element-wise difference — the Table I "diff-CORR" column.
+[[nodiscard]] double diff_corr(const AssociationMatrix& a,
+                               const AssociationMatrix& b);
+[[nodiscard]] double diff_corr(const tabular::Table& real,
+                               const tabular::Table& synthetic);
+
+}  // namespace surro::metrics

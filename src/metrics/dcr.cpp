@@ -1,0 +1,149 @@
+#include "metrics/dcr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "preprocess/scalers.hpp"
+#include "util/mathx.hpp"
+#include "util/thread_pool.hpp"
+
+namespace surro::metrics {
+
+namespace {
+
+// Flattened mixed representation for the sweep: per row, m scaled
+// numericals followed by k category ids (label-aligned across tables).
+struct Flattened {
+  std::size_t rows = 0;
+  std::size_t m = 0;  // numericals
+  std::size_t k = 0;  // categoricals
+  std::vector<float> num;          // rows × m
+  std::vector<std::int32_t> cat;   // rows × k
+};
+
+std::vector<std::size_t> strided_subset(std::size_t n, std::size_t cap) {
+  std::vector<std::size_t> idx;
+  if (cap == 0 || cap >= n) {
+    idx.resize(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    return idx;
+  }
+  idx.reserve(cap);
+  const double step = static_cast<double>(n) / static_cast<double>(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    idx.push_back(static_cast<std::size_t>(static_cast<double>(i) * step));
+  }
+  return idx;
+}
+
+Flattened flatten(const tabular::Table& t,
+                  const std::vector<preprocess::MinMaxScaler>& scalers,
+                  const std::vector<std::size_t>& num_cols,
+                  const std::vector<std::size_t>& cat_cols,
+                  const std::vector<std::unordered_map<std::string,
+                                                       std::int32_t>>& label_ids,
+                  const std::vector<std::size_t>& rows) {
+  Flattened f;
+  f.rows = rows.size();
+  f.m = num_cols.size();
+  f.k = cat_cols.size();
+  f.num.resize(f.rows * f.m);
+  f.cat.resize(f.rows * f.k);
+  for (std::size_t c = 0; c < f.m; ++c) {
+    const auto col = t.numerical(num_cols[c]);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      f.num[r * f.m + c] =
+          static_cast<float>(scalers[c].transform_one(col[rows[r]]));
+    }
+  }
+  for (std::size_t c = 0; c < f.k; ++c) {
+    const auto codes = t.categorical(cat_cols[c]);
+    const auto& vocab = t.vocabulary(cat_cols[c]);
+    const auto& ids = label_ids[c];
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const auto& label = vocab[static_cast<std::size_t>(codes[rows[r]])];
+      const auto it = ids.find(label);
+      // Unseen labels get a sentinel that never matches train labels.
+      f.cat[r * f.k + c] = it == ids.end() ? -1 : it->second;
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+std::vector<double> dcr_distances(const tabular::Table& train,
+                                  const tabular::Table& synthetic,
+                                  const DcrConfig& cfg) {
+  if (!(train.schema() == synthetic.schema())) {
+    throw std::invalid_argument("dcr: schema mismatch");
+  }
+  if (train.num_rows() == 0 || synthetic.num_rows() == 0) {
+    throw std::invalid_argument("dcr: empty table");
+  }
+  const auto num_cols = train.schema().numerical_indices();
+  const auto cat_cols = train.schema().categorical_indices();
+
+  std::vector<preprocess::MinMaxScaler> scalers(num_cols.size());
+  for (std::size_t c = 0; c < num_cols.size(); ++c) {
+    scalers[c].fit(train.numerical(num_cols[c]));
+  }
+  // Label-id maps from the training vocabularies.
+  std::vector<std::unordered_map<std::string, std::int32_t>> label_ids(
+      cat_cols.size());
+  for (std::size_t c = 0; c < cat_cols.size(); ++c) {
+    const auto& vocab = train.vocabulary(cat_cols[c]);
+    for (std::size_t v = 0; v < vocab.size(); ++v) {
+      label_ids[c].emplace(vocab[v], static_cast<std::int32_t>(v));
+    }
+  }
+
+  const auto train_rows = strided_subset(train.num_rows(),
+                                         cfg.max_train_rows);
+  const auto synth_rows = strided_subset(synthetic.num_rows(),
+                                         cfg.max_synth_rows);
+  const Flattened ft =
+      flatten(train, scalers, num_cols, cat_cols, label_ids, train_rows);
+  const Flattened fs =
+      flatten(synthetic, scalers, num_cols, cat_cols, label_ids, synth_rows);
+
+  std::vector<double> out(fs.rows, 0.0);
+  const std::size_t m = ft.m;
+  const std::size_t k = ft.k;
+  util::parallel_for(
+      0, fs.rows,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t q = lo; q < hi; ++q) {
+          const float* qn = fs.num.data() + q * m;
+          const std::int32_t* qc = fs.cat.data() + q * k;
+          float best = 1e30f;
+          for (std::size_t r = 0; r < ft.rows; ++r) {
+            const float* rn = ft.num.data() + r * m;
+            const std::int32_t* rc = ft.cat.data() + r * k;
+            float d = 0.0f;
+            for (std::size_t c = 0; c < m; ++c) {
+              const float diff = qn[c] - rn[c];
+              d += diff * diff;
+            }
+            if (d >= best) continue;
+            for (std::size_t c = 0; c < k; ++c) {
+              d += qc[c] == rc[c] ? 0.0f : 1.0f;
+              if (d >= best) break;
+            }
+            best = std::min(best, d);
+          }
+          out[q] = std::sqrt(static_cast<double>(best));
+        }
+      },
+      /*grain=*/8);
+  return out;
+}
+
+double mean_dcr(const tabular::Table& train, const tabular::Table& synthetic,
+                const DcrConfig& cfg) {
+  const auto d = dcr_distances(train, synthetic, cfg);
+  return util::mean(d);
+}
+
+}  // namespace surro::metrics

@@ -1,0 +1,77 @@
+#include "metrics/jsd.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "tabular/stats.hpp"
+#include "util/mathx.hpp"
+
+namespace surro::metrics {
+
+double jensen_shannon(std::span<const double> p, std::span<const double> q) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("jsd: length mismatch");
+  }
+  const double log2e = 1.0 / std::log(2.0);
+  double jsd = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double m = 0.5 * (p[i] + q[i]);
+    if (p[i] > 0.0) jsd += 0.5 * p[i] * std::log(p[i] / m) * log2e;
+    if (q[i] > 0.0) jsd += 0.5 * q[i] * std::log(q[i] / m) * log2e;
+  }
+  return jsd;
+}
+
+double column_jsd(const tabular::Table& real, const tabular::Table& synthetic,
+                  std::size_t column) {
+  // Align by label: union of both vocabularies.
+  std::unordered_map<std::string, std::size_t> labels;
+  const auto intern = [&labels](const std::string& s) {
+    return labels.emplace(s, labels.size()).first->second;
+  };
+  const auto real_freq = tabular::category_frequencies(real, column);
+  const auto synth_freq = tabular::category_frequencies(synthetic, column);
+  const auto& rv = real.vocabulary(column);
+  const auto& sv = synthetic.vocabulary(column);
+
+  std::vector<double> p;
+  std::vector<double> q;
+  const auto ensure = [&p, &q](std::size_t idx) {
+    if (idx >= p.size()) {
+      p.resize(idx + 1, 0.0);
+      q.resize(idx + 1, 0.0);
+    }
+  };
+  for (std::size_t c = 0; c < rv.size(); ++c) {
+    const std::size_t idx = intern(rv[c]);
+    ensure(idx);
+    p[idx] += real_freq[c];
+  }
+  for (std::size_t c = 0; c < sv.size(); ++c) {
+    const std::size_t idx = intern(sv[c]);
+    ensure(idx);
+    q[idx] += synth_freq[c];
+  }
+  return jensen_shannon(p, q);
+}
+
+std::vector<double> per_feature_jsd(const tabular::Table& real,
+                                    const tabular::Table& synthetic) {
+  if (!(real.schema() == synthetic.schema())) {
+    throw std::invalid_argument("jsd: schema mismatch");
+  }
+  std::vector<double> out;
+  for (const std::size_t col : real.schema().categorical_indices()) {
+    out.push_back(column_jsd(real, synthetic, col));
+  }
+  return out;
+}
+
+double mean_jsd(const tabular::Table& real, const tabular::Table& synthetic) {
+  const auto per = per_feature_jsd(real, synthetic);
+  if (per.empty()) return 0.0;
+  return util::mean(per);
+}
+
+}  // namespace surro::metrics

@@ -1,0 +1,33 @@
+#pragma once
+// Jensen–Shannon divergence between categorical marginals — the paper's
+// per-categorical-feature fidelity metric. Distributions are aligned by
+// *label* (not code), so tables with differently-ordered vocabularies
+// compare correctly. Base-2 logarithm, so JSD ∈ [0, 1].
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tabular/table.hpp"
+
+namespace surro::metrics {
+
+/// JSD between two discrete distributions given as aligned probability
+/// vectors (each must sum to ~1; zero-mass entries are fine).
+[[nodiscard]] double jensen_shannon(std::span<const double> p,
+                                    std::span<const double> q);
+
+/// Label-aligned JSD of one categorical column.
+[[nodiscard]] double column_jsd(const tabular::Table& real,
+                                const tabular::Table& synthetic,
+                                std::size_t column);
+
+/// Per-categorical-column JSD, schema order.
+[[nodiscard]] std::vector<double> per_feature_jsd(
+    const tabular::Table& real, const tabular::Table& synthetic);
+
+/// Mean of per_feature_jsd — the Table I "JSD" column.
+[[nodiscard]] double mean_jsd(const tabular::Table& real,
+                              const tabular::Table& synthetic);
+
+}  // namespace surro::metrics

@@ -1,0 +1,35 @@
+#include "metrics/mlef.hpp"
+
+#include <cmath>
+
+namespace surro::metrics {
+
+tabular::Table with_log_target(const tabular::Table& table,
+                               const MlefConfig& cfg) {
+  // Whole-table copy via row selection, then transform in place.
+  std::vector<std::size_t> all(table.num_rows());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  tabular::Table out = table.select_rows(all);
+  if (cfg.log_target) {
+    const std::size_t col = out.schema().index_of(cfg.target_column);
+    for (double& v : out.numerical_mut(col)) {
+      v = std::log1p(std::max(v, 0.0));
+    }
+  }
+  return out;
+}
+
+double mlef_mse(const tabular::Table& train_like, const tabular::Table& test,
+                const MlefConfig& cfg) {
+  const tabular::Table train_t = with_log_target(train_like, cfg);
+  const tabular::Table test_t = with_log_target(test, cfg);
+  gbdt::GbdtRegressor model(cfg.boosting);
+  model.fit(train_t, cfg.target_column);
+  return model.mse(test_t);
+}
+
+double diff_mlef(double synthetic_mse, double train_mse) {
+  return synthetic_mse - train_mse;
+}
+
+}  // namespace surro::metrics

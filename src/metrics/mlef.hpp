@@ -1,0 +1,37 @@
+#pragma once
+// Machine Learning Efficacy (MLEF): train the CatBoost-substitute regressor
+// on a (real or synthetic) training table to predict log-workload, then
+// measure MSE on the held-out real test set. diff-MLEF is the synthetic
+// model's MSE minus the real-train model's MSE — ≈ 0 means synthetic data
+// carries the same predictive information as the real data (Sec. IV-B(c)).
+
+#include <string>
+
+#include "gbdt/boosting.hpp"
+#include "tabular/table.hpp"
+
+namespace surro::metrics {
+
+struct MlefConfig {
+  std::string target_column = "workload";
+  /// Natural-log transform of the target (paper: log to stabilize scale).
+  bool log_target = true;
+  gbdt::BoostingConfig boosting{};
+};
+
+/// A copy of `table` with the target column replaced by log1p(target)
+/// (identity when log_target is false).
+[[nodiscard]] tabular::Table with_log_target(const tabular::Table& table,
+                                             const MlefConfig& cfg);
+
+/// MSE on `test` of a regressor trained on `train_like` (either real train
+/// or synthetic data). Both tables get the same target transform.
+[[nodiscard]] double mlef_mse(const tabular::Table& train_like,
+                              const tabular::Table& test,
+                              const MlefConfig& cfg = {});
+
+/// diff-MLEF := MLEF(synthetic) − MLEF(real train). The real-train MLEF can
+/// be precomputed once and passed in to score several generators.
+[[nodiscard]] double diff_mlef(double synthetic_mse, double train_mse);
+
+}  // namespace surro::metrics

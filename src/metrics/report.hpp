@@ -1,0 +1,30 @@
+#pragma once
+// Scorecard assembly and ASCII rendering of the Table I comparison.
+
+#include <string>
+#include <vector>
+
+namespace surro::metrics {
+
+struct ModelScore {
+  std::string model;
+  double wd = 0.0;         // lower better
+  double jsd = 0.0;        // lower better
+  double diff_corr = 0.0;  // lower better
+  double dcr = 0.0;        // higher better
+  double diff_mlef = 0.0;  // lower better
+};
+
+/// Render the Table I layout (column headers with ↓/↑ direction markers).
+[[nodiscard]] std::string render_table1(const std::vector<ModelScore>& rows);
+
+/// CSV form for downstream plotting.
+[[nodiscard]] std::string scores_to_csv(const std::vector<ModelScore>& rows);
+
+/// Consistency checks of the paper's qualitative findings against a set of
+/// measured scores; returns human-readable pass/fail lines (used by the
+/// experiment harness and integration tests).
+[[nodiscard]] std::vector<std::string> check_paper_shape(
+    const std::vector<ModelScore>& rows);
+
+}  // namespace surro::metrics

@@ -1,0 +1,67 @@
+#include "metrics/wasserstein.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "preprocess/scalers.hpp"
+#include "util/mathx.hpp"
+
+namespace surro::metrics {
+
+double wasserstein1(std::span<const double> x, std::span<const double> y) {
+  if (x.empty() || y.empty()) {
+    throw std::invalid_argument("wasserstein1: empty sample");
+  }
+  std::vector<double> xs(x.begin(), x.end());
+  std::vector<double> ys(y.begin(), y.end());
+  std::sort(xs.begin(), xs.end());
+  std::sort(ys.begin(), ys.end());
+
+  const std::size_t n = xs.size();
+  const std::size_t 	m = ys.size();
+  // Walk the merged staircase of the two quantile functions. At any point,
+  // the current quantile segment value is |xs[i] - ys[j]|; segments end at
+  // (i+1)/n or (j+1)/m, whichever is smaller. Compare as exact rationals.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double w = 0.0;
+  double u_prev = 0.0;
+  while (i < n && j < m) {
+    const double u_i = static_cast<double>(i + 1) / static_cast<double>(n);
+    const double u_j = static_cast<double>(j + 1) / static_cast<double>(m);
+    const unsigned long long lhs = static_cast<unsigned long long>(i + 1) * m;
+    const unsigned long long rhs = static_cast<unsigned long long>(j + 1) * n;
+    const double u = std::min(u_i, u_j);
+    w += (u - u_prev) * std::abs(xs[i] - ys[j]);
+    u_prev = u;
+    if (lhs <= rhs) ++i;
+    if (rhs <= lhs) ++j;
+  }
+  return w;
+}
+
+std::vector<double> per_feature_wasserstein(const tabular::Table& real,
+                                            const tabular::Table& synthetic) {
+  if (!(real.schema() == synthetic.schema())) {
+    throw std::invalid_argument("wasserstein: schema mismatch");
+  }
+  std::vector<double> out;
+  for (const std::size_t col : real.schema().numerical_indices()) {
+    preprocess::MinMaxScaler scaler;
+    scaler.fit(real.numerical(col));
+    const auto rx = scaler.transform(real.numerical(col));
+    const auto sx = scaler.transform(synthetic.numerical(col));
+    out.push_back(wasserstein1(rx, sx));
+  }
+  return out;
+}
+
+double mean_wasserstein(const tabular::Table& real,
+                        const tabular::Table& synthetic) {
+  const auto per = per_feature_wasserstein(real, synthetic);
+  if (per.empty()) return 0.0;
+  return util::mean(per);
+}
+
+}  // namespace surro::metrics

@@ -1,0 +1,273 @@
+#include "models/ctabgan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/losses.hpp"
+#include "util/logging.hpp"
+
+namespace surro::models {
+
+namespace {
+/// Concatenate two matrices column-wise into out (same row count).
+void hconcat(const linalg::Matrix& a, const linalg::Matrix& b,
+             linalg::Matrix& out) {
+  const std::size_t rows = a.rows();
+  out.resize(rows, a.cols() + b.cols());
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::copy_n(a.data() + r * a.cols(), a.cols(),
+                out.data() + r * out.cols());
+    std::copy_n(b.data() + r * b.cols(), b.cols(),
+                out.data() + r * out.cols() + a.cols());
+  }
+}
+}  // namespace
+
+CtabganPlus::CtabganPlus(CtabganConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+void CtabganPlus::draw_conditions(util::Rng& rng, std::size_t batch,
+                                  std::vector<Condition>& out) const {
+  out.resize(batch);
+  for (auto& c : out) {
+    c.block = static_cast<std::size_t>(
+        rng.uniform_index(category_log_freq_.size()));
+    c.category = rng.categorical(category_log_freq_[c.block]);
+  }
+}
+
+void CtabganPlus::conditions_to_matrix(const std::vector<Condition>& conds,
+                                       linalg::Matrix& out) const {
+  out.resize(conds.size(), cond_width_);
+  out.zero();
+  const auto& blocks = encoder_.blocks();
+  const std::size_t base = encoder_.num_numerical();
+  for (std::size_t i = 0; i < conds.size(); ++i) {
+    const auto& b = blocks[conds[i].block];
+    out(i, b.offset - base + conds[i].category) = 1.0f;
+  }
+}
+
+const linalg::Matrix& CtabganPlus::generator_forward(
+    const linalg::Matrix& z_cond, util::Rng& rng, bool train) {
+  const linalg::Matrix& raw = gen_.forward(z_cond, train);
+  head_out_ = raw;
+  // Gumbel-softmax per categorical block; numerical slice passes through.
+  const float tau = cfg_.gumbel_tau;
+  for (const auto& b : encoder_.blocks()) {
+    for (std::size_t r = 0; r < head_out_.rows(); ++r) {
+      float* row = head_out_.data() + r * head_out_.cols() + b.offset;
+      float peak = -1e30f;
+      for (std::size_t j = 0; j < b.cardinality; ++j) {
+        const double u = std::max(rng.uniform(), 1e-12);
+        const float g = static_cast<float>(-std::log(-std::log(u)));
+        row[j] = (row[j] + g) / tau;
+        peak = std::max(peak, row[j]);
+      }
+      float denom = 0.0f;
+      for (std::size_t j = 0; j < b.cardinality; ++j) {
+        row[j] = std::exp(row[j] - peak);
+        denom += row[j];
+      }
+      for (std::size_t j = 0; j < b.cardinality; ++j) row[j] /= denom;
+    }
+  }
+  return head_out_;
+}
+
+void CtabganPlus::generator_backward(const linalg::Matrix& grad_soft) {
+  // Chain dL/d(soft) through each block's softmax (the Gumbel noise is an
+  // additive constant, the temperature a fixed scale).
+  head_grad_ = grad_soft;
+  const float inv_tau = 1.0f / cfg_.gumbel_tau;
+  for (const auto& b : encoder_.blocks()) {
+    for (std::size_t r = 0; r < head_grad_.rows(); ++r) {
+      const float* p = head_out_.data() + r * head_out_.cols() + b.offset;
+      float* g = head_grad_.data() + r * head_grad_.cols() + b.offset;
+      float dot = 0.0f;
+      for (std::size_t j = 0; j < b.cardinality; ++j) dot += p[j] * g[j];
+      for (std::size_t j = 0; j < b.cardinality; ++j) {
+        g[j] = inv_tau * p[j] * (g[j] - dot);
+      }
+    }
+  }
+  gen_.backward(head_grad_);
+}
+
+void CtabganPlus::fit(const tabular::Table& train) {
+  if (fitted_) throw std::logic_error("ctabgan: fit called twice");
+  encoder_.fit(train, cfg_.num_quantiles);
+  const std::size_t width = encoder_.encoded_width();
+  const auto& blocks = encoder_.blocks();
+  if (blocks.empty()) {
+    throw std::invalid_argument("ctabgan: needs categorical columns");
+  }
+  cond_width_ = width - encoder_.num_numerical();
+
+  gen_ = nn::make_mlp(cfg_.noise_dim + cond_width_, cfg_.gen_hidden, width,
+                      nn::Activation::kReLU, rng_);
+  disc_ = nn::make_mlp(width + cond_width_, cfg_.disc_hidden, 1,
+                       nn::Activation::kLeakyReLU, rng_);
+
+  // Training-by-sampling tables.
+  rows_by_category_.assign(blocks.size(), {});
+  category_log_freq_.assign(blocks.size(), {});
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const auto codes = train.categorical(blocks[bi].column);
+    rows_by_category_[bi].assign(blocks[bi].cardinality, {});
+    for (std::size_t r = 0; r < codes.size(); ++r) {
+      rows_by_category_[bi][static_cast<std::size_t>(codes[r])].push_back(r);
+    }
+    category_log_freq_[bi].assign(blocks[bi].cardinality, 0.0);
+    for (std::size_t c = 0; c < blocks[bi].cardinality; ++c) {
+      category_log_freq_[bi][c] =
+          std::log1p(static_cast<double>(rows_by_category_[bi][c].size()));
+    }
+  }
+
+  const linalg::Matrix data = encoder_.encode(train);
+  const std::size_t n = data.rows();
+  const std::size_t batch = std::min<std::size_t>(cfg_.budget.batch_size, n);
+  const std::size_t steps_per_epoch = (n + batch - 1) / batch;
+  const std::size_t total_steps = cfg_.budget.epochs * steps_per_epoch;
+
+  nn::Adam g_opt(cfg_.budget.learning_rate, 0.5f, 0.9f);
+  g_opt.add_params(gen_.params());
+  nn::Adam d_opt(cfg_.budget.learning_rate, 0.5f, 0.9f);
+  d_opt.add_params(disc_.params());
+  const nn::CosineSchedule schedule(cfg_.budget.learning_rate, total_steps);
+
+  std::vector<Condition> conds;
+  linalg::Matrix cond_mat;
+  linalg::Matrix z(batch, cfg_.noise_dim);
+  linalg::Matrix z_cond;
+  linalg::Matrix real(batch, width);
+  linalg::Matrix real_cond;
+  linalg::Matrix fake_cond;
+  linalg::Matrix grad_real;
+  linalg::Matrix grad_fake;
+  linalg::Matrix grad_gen_head;
+
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    const float lr = schedule.at(step);
+    g_opt.set_learning_rate(lr);
+    d_opt.set_learning_rate(lr);
+
+    for (std::size_t d_iter = 0; d_iter < cfg_.disc_steps_per_gen; ++d_iter) {
+      // --- Discriminator step -------------------------------------------
+      draw_conditions(rng_, batch, conds);
+      conditions_to_matrix(conds, cond_mat);
+
+      // Real rows matching the conditions.
+      real.resize(batch, width);
+      for (std::size_t i = 0; i < batch; ++i) {
+        const auto& pool =
+            rows_by_category_[conds[i].block][conds[i].category];
+        const std::size_t row =
+            pool.empty()
+                ? static_cast<std::size_t>(rng_.uniform_index(n))
+                : pool[rng_.uniform_index(pool.size())];
+        std::copy_n(data.data() + row * width, width,
+                    real.data() + i * width);
+      }
+
+      // Fake rows under the same conditions.
+      z.resize(batch, cfg_.noise_dim);
+      for (float& v : z.flat()) v = static_cast<float>(rng_.normal());
+      hconcat(z, cond_mat, z_cond);
+      const linalg::Matrix fake = generator_forward(z_cond, rng_, true);
+
+      hconcat(real, cond_mat, real_cond);
+      const linalg::Matrix real_logits = disc_.forward(real_cond, true);
+      linalg::Matrix real_logits_copy = real_logits;
+      hconcat(fake, cond_mat, fake_cond);
+      const linalg::Matrix& fake_logits = disc_.forward(fake_cond, true);
+
+      last_d_ = nn::gan_discriminator_loss(real_logits_copy, fake_logits,
+                                           grad_real, grad_fake,
+                                           cfg_.label_smoothing);
+      // Two separate passes share cached activations only for the last
+      // forward, so backprop each half in its own forward/backward pair.
+      disc_.backward(grad_fake);
+      disc_.forward(real_cond, true);
+      disc_.backward(grad_real);
+      d_opt.clip_grad_norm(cfg_.grad_clip);
+      d_opt.step();
+    }
+
+    // --- Generator step ---------------------------------------------------
+    draw_conditions(rng_, batch, conds);
+    conditions_to_matrix(conds, cond_mat);
+    z.resize(batch, cfg_.noise_dim);
+    for (float& v : z.flat()) v = static_cast<float>(rng_.normal());
+    hconcat(z, cond_mat, z_cond);
+    const linalg::Matrix& fake = generator_forward(z_cond, rng_, true);
+
+    hconcat(fake, cond_mat, fake_cond);
+    const linalg::Matrix& fake_logits = disc_.forward(fake_cond, true);
+    linalg::Matrix grad_logits;
+    const float g_loss = nn::gan_generator_loss(fake_logits, grad_logits);
+    const linalg::Matrix& grad_disc_in = disc_.backward(grad_logits);
+
+    // Slice off the gradient w.r.t. the generated row (drop cond columns),
+    // and add the auxiliary condition cross-entropy on the selected block.
+    grad_gen_head.resize(batch, width);
+    for (std::size_t r = 0; r < batch; ++r) {
+      std::copy_n(grad_disc_in.data() + r * (width + cond_width_), width,
+                  grad_gen_head.data() + r * width);
+    }
+    float cond_ce = 0.0f;
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+    for (std::size_t r = 0; r < batch; ++r) {
+      const auto& b = encoder_.blocks()[conds[r].block];
+      const float* p = fake.data() + r * width + b.offset;
+      float* g = grad_gen_head.data() + r * width + b.offset;
+      const float p_target = std::max(p[conds[r].category], 1e-6f);
+      cond_ce -= std::log(p_target) * inv_batch;
+      // d(-log p_c)/dp_j = -1/p_c at j=c else 0.
+      g[conds[r].category] -=
+          cfg_.cond_loss_weight * inv_batch / p_target;
+    }
+    generator_backward(grad_gen_head);
+    g_opt.clip_grad_norm(cfg_.grad_clip);
+    g_opt.step();
+    // The generator pass accumulated gradients into D as a side effect.
+    disc_.zero_grad();
+    last_g_ = g_loss + cfg_.cond_loss_weight * cond_ce;
+
+    if (cfg_.budget.log_every_epochs > 0 &&
+        (step + 1) % (cfg_.budget.log_every_epochs * steps_per_epoch) == 0) {
+      util::log_info("ctabgan: step %zu/%zu d_loss %.4f g_loss %.4f",
+                     step + 1, total_steps, static_cast<double>(last_d_),
+                     static_cast<double>(last_g_));
+    }
+  }
+  fitted_ = true;
+}
+
+tabular::Table CtabganPlus::sample(std::size_t n, std::uint64_t seed) {
+  if (!fitted_) throw std::logic_error("ctabgan: sample before fit");
+  util::Rng rng(seed);
+  tabular::Table out = encoder_.make_empty_table();
+  const std::size_t width = encoder_.encoded_width();
+  const std::size_t chunk = 2048;
+
+  std::vector<Condition> conds;
+  linalg::Matrix cond_mat;
+  linalg::Matrix z;
+  linalg::Matrix z_cond;
+  for (std::size_t off = 0; off < n; off += chunk) {
+    const std::size_t cur = std::min(chunk, n - off);
+    draw_conditions(rng, cur, conds);
+    conditions_to_matrix(conds, cond_mat);
+    z.resize(cur, cfg_.noise_dim);
+    for (float& v : z.flat()) v = static_cast<float>(rng.normal());
+    hconcat(z, cond_mat, z_cond);
+    linalg::Matrix soft = generator_forward(z_cond, rng, false);
+    (void)width;
+    out.append_table(encoder_.decode(soft, &rng));
+  }
+  return out;
+}
+
+}  // namespace surro::models

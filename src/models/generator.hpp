@@ -1,0 +1,45 @@
+#pragma once
+// The common interface of the paper's four surrogate models (Sec. IV-A).
+// Every model consumes a mixed-type Table, learns its joint distribution,
+// and emits synthetic Tables with the same schema and vocabularies.
+
+#include <memory>
+#include <string>
+
+#include "tabular/table.hpp"
+
+namespace surro::models {
+
+class TabularGenerator {
+ public:
+  virtual ~TabularGenerator() = default;
+
+  /// Learn from a training table. May be called once per instance.
+  virtual void fit(const tabular::Table& train) = 0;
+
+  /// Draw n synthetic rows. Deterministic for a given seed after fit.
+  [[nodiscard]] virtual tabular::Table sample(std::size_t n,
+                                              std::uint64_t seed) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+enum class GeneratorKind { kTvae, kCtabganPlus, kSmote, kTabDdpm };
+
+[[nodiscard]] std::string to_string(GeneratorKind kind);
+
+/// Training-scale preset shared by the neural models so experiment harnesses
+/// can trade fidelity for wall-clock uniformly.
+struct TrainBudget {
+  std::size_t epochs = 60;
+  std::size_t batch_size = 256;
+  float learning_rate = 2e-4f;  // paper Sec. V-A
+  std::size_t log_every_epochs = 0;  // 0: silent
+};
+
+/// Factory with per-kind default configurations (see each model's header
+/// for fine-grained knobs).
+[[nodiscard]] std::unique_ptr<TabularGenerator> make_generator(
+    GeneratorKind kind, const TrainBudget& budget, std::uint64_t seed);
+
+}  // namespace surro::models

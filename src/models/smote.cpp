@@ -1,0 +1,76 @@
+#include "models/smote.hpp"
+
+#include <stdexcept>
+
+namespace surro::models {
+
+Smote::Smote(SmoteConfig cfg) : cfg_(cfg) {
+  if (cfg_.k_neighbors == 0) {
+    throw std::invalid_argument("smote: k_neighbors must be positive");
+  }
+}
+
+void Smote::fit(const tabular::Table& train) {
+  if (train.num_rows() < 2) {
+    throw std::invalid_argument("smote: need at least two training rows");
+  }
+  encoder_.fit(train, cfg_.num_quantiles);
+
+  const auto& num_cols = encoder_.numerical_columns();
+  const std::size_t n = train.num_rows();
+  numerical_.resize(n, num_cols.size());
+  for (std::size_t k = 0; k < num_cols.size(); ++k) {
+    const auto col = train.numerical(num_cols[k]);
+    const auto& qt = encoder_.transformer(k);
+    for (std::size_t r = 0; r < n; ++r) {
+      numerical_(r, k) = static_cast<float>(qt.transform_one(col[r]));
+    }
+  }
+
+  cat_codes_.clear();
+  for (const auto& block : encoder_.blocks()) {
+    const auto codes = train.categorical(block.column);
+    cat_codes_.emplace_back(codes.begin(), codes.end());
+  }
+
+  tree_ = std::make_unique<knn::KdTree>(numerical_);
+  fitted_ = true;
+}
+
+tabular::Table Smote::sample(std::size_t n, std::uint64_t seed) {
+  if (!fitted_) throw std::logic_error("smote: sample before fit");
+  util::Rng rng(seed);
+
+  tabular::Table out = encoder_.make_empty_table();
+  const std::size_t m = numerical_.cols();
+  const std::size_t train_n = numerical_.rows();
+  std::vector<double> num_vals(m);
+  std::vector<std::int32_t> cat_vals(cat_codes_.size());
+
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto base = static_cast<std::size_t>(rng.uniform_index(train_n));
+    const auto neighbors = tree_->query(numerical_.row(base),
+                                        cfg_.k_neighbors,
+                                        static_cast<std::ptrdiff_t>(base));
+    const std::size_t other =
+        neighbors.empty()
+            ? base
+            : neighbors[rng.uniform_index(neighbors.size())].index;
+    const double u = rng.uniform();
+
+    for (std::size_t k = 0; k < m; ++k) {
+      const double a = static_cast<double>(numerical_(base, k));
+      const double b = static_cast<double>(numerical_(other, k));
+      const double z = a + u * (b - a);
+      num_vals[k] = encoder_.transformer(k).inverse_one(z);
+    }
+    for (std::size_t bi = 0; bi < cat_codes_.size(); ++bi) {
+      const std::size_t donor = rng.uniform() < u ? other : base;
+      cat_vals[bi] = cat_codes_[bi][donor];
+    }
+    out.append_row_values(num_vals, cat_vals);
+  }
+  return out;
+}
+
+}  // namespace surro::models

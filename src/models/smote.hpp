@@ -1,0 +1,46 @@
+#pragma once
+// SMOTE (Chawla et al., 2002) as a tabular generator — the paper's only
+// non-learning baseline. A synthetic row interpolates a random training row
+// toward one of its k nearest neighbours:
+//   numericals:  x = x_i + u · (x_j − x_i),  u ~ U(0,1)
+//   categoricals: copied from x_i with prob (1−u), else from x_j
+// (the SMOTE-NC treatment of nominal features). Neighbourhoods are found in
+// the Gaussian-quantile-transformed numerical space so distances are
+// comparable across features.
+//
+// Because samples live on segments between real records, SMOTE nearly
+// memorizes the training set: excellent marginals/correlations but a DCR
+// close to zero — exactly the privacy trade-off Table I reports.
+
+#include "knn/kdtree.hpp"
+#include "models/generator.hpp"
+#include "preprocess/mixed_encoder.hpp"
+
+namespace surro::models {
+
+struct SmoteConfig {
+  std::size_t k_neighbors = 5;  // the classic SMOTE k
+  std::size_t num_quantiles = 1000;
+};
+
+class Smote final : public TabularGenerator {
+ public:
+  explicit Smote(SmoteConfig cfg = {});
+
+  void fit(const tabular::Table& train) override;
+  [[nodiscard]] tabular::Table sample(std::size_t n,
+                                      std::uint64_t seed) override;
+  [[nodiscard]] std::string name() const override { return "SMOTE"; }
+
+  [[nodiscard]] const SmoteConfig& config() const noexcept { return cfg_; }
+
+ private:
+  SmoteConfig cfg_;
+  bool fitted_ = false;
+  preprocess::MixedEncoder encoder_;
+  linalg::Matrix numerical_;   // (n, m) transformed numerical slice
+  std::vector<std::vector<std::int32_t>> cat_codes_;  // per block, per row
+  std::unique_ptr<knn::KdTree> tree_;
+};
+
+}  // namespace surro::models

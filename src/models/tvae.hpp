@@ -1,0 +1,50 @@
+#pragma once
+// TVAE (Xu et al., 2019): variational autoencoder for mixed-type tabular
+// data. Encoder maps an encoded row to a Gaussian posterior N(mu, sigma²);
+// decoder reconstructs the mixed layout (linear numericals + per-block
+// categorical logits). Training minimizes reconstruction loss + beta·KL;
+// synthesis decodes z ~ N(0, I).
+
+#include "models/generator.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/schedule.hpp"
+#include "preprocess/mixed_encoder.hpp"
+
+namespace surro::models {
+
+struct TvaeConfig {
+  std::size_t latent_dim = 16;
+  std::vector<std::size_t> hidden = {128, 128};
+  float kl_weight = 1.0f;
+  float grad_clip = 5.0f;
+  std::size_t num_quantiles = 1000;
+  TrainBudget budget;
+  std::uint64_t seed = 1;
+};
+
+class Tvae final : public TabularGenerator {
+ public:
+  explicit Tvae(TvaeConfig cfg = {});
+
+  void fit(const tabular::Table& train) override;
+  [[nodiscard]] tabular::Table sample(std::size_t n,
+                                      std::uint64_t seed) override;
+  [[nodiscard]] std::string name() const override { return "TVAE"; }
+
+  /// Mean total loss of the last training epoch (diagnostics/tests).
+  [[nodiscard]] float last_epoch_loss() const noexcept {
+    return last_epoch_loss_;
+  }
+
+ private:
+  TvaeConfig cfg_;
+  bool fitted_ = false;
+  preprocess::MixedEncoder encoder_map_;
+  util::Rng rng_;
+  nn::Mlp encoder_;  // width -> ... -> 2·latent (mu | logvar)
+  nn::Mlp decoder_;  // latent -> ... -> width
+  float last_epoch_loss_ = 0.0f;
+};
+
+}  // namespace surro::models

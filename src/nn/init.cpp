@@ -1,0 +1,25 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace surro::nn {
+
+void xavier_uniform(linalg::Matrix& w, std::size_t fan_in,
+                    std::size_t fan_out, util::Rng& rng) {
+  const double a =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (float& v : w.flat()) v = static_cast<float>(rng.uniform(-a, a));
+}
+
+void kaiming_uniform(linalg::Matrix& w, std::size_t fan_in, util::Rng& rng) {
+  const double a = std::sqrt(6.0 / static_cast<double>(fan_in));
+  for (float& v : w.flat()) v = static_cast<float>(rng.uniform(-a, a));
+}
+
+void normal_init(linalg::Matrix& w, float stddev, util::Rng& rng) {
+  for (float& v : w.flat()) {
+    v = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+}  // namespace surro::nn

@@ -1,0 +1,20 @@
+#pragma once
+// Weight initialization. Xavier/Glorot for tanh/sigmoid nets (TVAE), Kaiming
+// for ReLU-family nets (TabDDPM denoiser, GAN bodies).
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace surro::nn {
+
+/// U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(linalg::Matrix& w, std::size_t fan_in,
+                    std::size_t fan_out, util::Rng& rng);
+
+/// U(-a, a) with a = sqrt(6 / fan_in) (He init for ReLU-like activations).
+void kaiming_uniform(linalg::Matrix& w, std::size_t fan_in, util::Rng& rng);
+
+/// N(0, stddev).
+void normal_init(linalg::Matrix& w, float stddev, util::Rng& rng);
+
+}  // namespace surro::nn

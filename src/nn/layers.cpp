@@ -1,0 +1,246 @@
+#include "nn/layers.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "nn/init.hpp"
+
+namespace surro::nn {
+
+// ---------------------------------------------------------------- Linear ---
+
+Linear::Linear(std::size_t in_dim, std::size_t out_dim, util::Rng& rng,
+               bool kaiming)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  w_.resize(in_dim, out_dim);
+  b_.resize(1, out_dim);
+  if (kaiming) {
+    kaiming_uniform(w_.value, in_dim, rng);
+  } else {
+    xavier_uniform(w_.value, in_dim, out_dim, rng);
+  }
+  b_.value.zero();
+}
+
+void Linear::forward(const linalg::Matrix& in, linalg::Matrix& out,
+                     bool /*train*/) {
+  assert(in.cols() == in_dim_);
+  cached_in_ = in;
+  linalg::gemm(in, w_.value, out);
+  linalg::add_row_vector(out, b_.value.flat());
+}
+
+void Linear::backward(const linalg::Matrix& grad_out,
+                      linalg::Matrix& grad_in) {
+  assert(grad_out.cols() == out_dim_);
+  assert(grad_out.rows() == cached_in_.rows());
+  // dW += x^T · dy ; db += column sums of dy ; dx = dy · W^T.
+  linalg::gemm_tn_acc(cached_in_, grad_out, w_.grad);
+  std::vector<float> db(out_dim_, 0.0f);
+  linalg::col_sums(grad_out, db);
+  for (std::size_t j = 0; j < out_dim_; ++j) b_.grad(0, j) += db[j];
+  linalg::gemm_nt(grad_out, w_.value, grad_in);
+}
+
+// ------------------------------------------------------------ Activation ---
+
+ActivationLayer::ActivationLayer(Activation kind, float leaky_slope)
+    : kind_(kind), slope_(leaky_slope) {}
+
+std::string ActivationLayer::name() const {
+  switch (kind_) {
+    case Activation::kReLU: return "ReLU";
+    case Activation::kLeakyReLU: return "LeakyReLU";
+    case Activation::kTanh: return "Tanh";
+    case Activation::kSigmoid: return "Sigmoid";
+    case Activation::kSiLU: return "SiLU";
+  }
+  return "?";
+}
+
+void ActivationLayer::forward(const linalg::Matrix& in, linalg::Matrix& out,
+                              bool /*train*/) {
+  cached_in_ = in;
+  if (out.rows() != in.rows() || out.cols() != in.cols()) {
+    out.resize(in.rows(), in.cols());
+  }
+  const float* pi = in.data();
+  float* po = out.data();
+  const std::size_t n = in.size();
+  switch (kind_) {
+    case Activation::kReLU:
+      for (std::size_t i = 0; i < n; ++i) po[i] = pi[i] > 0.0f ? pi[i] : 0.0f;
+      break;
+    case Activation::kLeakyReLU:
+      for (std::size_t i = 0; i < n; ++i) {
+        po[i] = pi[i] > 0.0f ? pi[i] : slope_ * pi[i];
+      }
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < n; ++i) po[i] = std::tanh(pi[i]);
+      break;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < n; ++i) {
+        po[i] = 1.0f / (1.0f + std::exp(-pi[i]));
+      }
+      break;
+    case Activation::kSiLU:
+      for (std::size_t i = 0; i < n; ++i) {
+        const float s = 1.0f / (1.0f + std::exp(-pi[i]));
+        po[i] = pi[i] * s;
+      }
+      break;
+  }
+}
+
+void ActivationLayer::backward(const linalg::Matrix& grad_out,
+                               linalg::Matrix& grad_in) {
+  assert(grad_out.rows() == cached_in_.rows() &&
+         grad_out.cols() == cached_in_.cols());
+  if (grad_in.rows() != grad_out.rows() ||
+      grad_in.cols() != grad_out.cols()) {
+    grad_in.resize(grad_out.rows(), grad_out.cols());
+  }
+  const float* px = cached_in_.data();
+  const float* pg = grad_out.data();
+  float* po = grad_in.data();
+  const std::size_t n = cached_in_.size();
+  switch (kind_) {
+    case Activation::kReLU:
+      for (std::size_t i = 0; i < n; ++i) {
+        po[i] = px[i] > 0.0f ? pg[i] : 0.0f;
+      }
+      break;
+    case Activation::kLeakyReLU:
+      for (std::size_t i = 0; i < n; ++i) {
+        po[i] = px[i] > 0.0f ? pg[i] : slope_ * pg[i];
+      }
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < n; ++i) {
+        const float t = std::tanh(px[i]);
+        po[i] = pg[i] * (1.0f - t * t);
+      }
+      break;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < n; ++i) {
+        const float s = 1.0f / (1.0f + std::exp(-px[i]));
+        po[i] = pg[i] * s * (1.0f - s);
+      }
+      break;
+    case Activation::kSiLU:
+      for (std::size_t i = 0; i < n; ++i) {
+        const float s = 1.0f / (1.0f + std::exp(-px[i]));
+        po[i] = pg[i] * (s + px[i] * s * (1.0f - s));
+      }
+      break;
+  }
+}
+
+// --------------------------------------------------------------- Dropout ---
+
+Dropout::Dropout(float p, util::Rng& rng) : p_(p), rng_(rng.split()) {
+  assert(p >= 0.0f && p < 1.0f);
+}
+
+void Dropout::forward(const linalg::Matrix& in, linalg::Matrix& out,
+                      bool train) {
+  last_train_ = train && p_ > 0.0f;
+  if (!last_train_) {
+    out = in;
+    return;
+  }
+  if (out.rows() != in.rows() || out.cols() != in.cols()) {
+    out.resize(in.rows(), in.cols());
+  }
+  mask_.resize(in.rows(), in.cols());
+  const float keep = 1.0f - p_;
+  const float scl = 1.0f / keep;
+  const float* pi = in.data();
+  float* pm = mask_.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const bool keep_it = rng_.uniform() >= p_;
+    pm[i] = keep_it ? scl : 0.0f;
+    po[i] = pi[i] * pm[i];
+  }
+}
+
+void Dropout::backward(const linalg::Matrix& grad_out,
+                       linalg::Matrix& grad_in) {
+  if (!last_train_) {
+    grad_in = grad_out;
+    return;
+  }
+  linalg::hadamard(grad_out, mask_, grad_in);
+}
+
+// ------------------------------------------------------------- LayerNorm ---
+
+LayerNorm::LayerNorm(std::size_t dim, float eps) : dim_(dim), eps_(eps) {
+  gamma_.resize(1, dim);
+  gamma_.value.fill(1.0f);
+  beta_.resize(1, dim);
+  beta_.value.zero();
+}
+
+void LayerNorm::forward(const linalg::Matrix& in, linalg::Matrix& out,
+                        bool /*train*/) {
+  assert(in.cols() == dim_);
+  const std::size_t rows = in.rows();
+  if (out.rows() != rows || out.cols() != dim_) out.resize(rows, dim_);
+  cached_norm_.resize(rows, dim_);
+  inv_std_.assign(rows, 0.0f);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* x = in.data() + r * dim_;
+    float mean = 0.0f;
+    for (std::size_t j = 0; j < dim_; ++j) mean += x[j];
+    mean /= static_cast<float>(dim_);
+    float var = 0.0f;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const float d = x[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(dim_);
+    const float inv = 1.0f / std::sqrt(var + eps_);
+    inv_std_[r] = inv;
+    float* nrm = cached_norm_.data() + r * dim_;
+    float* o = out.data() + r * dim_;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      nrm[j] = (x[j] - mean) * inv;
+      o[j] = nrm[j] * gamma_.value(0, j) + beta_.value(0, j);
+    }
+  }
+}
+
+void LayerNorm::backward(const linalg::Matrix& grad_out,
+                         linalg::Matrix& grad_in) {
+  const std::size_t rows = grad_out.rows();
+  assert(grad_out.cols() == dim_ && cached_norm_.rows() == rows);
+  if (grad_in.rows() != rows || grad_in.cols() != dim_) {
+    grad_in.resize(rows, dim_);
+  }
+  const auto dimf = static_cast<float>(dim_);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* dy = grad_out.data() + r * dim_;
+    const float* nrm = cached_norm_.data() + r * dim_;
+    float* dx = grad_in.data() + r * dim_;
+    // dL/dnorm_j = dy_j * gamma_j; accumulate gamma/beta grads.
+    float sum_dn = 0.0f;
+    float sum_dn_nrm = 0.0f;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const float dn = dy[j] * gamma_.value(0, j);
+      sum_dn += dn;
+      sum_dn_nrm += dn * nrm[j];
+      gamma_.grad(0, j) += dy[j] * nrm[j];
+      beta_.grad(0, j) += dy[j];
+    }
+    const float inv = inv_std_[r];
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const float dn = dy[j] * gamma_.value(0, j);
+      dx[j] = inv * (dn - sum_dn / dimf - nrm[j] * sum_dn_nrm / dimf);
+    }
+  }
+}
+
+}  // namespace surro::nn

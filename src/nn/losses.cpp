@@ -1,0 +1,216 @@
+#include "nn/losses.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace surro::nn {
+
+namespace {
+inline float sigmoidf(float x) noexcept {
+  return 1.0f / (1.0f + std::exp(-x));
+}
+// log(sigmoid(x)) computed stably for both signs of x.
+inline float log_sigmoid(float x) noexcept {
+  return x >= 0.0f ? -std::log1p(std::exp(-x)) : x - std::log1p(std::exp(x));
+}
+}  // namespace
+
+float mse_loss(const linalg::Matrix& pred, const linalg::Matrix& target,
+               linalg::Matrix& grad) {
+  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  if (grad.rows() != pred.rows() || grad.cols() != pred.cols()) {
+    grad.resize(pred.rows(), pred.cols());
+  }
+  const std::size_t n = pred.size();
+  const float inv = 1.0f / static_cast<float>(n);
+  double loss = 0.0;
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  float* pg = grad.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = pp[i] - pt[i];
+    loss += static_cast<double>(d) * d;
+    pg[i] = 2.0f * d * inv;
+  }
+  return static_cast<float>(loss * inv);
+}
+
+float bce_with_logits(const linalg::Matrix& logits,
+                      const linalg::Matrix& targets, linalg::Matrix& grad) {
+  assert(logits.rows() == targets.rows() && logits.cols() == targets.cols());
+  if (grad.rows() != logits.rows() || grad.cols() != logits.cols()) {
+    grad.resize(logits.rows(), logits.cols());
+  }
+  const std::size_t n = logits.size();
+  const float inv = 1.0f / static_cast<float>(n);
+  double loss = 0.0;
+  const float* pl = logits.data();
+  const float* pt = targets.data();
+  float* pg = grad.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x = pl[i];
+    const float t = pt[i];
+    // -t·log σ(x) - (1-t)·log(1-σ(x)); note log(1-σ(x)) = logσ(-x).
+    loss -= static_cast<double>(t * log_sigmoid(x) +
+                                (1.0f - t) * log_sigmoid(-x));
+    pg[i] = (sigmoidf(x) - t) * inv;
+  }
+  return static_cast<float>(loss * inv);
+}
+
+float blockwise_softmax_ce(
+    const linalg::Matrix& logits, const linalg::Matrix& onehot_targets,
+    std::span<const preprocess::CategoricalBlock> blocks,
+    std::size_t num_numerical, linalg::Matrix& grad) {
+  assert(logits.rows() == onehot_targets.rows() &&
+         logits.cols() == onehot_targets.cols());
+  const std::size_t rows = logits.rows();
+  if (grad.rows() != rows || grad.cols() != logits.cols()) {
+    grad.resize(rows, logits.cols());
+  }
+  grad.zero();
+  // Zero grad on numerical slice by construction.
+  (void)num_numerical;
+  const float inv_rows = 1.0f / static_cast<float>(rows);
+  double loss = 0.0;
+  std::vector<float> probs;
+  for (const auto& b : blocks) {
+    probs.assign(b.cardinality, 0.0f);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* lr = logits.data() + r * logits.cols() + b.offset;
+      const float* tr =
+          onehot_targets.data() + r * logits.cols() + b.offset;
+      float* gr = grad.data() + r * logits.cols() + b.offset;
+      float peak = lr[0];
+      for (std::size_t j = 1; j < b.cardinality; ++j) {
+        peak = std::max(peak, lr[j]);
+      }
+      float denom = 0.0f;
+      for (std::size_t j = 0; j < b.cardinality; ++j) {
+        probs[j] = std::exp(lr[j] - peak);
+        denom += probs[j];
+      }
+      for (std::size_t j = 0; j < b.cardinality; ++j) {
+        const float p = probs[j] / denom;
+        gr[j] = (p - tr[j]) * inv_rows;
+        if (tr[j] > 0.0f) {
+          loss -= static_cast<double>(tr[j]) *
+                  (std::log(std::max(p, 1e-12f)));
+        }
+      }
+    }
+  }
+  return static_cast<float>(loss * inv_rows);
+}
+
+float mixed_reconstruction_loss(
+    const linalg::Matrix& pred, const linalg::Matrix& target,
+    std::span<const preprocess::CategoricalBlock> blocks,
+    std::size_t num_numerical, linalg::Matrix& grad) {
+  const std::size_t rows = pred.rows();
+  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  // Categorical part fills grad and zeroes the numerical slice.
+  float loss = blockwise_softmax_ce(pred, target, blocks, num_numerical, grad);
+  // Numerical part: per-element squared error averaged over batch.
+  const float inv_rows = 1.0f / static_cast<float>(rows);
+  double num_loss = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* pp = pred.data() + r * pred.cols();
+    const float* pt = target.data() + r * pred.cols();
+    float* pg = grad.data() + r * pred.cols();
+    for (std::size_t j = 0; j < num_numerical; ++j) {
+      const float d = pp[j] - pt[j];
+      num_loss += static_cast<double>(d) * d;
+      pg[j] = 2.0f * d * inv_rows;
+    }
+  }
+  return loss + static_cast<float>(num_loss * inv_rows);
+}
+
+float gaussian_kl(const linalg::Matrix& mu, const linalg::Matrix& logvar,
+                  linalg::Matrix& grad_mu, linalg::Matrix& grad_logvar) {
+  assert(mu.rows() == logvar.rows() && mu.cols() == logvar.cols());
+  const std::size_t rows = mu.rows();
+  if (grad_mu.rows() != rows || grad_mu.cols() != mu.cols()) {
+    grad_mu.resize(rows, mu.cols());
+  }
+  if (grad_logvar.rows() != rows || grad_logvar.cols() != mu.cols()) {
+    grad_logvar.resize(rows, mu.cols());
+  }
+  const float inv_rows = 1.0f / static_cast<float>(rows);
+  double loss = 0.0;
+  const float* pm = mu.data();
+  const float* pv = logvar.data();
+  float* gm = grad_mu.data();
+  float* gv = grad_logvar.data();
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    const float m = pm[i];
+    const float lv = std::clamp(pv[i], -10.0f, 10.0f);
+    const float ev = std::exp(lv);
+    // KL per dim: 0.5 (exp(lv) + m² − 1 − lv).
+    loss += 0.5 * static_cast<double>(ev + m * m - 1.0f - lv);
+    gm[i] = m * inv_rows;
+    gv[i] = 0.5f * (ev - 1.0f) * inv_rows;
+  }
+  return static_cast<float>(loss * inv_rows);
+}
+
+float gan_generator_loss(const linalg::Matrix& fake_logits,
+                         linalg::Matrix& grad) {
+  if (grad.rows() != fake_logits.rows() ||
+      grad.cols() != fake_logits.cols()) {
+    grad.resize(fake_logits.rows(), fake_logits.cols());
+  }
+  const std::size_t n = fake_logits.size();
+  const float inv = 1.0f / static_cast<float>(n);
+  double loss = 0.0;
+  const float* pl = fake_logits.data();
+  float* pg = grad.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    loss -= static_cast<double>(log_sigmoid(pl[i]));
+    pg[i] = (sigmoidf(pl[i]) - 1.0f) * inv;
+  }
+  return static_cast<float>(loss * inv);
+}
+
+float gan_discriminator_loss(const linalg::Matrix& real_logits,
+                             const linalg::Matrix& fake_logits,
+                             linalg::Matrix& grad_real,
+                             linalg::Matrix& grad_fake,
+                             float label_smoothing) {
+  if (grad_real.rows() != real_logits.rows() ||
+      grad_real.cols() != real_logits.cols()) {
+    grad_real.resize(real_logits.rows(), real_logits.cols());
+  }
+  if (grad_fake.rows() != fake_logits.rows() ||
+      grad_fake.cols() != fake_logits.cols()) {
+    grad_fake.resize(fake_logits.rows(), fake_logits.cols());
+  }
+  const float real_label = 1.0f - label_smoothing;
+  const std::size_t nr = real_logits.size();
+  const std::size_t nf = fake_logits.size();
+  const float inv_r = 1.0f / static_cast<float>(nr);
+  const float inv_f = 1.0f / static_cast<float>(nf);
+  double loss = 0.0;
+  {
+    const float* pl = real_logits.data();
+    float* pg = grad_real.data();
+    for (std::size_t i = 0; i < nr; ++i) {
+      loss -= static_cast<double>(real_label * log_sigmoid(pl[i]) +
+                                  (1.0f - real_label) * log_sigmoid(-pl[i]));
+      pg[i] = (sigmoidf(pl[i]) - real_label) * inv_r;
+    }
+  }
+  {
+    const float* pl = fake_logits.data();
+    float* pg = grad_fake.data();
+    for (std::size_t i = 0; i < nf; ++i) {
+      loss -= static_cast<double>(log_sigmoid(-pl[i]));
+      pg[i] = sigmoidf(pl[i]) * inv_f;
+    }
+  }
+  return static_cast<float>(loss / static_cast<double>(nr + nf));
+}
+
+}  // namespace surro::nn

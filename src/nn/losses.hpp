@@ -1,0 +1,58 @@
+#pragma once
+// Losses with analytic gradients w.r.t. the network output. Every function
+// returns the mean loss over the batch and fills `grad` (same shape as
+// `pred`) with dL/dpred, already divided by the batch size so callers can
+// feed it straight into Mlp::backward.
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+#include "preprocess/mixed_encoder.hpp"
+
+namespace surro::nn {
+
+/// Mean squared error over all elements.
+[[nodiscard]] float mse_loss(const linalg::Matrix& pred,
+                             const linalg::Matrix& target,
+                             linalg::Matrix& grad);
+
+/// Binary cross-entropy on logits, with targets in {0,1} (or soft labels).
+[[nodiscard]] float bce_with_logits(const linalg::Matrix& logits,
+                                    const linalg::Matrix& targets,
+                                    linalg::Matrix& grad);
+
+/// Softmax cross-entropy applied independently to each categorical block of
+/// a mixed-layout output (logits), with one-hot targets in the same layout.
+/// Numerical columns [0, num_numerical) are untouched (grad zeroed there).
+/// Returns the mean (over batch) of summed per-block CE.
+[[nodiscard]] float blockwise_softmax_ce(
+    const linalg::Matrix& logits, const linalg::Matrix& onehot_targets,
+    std::span<const preprocess::CategoricalBlock> blocks,
+    std::size_t num_numerical, linalg::Matrix& grad);
+
+/// Mixed reconstruction loss used by TVAE: MSE on the numerical slice plus
+/// softmax CE per categorical block. grad covers the full layout.
+[[nodiscard]] float mixed_reconstruction_loss(
+    const linalg::Matrix& pred, const linalg::Matrix& target,
+    std::span<const preprocess::CategoricalBlock> blocks,
+    std::size_t num_numerical, linalg::Matrix& grad);
+
+/// KL(N(mu, exp(logvar)) || N(0, I)), mean over the batch; fills gradients
+/// w.r.t. mu and logvar (divided by batch size).
+[[nodiscard]] float gaussian_kl(const linalg::Matrix& mu,
+                                const linalg::Matrix& logvar,
+                                linalg::Matrix& grad_mu,
+                                linalg::Matrix& grad_logvar);
+
+/// Non-saturating GAN losses on discriminator logits.
+/// Generator:      -log sigmoid(D(G(z)))          (push fakes to real).
+/// Discriminator:  -log sigmoid(D(x)) - log(1 - sigmoid(D(G(z)))).
+[[nodiscard]] float gan_generator_loss(const linalg::Matrix& fake_logits,
+                                       linalg::Matrix& grad);
+[[nodiscard]] float gan_discriminator_loss(const linalg::Matrix& real_logits,
+                                           const linalg::Matrix& fake_logits,
+                                           linalg::Matrix& grad_real,
+                                           linalg::Matrix& grad_fake,
+                                           float label_smoothing = 0.0f);
+
+}  // namespace surro::nn

@@ -1,0 +1,93 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace surro::nn {
+
+void Optimizer::add_params(const std::vector<Param*>& params) {
+  params_.insert(params_.end(), params.begin(), params.end());
+}
+
+void Optimizer::clip_grad_norm(float max_norm) {
+  if (max_norm <= 0.0f) return;
+  double total = 0.0;
+  for (const Param* p : params_) {
+    for (const float g : p->grad.flat()) {
+      total += static_cast<double>(g) * g;
+    }
+  }
+  const double norm = std::sqrt(total);
+  if (norm <= max_norm) return;
+  const auto scale = static_cast<float>(max_norm / (norm + 1e-12));
+  for (Param* p : params_) {
+    for (float& g : p->grad.flat()) g *= scale;
+  }
+}
+
+Sgd::Sgd(float lr, float momentum) : Optimizer(lr), momentum_(momentum) {}
+
+void Sgd::step() {
+  if (velocity_.size() != params_.size()) {
+    velocity_.clear();
+    velocity_.reserve(params_.size());
+    for (const Param* p : params_) {
+      velocity_.emplace_back(p->value.rows(), p->value.cols(), 0.0f);
+    }
+  }
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param& p = *params_[k];
+    float* v = velocity_[k].data();
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    for (std::size_t i = 0; i < p.value.size(); ++i) {
+      v[i] = momentum_ * v[i] + g[i];
+      w[i] -= lr_ * v[i];
+    }
+    p.zero_grad();
+  }
+}
+
+Adam::Adam(float lr, float beta1, float beta2, float eps)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void Adam::step() {
+  if (m_.size() != params_.size()) {
+    m_.clear();
+    v_.clear();
+    for (const Param* p : params_) {
+      m_.emplace_back(p->value.rows(), p->value.cols(), 0.0f);
+      v_.emplace_back(p->value.rows(), p->value.cols(), 0.0f);
+    }
+  }
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param& p = *params_[k];
+    apply_decay(p.value);
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    for (std::size_t i = 0; i < p.value.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+    p.zero_grad();
+  }
+}
+
+AdamW::AdamW(float lr, float weight_decay, float beta1, float beta2,
+             float eps)
+    : Adam(lr, beta1, beta2, eps), weight_decay_(weight_decay) {}
+
+void AdamW::apply_decay(linalg::Matrix& value) {
+  // Decoupled decay: shrink weights directly, independent of the gradient.
+  const float factor = 1.0f - lr_ * weight_decay_;
+  for (float& w : value.flat()) w *= factor;
+}
+
+}  // namespace surro::nn

@@ -1,0 +1,74 @@
+#pragma once
+// First-order optimizers over Param lists. Parameters are registered once;
+// step() applies the update and zeroes gradients. Adam/AdamW keep per-param
+// moment buffers keyed by registration order, so the Param set must stay
+// stable across steps (true for all our fixed-architecture models).
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace surro::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Register parameters (append). Must happen before the first step.
+  void add_params(const std::vector<Param*>& params);
+
+  /// Apply one update using the accumulated gradients, then zero them.
+  virtual void step() = 0;
+
+  void set_learning_rate(float lr) noexcept { lr_ = lr; }
+  [[nodiscard]] float learning_rate() const noexcept { return lr_; }
+
+  /// Clip the global gradient norm across all registered params to
+  /// `max_norm` (no-op when <= 0). Call before step().
+  void clip_grad_norm(float max_norm);
+
+ protected:
+  explicit Optimizer(float lr) : lr_(lr) {}
+  std::vector<Param*> params_;
+  float lr_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f);
+  void step() override;
+
+ private:
+  float momentum_;
+  std::vector<linalg::Matrix> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f);
+  void step() override;
+
+ protected:
+  /// Weight decay hook (AdamW overrides; plain Adam applies none).
+  virtual void apply_decay(linalg::Matrix& /*value*/) {}
+
+  float beta1_;
+  float beta2_;
+  float eps_;
+  std::size_t t_ = 0;
+  std::vector<linalg::Matrix> m_;
+  std::vector<linalg::Matrix> v_;
+};
+
+class AdamW final : public Adam {
+ public:
+  AdamW(float lr, float weight_decay, float beta1 = 0.9f,
+        float beta2 = 0.999f, float eps = 1e-8f);
+
+ private:
+  void apply_decay(linalg::Matrix& value) override;
+  float weight_decay_;
+};
+
+}  // namespace surro::nn

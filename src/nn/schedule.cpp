@@ -1,0 +1,37 @@
+#include "nn/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace surro::nn {
+
+CosineSchedule::CosineSchedule(float base_lr, std::size_t total_steps,
+                               std::size_t warmup_steps, float min_lr)
+    : base_lr_(base_lr),
+      total_steps_(total_steps),
+      warmup_steps_(warmup_steps),
+      min_lr_(min_lr) {
+  if (total_steps == 0) {
+    throw std::invalid_argument("cosine_schedule: zero total steps");
+  }
+  if (warmup_steps >= total_steps) {
+    throw std::invalid_argument("cosine_schedule: warmup >= total");
+  }
+}
+
+float CosineSchedule::at(std::size_t t) const {
+  if (warmup_steps_ > 0 && t < warmup_steps_) {
+    return base_lr_ * static_cast<float>(t + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  const double span = static_cast<double>(total_steps_ - warmup_steps_);
+  const double progress = std::clamp(
+      static_cast<double>(t - warmup_steps_) / span, 0.0, 1.0);
+  const double cosine = 0.5 * (1.0 + std::cos(util::kPi * progress));
+  return min_lr_ + (base_lr_ - min_lr_) * static_cast<float>(cosine);
+}
+
+}  // namespace surro::nn

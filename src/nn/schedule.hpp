@@ -1,0 +1,41 @@
+#pragma once
+// Learning-rate schedules. The paper trains every surrogate with a base LR
+// of 2e-4 decayed by a cosine scheduler; CosineSchedule reproduces that,
+// with optional linear warmup.
+
+#include <cstddef>
+
+namespace surro::nn {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate at step t of total_steps.
+  [[nodiscard]] virtual float at(std::size_t t) const = 0;
+};
+
+class ConstantSchedule final : public LrSchedule {
+ public:
+  explicit ConstantSchedule(float lr) : lr_(lr) {}
+  [[nodiscard]] float at(std::size_t /*t*/) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// lr(t) = min_lr + (base − min_lr) · ½(1 + cos(π·p)) after warmup, where p
+/// is progress through the post-warmup span, clamped to [0, 1].
+class CosineSchedule final : public LrSchedule {
+ public:
+  CosineSchedule(float base_lr, std::size_t total_steps,
+                 std::size_t warmup_steps = 0, float min_lr = 0.0f);
+  [[nodiscard]] float at(std::size_t t) const override;
+
+ private:
+  float base_lr_;
+  std::size_t total_steps_;
+  std::size_t warmup_steps_;
+  float min_lr_;
+};
+
+}  // namespace surro::nn

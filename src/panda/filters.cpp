@@ -1,0 +1,95 @@
+#include "panda/filters.hpp"
+
+#include <cstdio>
+
+#include "panda/nomenclature.hpp"
+
+namespace surro::panda {
+
+tabular::Schema job_table_schema() {
+  using tabular::ColumnKind;
+  return tabular::Schema({
+      {features::kCreationTime, ColumnKind::kNumerical},
+      {features::kComputingSite, ColumnKind::kCategorical},
+      {features::kProject, ColumnKind::kCategorical},
+      {features::kProdStep, ColumnKind::kCategorical},
+      {features::kDataType, ColumnKind::kCategorical},
+      {features::kNInputDataFiles, ColumnKind::kNumerical},
+      {features::kInputFileBytes, ColumnKind::kNumerical},
+      {features::kJobStatus, ColumnKind::kCategorical},
+      {features::kWorkload, ColumnKind::kNumerical},
+  });
+}
+
+std::vector<std::string> FilterFunnel::describe() const {
+  std::vector<std::string> lines;
+  char buf[160];
+  const auto pct = [this](std::size_t n) {
+    return gross == 0 ? 0.0
+                      : 100.0 * static_cast<double>(n) /
+                            static_cast<double>(gross);
+  };
+  std::snprintf(buf, sizeof(buf), "%-34s %12zu  (100.0%%)",
+                "PanDA records collected", gross);
+  lines.emplace_back(buf);
+  std::snprintf(buf, sizeof(buf), "%-34s %12zu  (%5.1f%%)",
+                "with parseable dataset name", parseable, pct(parseable));
+  lines.emplace_back(buf);
+  std::snprintf(buf, sizeof(buf), "%-34s %12zu  (%5.1f%%)",
+                "DAOD input datasets only", daod_only, pct(daod_only));
+  lines.emplace_back(buf);
+  std::snprintf(buf, sizeof(buf), "%-34s %12zu  (%5.1f%%)",
+                "complete records (final table)", complete, pct(complete));
+  lines.emplace_back(buf);
+  return lines;
+}
+
+tabular::Table build_job_table(const std::vector<RawRecord>& records,
+                               const SiteCatalog& catalog,
+                               FilterFunnel* funnel) {
+  FilterFunnel local;
+  local.gross = records.size();
+
+  tabular::Table table(job_table_schema());
+  const auto& schema = table.schema();
+  const std::size_t c_site = schema.index_of(features::kComputingSite);
+  const std::size_t c_project = schema.index_of(features::kProject);
+  const std::size_t c_prodstep = schema.index_of(features::kProdStep);
+  const std::size_t c_datatype = schema.index_of(features::kDataType);
+  const std::size_t c_status = schema.index_of(features::kJobStatus);
+  const std::size_t c_time = schema.index_of(features::kCreationTime);
+  const std::size_t c_nfiles = schema.index_of(features::kNInputDataFiles);
+  const std::size_t c_bytes = schema.index_of(features::kInputFileBytes);
+  const std::size_t c_workload = schema.index_of(features::kWorkload);
+
+  for (const auto& rec : records) {
+    const auto parsed = parse_dataset_name(rec.dataset_name);
+    if (!parsed) continue;
+    ++local.parseable;
+    if (!parsed->is_daod()) continue;
+    ++local.daod_only;
+    if (!rec.has_input_info || rec.ninputdatafiles <= 0 ||
+        rec.inputfilebytes <= 0.0) {
+      continue;
+    }
+    ++local.complete;
+
+    auto row = table.make_row();
+    row.set(c_time, rec.creation_time_days);
+    row.set(c_site,
+            catalog.site(static_cast<std::size_t>(rec.site_index)).name);
+    row.set(c_project, parsed->project);
+    row.set(c_prodstep, parsed->prodstep);
+    row.set(c_datatype, parsed->datatype);
+    row.set(c_nfiles, static_cast<double>(rec.ninputdatafiles));
+    row.set(c_bytes, rec.inputfilebytes);
+    row.set(c_status, rec.status);
+    row.set(c_workload, rec.workload);
+    table.append_row(row);
+  }
+
+  if (funnel != nullptr) *funnel = local;
+  return table;
+}
+
+}  // namespace surro::panda

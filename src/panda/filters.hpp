@@ -1,0 +1,48 @@
+#pragma once
+// The Fig. 3(b) filtering funnel: gross PanDA records → records with a
+// parseable dataset name → DAOD-only records → records with complete input
+// info → the final 9-column job table (5 categorical + 4 numerical features,
+// Fig. 3(a)).
+
+#include <string>
+#include <vector>
+
+#include "panda/site_catalog.hpp"
+#include "panda/workload_model.hpp"
+#include "tabular/table.hpp"
+
+namespace surro::panda {
+
+/// The paper's down-selected feature columns, in Fig. 3(a) order.
+namespace features {
+inline constexpr const char* kCreationTime = "creationtime";
+inline constexpr const char* kComputingSite = "computingsite";
+inline constexpr const char* kProject = "project";
+inline constexpr const char* kProdStep = "prodstep";
+inline constexpr const char* kDataType = "datatype";
+inline constexpr const char* kNInputDataFiles = "ninputdatafiles";
+inline constexpr const char* kInputFileBytes = "inputfilebytes";
+inline constexpr const char* kJobStatus = "jobstatus";
+inline constexpr const char* kWorkload = "workload";
+}  // namespace features
+
+/// The canonical 9-column schema (ordered as the paper's Fig. 3(a)).
+[[nodiscard]] tabular::Schema job_table_schema();
+
+/// Counts at every stage of the funnel.
+struct FilterFunnel {
+  std::size_t gross = 0;          // all PanDA records collected
+  std::size_t parseable = 0;      // dataset name parses into six sections
+  std::size_t daod_only = 0;      // datatype starts with DAOD
+  std::size_t complete = 0;       // input info present -> final row count
+
+  [[nodiscard]] std::vector<std::string> describe() const;
+};
+
+/// Run the funnel over raw records and build the job table. `funnel` (when
+/// non-null) receives the per-stage counts for the Fig. 3(b) report.
+[[nodiscard]] tabular::Table build_job_table(
+    const std::vector<RawRecord>& records, const SiteCatalog& catalog,
+    FilterFunnel* funnel = nullptr);
+
+}  // namespace surro::panda

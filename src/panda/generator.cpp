@@ -1,0 +1,67 @@
+#include "panda/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace surro::panda {
+
+RecordGenerator::RecordGenerator(GeneratorConfig cfg)
+    : cfg_(cfg),
+      catalog_(SiteCatalog::make_default(cfg.extra_tier2_sites,
+                                         cfg.seed ^ 0x51735173ULL)),
+      nomenclature_(),
+      model_(cfg.model, catalog_, nomenclature_) {}
+
+std::vector<RawRecord> RecordGenerator::generate() {
+  util::Rng rng(cfg_.seed);
+  std::vector<RawRecord> records;
+  const auto& mc = cfg_.model;
+
+  // Background stream: thinned Poisson process over the window. We step in
+  // hour-level slices so the weekly/diurnal modulation is resolved.
+  const double slice = 1.0 / 24.0;
+  for (double t = 0.0; t < mc.days; t += slice) {
+    const double lam = model_.background_intensity(t) * slice;
+    const std::uint64_t n = rng.poisson(lam);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const double tj = t + rng.uniform() * slice;
+      records.push_back(model_.draw_job(rng, std::min(tj, mc.days), nullptr));
+    }
+  }
+  const std::size_t background = records.size();
+
+  // Campaign stream: each campaign spreads its jobs over its duration with
+  // the same weekly/diurnal modulation (users submit less on weekends too).
+  const auto campaigns = model_.draw_campaigns(rng);
+  for (const auto& c : campaigns) {
+    for (std::size_t j = 0; j < c.num_jobs; ++j) {
+      // Rejection-sample a submission time inside the campaign window that
+      // respects the global modulation.
+      double tj = 0.0;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        tj = c.start_day + rng.uniform() * c.duration_days;
+        if (tj >= mc.days) tj = std::fmod(tj, mc.days);
+        if (rng.uniform() <
+            rate_modulation(mc, tj) / (1.0 + mc.diurnal_amplitude)) {
+          break;
+        }
+      }
+      records.push_back(model_.draw_job(rng, tj, &c));
+    }
+  }
+
+  std::sort(records.begin(), records.end(),
+            [](const RawRecord& a, const RawRecord& b) {
+              return a.creation_time_days < b.creation_time_days;
+            });
+
+  util::log_info("panda: generated %zu raw records (%zu background, %zu from "
+                 "%zu campaigns) over %.0f days",
+                 records.size(), background, records.size() - background,
+                 campaigns.size(), mc.days);
+  return records;
+}
+
+}  // namespace surro::panda

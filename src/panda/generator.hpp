@@ -1,0 +1,41 @@
+#pragma once
+// Top-level record generator: drives the WorkloadModel over the collection
+// window and emits the raw record stream (the "PanDA records collected"
+// stage of Fig. 3(b)). Deterministic for a given seed.
+
+#include <vector>
+
+#include "panda/workload_model.hpp"
+
+namespace surro::panda {
+
+struct GeneratorConfig {
+  WorkloadModelConfig model;
+  std::uint64_t seed = 42;
+  /// Catalog shaping (see SiteCatalog::make_default).
+  std::size_t extra_tier2_sites = 96;
+};
+
+class RecordGenerator {
+ public:
+  explicit RecordGenerator(GeneratorConfig cfg);
+
+  /// Generate the full window of raw records, sorted by creation time.
+  [[nodiscard]] std::vector<RawRecord> generate();
+
+  [[nodiscard]] const SiteCatalog& catalog() const noexcept {
+    return catalog_;
+  }
+  [[nodiscard]] const Nomenclature& nomenclature() const noexcept {
+    return nomenclature_;
+  }
+  [[nodiscard]] const GeneratorConfig& config() const noexcept { return cfg_; }
+
+ private:
+  GeneratorConfig cfg_;
+  SiteCatalog catalog_;
+  Nomenclature nomenclature_;
+  WorkloadModel model_;
+};
+
+}  // namespace surro::panda

@@ -1,0 +1,142 @@
+#include "panda/nomenclature.hpp"
+
+#include <cstdio>
+
+#include "util/stringx.hpp"
+
+namespace surro::panda {
+
+std::string DatasetName::to_string() const {
+  return project + "." + run_number + "." + stream + "." + prodstep + "." +
+         datatype + "." + version;
+}
+
+bool DatasetName::is_daod() const noexcept {
+  return util::starts_with(datatype, "DAOD");
+}
+
+std::optional<DatasetName> parse_dataset_name(std::string_view name) {
+  const auto parts = util::split(name, '.');
+  if (parts.size() != 6) return std::nullopt;
+  for (const auto& p : parts) {
+    if (p.empty()) return std::nullopt;
+  }
+  DatasetName out;
+  out.project = std::string(parts[0]);
+  out.run_number = std::string(parts[1]);
+  out.stream = std::string(parts[2]);
+  out.prodstep = std::string(parts[3]);
+  out.datatype = std::string(parts[4]);
+  out.version = std::string(parts[5]);
+  return out;
+}
+
+Nomenclature::Nomenclature() {
+  // Projects: Run-3 MC and data dominate user analysis in the paper's 2023/24
+  // collection window; legacy Run-2 samples form a long tail.
+  projects_ = {"mc23_13p6TeV", "mc20_13TeV",     "data22_13p6TeV",
+               "data23_13p6TeV", "mc21_13p6TeV", "data18_13TeV",
+               "mc16_13TeV",   "data17_13TeV",   "mc15_13TeV",
+               "data15_13TeV", "valid1",         "user"};
+  project_weights_ = {34.0, 16.0, 12.0, 11.0, 8.0, 6.0,
+                      5.0,  3.0,  2.0,  1.0,  1.0, 1.0};
+
+  // Production steps: user analysis reads derivations; merge/recon/simul
+  // appear through re-derived or special-purpose inputs.
+  prodsteps_ = {"deriv", "merge", "recon", "simul", "evgen"};
+  prodstep_weights_ = {78.0, 10.0, 7.0, 4.0, 1.0};
+
+  // DAOD flavours: DAOD_PHYS / DAOD_PHYSLITE dominate Run-3 analysis
+  // (Fig. 4(b) shows DAOD_PHYS as the top datatype), followed by a long tail
+  // of working-group derivations.
+  daod_types_ = {"DAOD_PHYS",    "DAOD_PHYSLITE", "DAOD_LLP1",
+                 "DAOD_HIGG1D1", "DAOD_JETM1",    "DAOD_TOPQ1",
+                 "DAOD_EXOT2",   "DAOD_SUSY1",    "DAOD_STDM3",
+                 "DAOD_BPHY1",   "DAOD_EGAM1",    "DAOD_MUON0",
+                 "DAOD_TAUP1",   "DAOD_FTAG1",    "DAOD_HION14",
+                 "DAOD_TRIG8",   "DAOD_JETM3",    "DAOD_EXOT4",
+                 "DAOD_SUSY5",   "DAOD_HIGG4D2"};
+  daod_weights_ = {40.0, 22.0, 4.0, 3.5, 3.0, 3.0, 2.5, 2.5, 2.0, 2.0,
+                   1.8,  1.6,  1.4, 1.2, 1.0, 0.9, 0.8, 0.8, 0.7, 0.6};
+
+  non_daod_types_ = {"AOD", "EVNT", "HITS", "ESD", "NTUP_PILEUP", "TXT"};
+  non_daod_weights_ = {45.0, 18.0, 15.0, 10.0, 8.0, 4.0};
+
+  project_alias_ = util::AliasTable(project_weights_);
+  prodstep_alias_ = util::AliasTable(prodstep_weights_);
+  daod_alias_ = util::AliasTable(daod_weights_);
+  non_daod_alias_ = util::AliasTable(non_daod_weights_);
+}
+
+DatasetName Nomenclature::sample(util::Rng& rng, double daod_bias) const {
+  DatasetName d;
+  d.project = projects_[project_alias_.sample(rng)];
+  const bool is_data = util::starts_with(d.project, "data");
+
+  char buf[64];
+  if (is_data) {
+    std::snprintf(buf, sizeof(buf), "00%06llu",
+                  static_cast<unsigned long long>(
+                      340000 + rng.uniform_index(120000)));
+    d.run_number = buf;
+    d.stream = "physics_Main";
+  } else {
+    std::snprintf(buf, sizeof(buf), "%06llu",
+                  static_cast<unsigned long long>(
+                      500000 + rng.uniform_index(400000)));
+    d.run_number = buf;
+    static constexpr const char* kGenerators[] = {
+        "PhPy8EG_A14NNPDF23LO", "PowhegPythia8EvtGen", "Sherpa_2214_NNPDF30",
+        "MGPy8EG_A14N23LO",     "aMcAtNloPy8EG",       "HerwigppEvtGen"};
+    d.stream = kGenerators[rng.uniform_index(std::size(kGenerators))];
+  }
+
+  if (rng.bernoulli(daod_bias)) {
+    d.datatype = daod_types_[daod_alias_.sample(rng)];
+    d.prodstep = rng.bernoulli(0.92) ? "deriv"
+                                     : prodsteps_[prodstep_alias_.sample(rng)];
+  } else {
+    d.datatype = non_daod_types_[non_daod_alias_.sample(rng)];
+    d.prodstep = prodsteps_[prodstep_alias_.sample(rng)];
+  }
+
+  // Version tags: e-tag (evgen), s-tag (simul), r-tag (recon), p-tag (deriv).
+  std::snprintf(buf, sizeof(buf), "e%04llu_s%04llu_r%05llu_p%04llu",
+                static_cast<unsigned long long>(8000 + rng.uniform_index(900)),
+                static_cast<unsigned long long>(4000 + rng.uniform_index(400)),
+                static_cast<unsigned long long>(14000 + rng.uniform_index(2000)),
+                static_cast<unsigned long long>(5000 + rng.uniform_index(1500)));
+  d.version = buf;
+  return d;
+}
+
+double Nomenclature::datatype_size_scale(std::string_view datatype) const {
+  // Per-file size scale relative to DAOD_PHYS == 1.0. PHYSLITE is an order
+  // of magnitude lighter; AOD/ESD/HITS are heavier centralized formats.
+  if (datatype == "DAOD_PHYSLITE") return 0.12;
+  if (datatype == "DAOD_PHYS") return 1.0;
+  if (util::starts_with(datatype, "DAOD_HION")) return 2.5;
+  if (util::starts_with(datatype, "DAOD")) return 0.55;
+  if (datatype == "AOD") return 3.0;
+  if (datatype == "ESD") return 7.0;
+  if (datatype == "HITS") return 4.0;
+  if (datatype == "EVNT") return 0.25;
+  if (datatype == "NTUP_PILEUP") return 0.5;
+  if (datatype == "TXT") return 0.01;
+  return 1.0;
+}
+
+double Nomenclature::datatype_cpu_scale(std::string_view datatype) const {
+  // Per-event CPU scale; drives the distinct workload modes in Fig. 4(a).
+  if (datatype == "DAOD_PHYSLITE") return 0.35;
+  if (datatype == "DAOD_PHYS") return 1.0;
+  if (util::starts_with(datatype, "DAOD_HION")) return 3.2;
+  if (util::starts_with(datatype, "DAOD")) return 1.6;
+  if (datatype == "AOD") return 4.5;
+  if (datatype == "ESD") return 6.0;
+  if (datatype == "HITS") return 8.0;
+  if (datatype == "EVNT") return 0.8;
+  return 1.0;
+}
+
+}  // namespace surro::panda

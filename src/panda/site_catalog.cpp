@@ -1,0 +1,115 @@
+#include "panda/site_catalog.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace surro::panda {
+
+namespace {
+
+// Hand-written backbone: Tier-0/Tier-1 centres plus the large US/EU Tier-2
+// federations that dominate ATLAS user analysis. Popularities follow the
+// strongly imbalanced shares visible in Fig. 4(b) (BNL alone takes the
+// largest single share).
+std::vector<Site> backbone() {
+  return {
+      {"BNL", 23.0, 30.0, 90000, 100.0, 0.85, "US"},
+      {"CERN-PROD", 21.0, 27.0, 70000, 55.0, 0.90, "CH"},
+      {"TRIUMF", 19.5, 25.0, 24000, 22.0, 0.95, "CA"},
+      {"RAL", 20.0, 26.0, 30000, 30.0, 1.00, "UK"},
+      {"FZK-LCG2", 19.0, 24.5, 28000, 26.0, 1.05, "DE"},
+      {"IN2P3-CC", 18.5, 24.0, 26000, 24.0, 1.00, "FR"},
+      {"PIC", 18.0, 23.0, 12000, 9.0, 0.95, "ES"},
+      {"INFN-T1", 18.5, 24.0, 20000, 16.0, 1.10, "IT"},
+      {"NDGF-T1", 21.5, 27.5, 14000, 10.0, 0.90, "ND"},
+      {"SARA-MATRIX", 19.0, 24.5, 15000, 11.0, 1.05, "NL"},
+      {"RRC-KI-T1", 16.0, 21.0, 12000, 6.0, 1.25, "RU"},
+      {"MWT2", 22.0, 28.5, 32000, 38.0, 0.90, "US"},
+      {"AGLT2", 21.0, 27.0, 22000, 24.0, 0.95, "US"},
+      {"SWT2", 20.5, 26.5, 20000, 20.0, 1.00, "US"},
+      {"NET2", 20.0, 26.0, 16000, 14.0, 1.05, "US"},
+      {"SLAC", 22.5, 29.0, 18000, 16.0, 0.90, "US"},
+      {"UKI-NORTHGRID-MAN-HEP", 18.5, 24.0, 14000, 12.0, 1.00, "UK"},
+      {"UKI-SCOTGRID-GLASGOW", 18.0, 23.5, 12000, 10.0, 1.05, "UK"},
+      {"DESY-HH", 20.0, 26.0, 18000, 15.0, 0.95, "DE"},
+      {"LRZ-LMU", 19.0, 24.5, 10000, 8.0, 1.00, "DE"},
+      {"TOKYO-LCG2", 19.5, 25.0, 16000, 12.0, 0.95, "JP"},
+      {"BEIJING-LCG2", 17.0, 22.0, 10000, 6.0, 1.15, "CN"},
+      {"PRAGUELCG2", 17.5, 22.5, 8000, 5.0, 1.05, "CZ"},
+      {"SiGNET", 18.0, 23.0, 6000, 4.0, 1.00, "SI"},
+      {"IFIC-LCG2", 17.5, 22.5, 7000, 4.5, 1.05, "ES"},
+      {"CSCS-LCG2", 21.0, 27.0, 9000, 6.5, 0.95, "CH"},
+      {"GoeGrid", 18.0, 23.0, 6000, 4.0, 1.10, "DE"},
+      {"WEIZMANN-LCG2", 17.0, 22.0, 5000, 3.0, 1.10, "IL"},
+  };
+}
+
+}  // namespace
+
+SiteCatalog SiteCatalog::make_default(std::size_t extra_tier2,
+                                      std::uint64_t seed) {
+  auto sites = backbone();
+  util::Rng rng(seed);
+  // Procedural long tail of Tier-2 / Tier-3 sites: small, individually rare,
+  // collectively a visible slice of traffic (drives the ~150-site
+  // cardinality in Fig. 3(a)).
+  static constexpr const char* kRegions[] = {"US", "UK", "DE", "FR", "IT",
+                                             "ES", "JP", "CA", "AU", "PL"};
+  for (std::size_t i = 0; i < extra_tier2; ++i) {
+    Site s;
+    char name[64];
+    std::snprintf(name, sizeof(name), "T2-%s-%03zu",
+                  kRegions[i % std::size(kRegions)], i);
+    s.name = name;
+    s.hs23_per_core = rng.uniform(12.0, 24.0);
+    s.gflops_per_core = s.hs23_per_core * 1.3;
+    s.cores = static_cast<std::size_t>(rng.uniform(800.0, 8000.0));
+    // Zipf-like popularity tail.
+    s.popularity = 2.5 / static_cast<double>(i + 2);
+    s.failure_multiplier = rng.uniform(0.9, 1.6);
+    s.region = kRegions[i % std::size(kRegions)];
+    sites.push_back(std::move(s));
+  }
+  return SiteCatalog(std::move(sites));
+}
+
+SiteCatalog::SiteCatalog(std::vector<Site> sites) : sites_(std::move(sites)) {
+  if (sites_.empty()) {
+    throw std::invalid_argument("site_catalog: empty catalog");
+  }
+  for (const auto& s : sites_) {
+    if (s.hs23_per_core <= 0.0 || s.gflops_per_core <= 0.0 ||
+        s.popularity < 0.0) {
+      throw std::invalid_argument("site_catalog: invalid site '" + s.name +
+                                  "'");
+    }
+  }
+}
+
+std::size_t SiteCatalog::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (sites_[i].name == name) return i;
+  }
+  throw std::out_of_range("site_catalog: unknown site '" + name + "'");
+}
+
+std::vector<double> SiteCatalog::popularity_weights() const {
+  std::vector<double> w;
+  w.reserve(sites_.size());
+  for (const auto& s : sites_) w.push_back(s.popularity);
+  return w;
+}
+
+double SiteCatalog::reference_hs23() const noexcept {
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& s : sites_) {
+    num += s.hs23_per_core * s.popularity;
+    den += s.popularity;
+  }
+  return den > 0.0 ? num / den : 1.0;
+}
+
+}  // namespace surro::panda

@@ -1,0 +1,59 @@
+#pragma once
+// Catalog of computing sites modeled after the ATLAS grid: each site has a
+// per-core HS23-like benchmark score (the paper scales core-hours by the
+// HEP-score HS23 of the assigned site), a core count, a popularity weight
+// (job share is strongly imbalanced: a handful of T1s absorb most analysis
+// jobs), and a failure-rate modifier used by the job-status model.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace surro::panda {
+
+struct Site {
+  std::string name;
+  /// HS23-like benchmark score per core (typical range ~[10, 30]).
+  double hs23_per_core = 15.0;
+  /// Modeled GFLOP/s per core (derived from the benchmark score).
+  double gflops_per_core = 20.0;
+  std::size_t cores = 10000;
+  /// Unnormalized share of user-analysis jobs routed here.
+  double popularity = 1.0;
+  /// Multiplier on the base job-failure probability (site reliability).
+  double failure_multiplier = 1.0;
+  /// Region tag (for the scheduler simulator's locality model).
+  std::string region;
+};
+
+class SiteCatalog {
+ public:
+  /// Built-in catalog of grid sites (Tier-1s + representative Tier-2s),
+  /// optionally expanded with `extra_tier2` procedurally generated Tier-2
+  /// sites so that the categorical cardinality approaches the paper's ~150
+  /// computing sites. Deterministic for a given seed.
+  static SiteCatalog make_default(std::size_t extra_tier2 = 96,
+                                  std::uint64_t seed = 17);
+
+  explicit SiteCatalog(std::vector<Site> sites);
+
+  [[nodiscard]] std::size_t size() const noexcept { return sites_.size(); }
+  [[nodiscard]] const Site& site(std::size_t i) const { return sites_.at(i); }
+  [[nodiscard]] std::span<const Site> sites() const noexcept { return sites_; }
+
+  /// Index by name; throws std::out_of_range for unknown site names.
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+
+  /// Popularity weights (for building alias tables).
+  [[nodiscard]] std::vector<double> popularity_weights() const;
+
+  /// Mean HS23 score across sites weighted by popularity (used to normalize
+  /// workloads the way the paper normalizes by site processing power).
+  [[nodiscard]] double reference_hs23() const noexcept;
+
+ private:
+  std::vector<Site> sites_;
+};
+
+}  // namespace surro::panda

@@ -1,0 +1,155 @@
+#include "panda/workload_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace surro::panda {
+
+double rate_modulation(const WorkloadModelConfig& cfg,
+                       double t_days) noexcept {
+  // Day-of-week factor: days 5 and 6 of each week are the weekend.
+  const double day_in_week = std::fmod(t_days, 7.0);
+  const double weekly =
+      (day_in_week >= 5.0) ? cfg.weekend_factor : 1.0;
+  // Diurnal factor: single sinusoid peaking mid-day.
+  const double phase = 2.0 * util::kPi * std::fmod(t_days, 1.0);
+  const double diurnal = 1.0 - cfg.diurnal_amplitude * std::cos(phase);
+  return weekly * diurnal;
+}
+
+WorkloadModel::WorkloadModel(WorkloadModelConfig cfg,
+                             const SiteCatalog& catalog,
+                             const Nomenclature& nomenclature)
+    : cfg_(cfg), catalog_(&catalog), nomenclature_(&nomenclature) {
+  if (cfg_.days <= 0.0 || cfg_.base_jobs_per_day < 0.0 ||
+      cfg_.num_users == 0) {
+    throw std::invalid_argument("workload_model: invalid configuration");
+  }
+  site_alias_ = util::AliasTable(catalog.popularity_weights());
+
+  // User activity: Pareto weights so a few power users dominate — this is
+  // what makes categorical counts imbalanced at every level.
+  util::Rng user_rng(0xA77A5ULL);
+  user_activity_.resize(cfg_.num_users);
+  for (auto& w : user_activity_) w = user_rng.pareto(1.0, 1.1);
+  user_alias_ = util::AliasTable(user_activity_);
+}
+
+std::vector<Campaign> WorkloadModel::draw_campaigns(util::Rng& rng) const {
+  std::vector<Campaign> out;
+  const auto expected = cfg_.campaigns_per_day * cfg_.days;
+  const std::uint64_t n = rng.poisson(expected);
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Campaign c;
+    c.start_day = rng.uniform(0.0, cfg_.days);
+    c.duration_days = std::max(
+        0.05, rng.gamma(cfg_.campaign_duration_shape,
+                        cfg_.campaign_duration_scale));
+    const double size =
+        std::min(rng.pareto(cfg_.campaign_min_jobs, cfg_.campaign_tail_index),
+                 cfg_.campaign_max_jobs);
+    c.num_jobs = static_cast<std::size_t>(size);
+    c.dataset = nomenclature_->sample(rng, cfg_.daod_bias);
+    c.home_site = site_alias_.sample(rng);
+    c.nfiles_shift = rng.normal(0.0, 0.5);
+    c.user = user_alias_.sample(rng);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+double WorkloadModel::background_intensity(double t_days) const noexcept {
+  return cfg_.base_jobs_per_day * rate_modulation(cfg_, t_days);
+}
+
+std::string WorkloadModel::draw_status(util::Rng& rng, const Site& site,
+                                       double cpu_seconds) const {
+  // Longer jobs and flakier sites fail more often; the coupling creates the
+  // status↔site and status↔workload association the metrics must detect.
+  const double size_factor =
+      1.0 + 0.35 * std::log1p(cpu_seconds / 3600.0) / 5.0;
+  const double p_failed = std::clamp(
+      cfg_.p_failed * site.failure_multiplier * size_factor, 0.0, 0.6);
+  const double u = rng.uniform();
+  if (u < p_failed) return "failed";
+  if (u < p_failed + cfg_.p_cancelled) return "cancelled";
+  if (u < p_failed + cfg_.p_cancelled + cfg_.p_closed) return "closed";
+  return "finished";
+}
+
+RawRecord WorkloadModel::draw_job(util::Rng& rng, double t_days,
+                                  const Campaign* campaign) const {
+  RawRecord rec;
+  rec.creation_time_days = t_days;
+
+  DatasetName ds;
+  std::size_t site_idx = 0;
+  double nfiles_shift = 0.0;
+  if (campaign != nullptr) {
+    ds = campaign->dataset;
+    nfiles_shift = campaign->nfiles_shift;
+    // Data locality: most jobs of a campaign run where the dataset lives.
+    site_idx = rng.bernoulli(0.8) ? campaign->home_site
+                                  : site_alias_.sample(rng);
+  } else {
+    ds = nomenclature_->sample(rng, cfg_.daod_bias);
+    site_idx = site_alias_.sample(rng);
+  }
+  rec.dataset_name = ds.to_string();
+  rec.site_index = static_cast<std::int32_t>(site_idx);
+  const Site& site = catalog_->site(site_idx);
+
+  // Input files: lognormal with campaign-level shift, clamped to >= 1.
+  const double raw_nfiles =
+      rng.lognormal(cfg_.nfiles_log_mu + nfiles_shift, cfg_.nfiles_log_sigma);
+  rec.ninputdatafiles = static_cast<std::int64_t>(
+      std::clamp(raw_nfiles, 1.0, cfg_.nfiles_max));
+
+  // Bytes: per-file lognormal scaled by datatype; total = nfiles × per-file.
+  const double size_scale = nomenclature_->datatype_size_scale(ds.datatype);
+  const double per_file =
+      rng.lognormal(cfg_.file_bytes_log_mu + std::log(size_scale),
+                    cfg_.file_bytes_log_sigma);
+  rec.inputfilebytes =
+      per_file * static_cast<double>(rec.ninputdatafiles);
+
+  // Cores and CPU time. CPU time scales with files and the datatype's
+  // per-event cost, giving the multi-modal workload in Fig. 4(a).
+  const double u_cores = rng.uniform();
+  rec.cores = u_cores < cfg_.p_sixteen_core
+                  ? 16u
+                  : (u_cores < cfg_.p_sixteen_core + cfg_.p_eight_core ? 8u
+                                                                       : 1u);
+  const double cpu_scale = nomenclature_->datatype_cpu_scale(ds.datatype);
+  const double jitter = rng.lognormal(0.0, cfg_.cpu_jitter_sigma);
+  double cpu_seconds = cfg_.cpu_sec_per_file *
+                       static_cast<double>(rec.ninputdatafiles) * cpu_scale *
+                       jitter;
+
+  rec.status = draw_status(rng, site, cpu_seconds);
+  if (rec.status == "failed") {
+    // Failed jobs burn a random fraction of their nominal CPU budget.
+    cpu_seconds *= std::sqrt(rng.uniform());
+  } else if (rec.status == "cancelled" || rec.status == "closed") {
+    cpu_seconds *= rng.uniform() * 0.3;
+  }
+  rec.cpu_seconds = cpu_seconds;
+
+  // The paper's derived feature: #cores × GFLOP/core × CPU time, where the
+  // per-core processing power comes from the site's HS23-like score. We
+  // report it in GFLOP-hours to keep magnitudes tractable.
+  rec.workload = static_cast<double>(rec.cores) * site.gflops_per_core *
+                 (cpu_seconds / 3600.0);
+
+  rec.has_input_info = !rng.bernoulli(cfg_.missing_info_fraction);
+  if (!rec.has_input_info && rng.bernoulli(0.5)) {
+    rec.dataset_name = "unknown";  // unparseable name, dropped by the funnel
+  }
+  return rec;
+}
+
+}  // namespace surro::panda

@@ -1,0 +1,142 @@
+#pragma once
+// The stochastic model of ATLAS user-analysis job submission. This is the
+// substitute for the paper's proprietary 150-day PanDA record collection: a
+// campaign-based submission process that reproduces every property the paper
+// documents about the real records —
+//   * time-varying submission rate (weekly periodicity + diurnal cycle +
+//     heavy-tailed user campaigns, visible as the creationdate peaks in
+//     Fig. 4(a)),
+//   * strongly imbalanced categorical marginals (BNL-dominated sites,
+//     DAOD_PHYS-dominated datatypes, Fig. 4(b)),
+//   * multi-modal workload distribution (distinct datatype CPU scales),
+//   * correlated features (nfiles ↔ bytes ↔ workload; site ↔ status;
+//     datatype ↔ everything), which drive the Fig. 5 association structure.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "panda/nomenclature.hpp"
+#include "panda/site_catalog.hpp"
+#include "util/rng.hpp"
+
+namespace surro::panda {
+
+/// One raw submission record before filtering (the "PanDA record" level of
+/// Fig. 3(b)): full dataset name string plus execution metadata.
+struct RawRecord {
+  double creation_time_days = 0.0;  // fractional days since window start
+  std::string dataset_name;         // dotted nomenclature (may be junk)
+  std::int32_t site_index = 0;      // into the SiteCatalog
+  std::string status;               // finished / failed / cancelled / closed
+  std::uint32_t cores = 1;
+  double cpu_seconds = 0.0;     // CPU time actually consumed
+  std::int64_t ninputdatafiles = 0;
+  double inputfilebytes = 0.0;
+  double workload = 0.0;        // cores × GFLOP/core × CPU-time (HS23-scaled)
+  bool has_input_info = true;   // false models records with missing fields
+};
+
+struct WorkloadModelConfig {
+  /// Length of the collection window in days (paper: 150).
+  double days = 150.0;
+  /// Baseline background submissions per day (before weekly modulation).
+  double base_jobs_per_day = 600.0;
+  /// Weekend rate relative to weekdays.
+  double weekend_factor = 0.55;
+  /// Amplitude of the within-day (diurnal) sinusoidal modulation, in [0,1).
+  double diurnal_amplitude = 0.35;
+
+  /// User-campaign process: campaigns arrive Poisson at this daily rate...
+  double campaigns_per_day = 1.5;
+  /// ...with Pareto-tailed job counts (minimum size, tail index)...
+  double campaign_min_jobs = 120.0;
+  double campaign_tail_index = 1.3;
+  /// ...spread over a Gamma-distributed duration (days).
+  double campaign_duration_shape = 2.0;
+  double campaign_duration_scale = 1.5;
+  /// Hard cap on a single campaign (keeps the tail finite).
+  double campaign_max_jobs = 20000.0;
+
+  /// Probability that a job's input is a DAOD flavour (paper: the dominant
+  /// majority; non-DAOD records are filtered out in Fig. 3(b)).
+  double daod_bias = 0.80;
+  /// Fraction of records with broken/missing dataset or input info.
+  double missing_info_fraction = 0.035;
+
+  /// Per-job input-file-count lognormal (before campaign-level shift).
+  double nfiles_log_mu = 2.2;     // exp(2.2) ≈ 9 files
+  double nfiles_log_sigma = 1.1;
+  double nfiles_max = 6000.0;
+
+  /// Per-file size lognormal in bytes, scaled by datatype_size_scale.
+  double file_bytes_log_mu = 21.0;  // exp(21) ≈ 1.3 GB
+  double file_bytes_log_sigma = 0.8;
+
+  /// CPU seconds per input file at unit datatype CPU scale.
+  double cpu_sec_per_file = 220.0;
+  double cpu_jitter_sigma = 0.45;
+
+  /// Multi-core job mix: probability of 8-core and 16-core slots (the
+  /// remainder runs single-core).
+  double p_eight_core = 0.38;
+  double p_sixteen_core = 0.05;
+
+  /// Base terminal-status probabilities (site- and size-modulated).
+  double p_failed = 0.11;
+  double p_cancelled = 0.04;
+  double p_closed = 0.02;
+
+  /// Number of simulated users (activity is Pareto-distributed).
+  std::size_t num_users = 400;
+};
+
+/// Deterministic weekly/diurnal rate modulation at time t (days); mean ≈ 1.
+[[nodiscard]] double rate_modulation(const WorkloadModelConfig& cfg,
+                                     double t_days) noexcept;
+
+/// A single user-analysis campaign: one dataset processed by many jobs.
+struct Campaign {
+  double start_day = 0.0;
+  double duration_days = 1.0;
+  std::size_t num_jobs = 0;
+  DatasetName dataset;
+  std::size_t home_site = 0;       // preferred (data-local) site
+  double nfiles_shift = 0.0;       // campaign-level log-shift of nfiles
+  std::size_t user = 0;
+};
+
+/// The generative model: owns the catalogs and draws campaigns and jobs.
+class WorkloadModel {
+ public:
+  WorkloadModel(WorkloadModelConfig cfg, const SiteCatalog& catalog,
+                const Nomenclature& nomenclature);
+
+  [[nodiscard]] const WorkloadModelConfig& config() const noexcept {
+    return cfg_;
+  }
+
+  /// Draw the campaign list for the whole window.
+  [[nodiscard]] std::vector<Campaign> draw_campaigns(util::Rng& rng) const;
+
+  /// Draw a single job of a campaign (or a background job when campaign is
+  /// nullptr) at creation time t.
+  [[nodiscard]] RawRecord draw_job(util::Rng& rng, double t_days,
+                                   const Campaign* campaign) const;
+
+  /// Expected number of background jobs in [t, t+dt).
+  [[nodiscard]] double background_intensity(double t_days) const noexcept;
+
+ private:
+  [[nodiscard]] std::string draw_status(util::Rng& rng, const Site& site,
+                                        double cpu_seconds) const;
+
+  WorkloadModelConfig cfg_;
+  const SiteCatalog* catalog_;
+  const Nomenclature* nomenclature_;
+  util::AliasTable site_alias_;
+  std::vector<double> user_activity_;  // Pareto weights, one per user
+  util::AliasTable user_alias_;
+};
+
+}  // namespace surro::panda

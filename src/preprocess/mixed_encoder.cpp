@@ -1,0 +1,131 @@
+#include "preprocess/mixed_encoder.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace surro::preprocess {
+
+void MixedEncoder::fit(const tabular::Table& table,
+                       std::size_t num_quantiles) {
+  if (table.num_rows() == 0) {
+    throw std::invalid_argument("mixed_encoder: empty fit table");
+  }
+  schema_ = table.schema();
+  numerical_cols_ = schema_.numerical_indices();
+  transformers_.clear();
+  transformers_.reserve(numerical_cols_.size());
+  for (const std::size_t col : numerical_cols_) {
+    QuantileTransformer qt(num_quantiles);
+    qt.fit(table.numerical(col));
+    transformers_.push_back(std::move(qt));
+  }
+
+  blocks_.clear();
+  vocabs_.clear();
+  std::size_t offset = numerical_cols_.size();
+  for (const std::size_t col : schema_.categorical_indices()) {
+    CategoricalBlock b;
+    b.column = col;
+    b.offset = offset;
+    b.cardinality = table.cardinality(col);
+    if (b.cardinality == 0) {
+      throw std::invalid_argument(
+          "mixed_encoder: categorical column with empty vocabulary");
+    }
+    offset += b.cardinality;
+    blocks_.push_back(b);
+    vocabs_.push_back(table.vocabulary(col));
+  }
+  width_ = offset;
+  fitted_ = true;
+}
+
+linalg::Matrix MixedEncoder::encode(const tabular::Table& table) const {
+  if (!fitted_) throw std::logic_error("mixed_encoder: encode before fit");
+  if (!(table.schema() == schema_)) {
+    throw std::invalid_argument("mixed_encoder: schema mismatch");
+  }
+  const std::size_t n = table.num_rows();
+  linalg::Matrix m(n, width_, 0.0f);
+
+  for (std::size_t k = 0; k < numerical_cols_.size(); ++k) {
+    const auto col = table.numerical(numerical_cols_[k]);
+    const auto& qt = transformers_[k];
+    for (std::size_t r = 0; r < n; ++r) {
+      m(r, k) = static_cast<float>(qt.transform_one(col[r]));
+    }
+  }
+  for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+    const auto& b = blocks_[bi];
+    const auto codes = table.categorical(b.column);
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto code = static_cast<std::size_t>(codes[r]);
+      if (code >= b.cardinality) {
+        throw std::out_of_range(
+            "mixed_encoder: code outside fit-time vocabulary");
+      }
+      m(r, b.offset + code) = 1.0f;
+    }
+  }
+  return m;
+}
+
+tabular::Table MixedEncoder::make_empty_table() const {
+  if (!fitted_) throw std::logic_error("mixed_encoder: not fitted");
+  tabular::Table t(schema_);
+  for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+    t.adopt_vocabulary(blocks_[bi].column, vocabs_[bi]);
+  }
+  return t;
+}
+
+tabular::Table MixedEncoder::decode(const linalg::Matrix& m,
+                                    util::Rng* rng) const {
+  if (!fitted_) throw std::logic_error("mixed_encoder: decode before fit");
+  if (m.cols() != width_) {
+    throw std::invalid_argument("mixed_encoder: matrix width mismatch");
+  }
+  tabular::Table t = make_empty_table();
+
+  std::vector<double> num_vals(numerical_cols_.size());
+  std::vector<std::int32_t> cat_vals(blocks_.size());
+  std::vector<double> probs;
+
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto row = m.row(r);
+    for (std::size_t k = 0; k < numerical_cols_.size(); ++k) {
+      num_vals[k] =
+          transformers_[k].inverse_one(static_cast<double>(row[k]));
+    }
+    for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+      const auto& b = blocks_[bi];
+      if (rng != nullptr) {
+        probs.assign(b.cardinality, 0.0);
+        double total = 0.0;
+        for (std::size_t j = 0; j < b.cardinality; ++j) {
+          const double p =
+              std::max(0.0, static_cast<double>(row[b.offset + j]));
+          probs[j] = p;
+          total += p;
+        }
+        if (total > 0.0) {
+          cat_vals[bi] = static_cast<std::int32_t>(rng->categorical(probs));
+          continue;
+        }
+        // Degenerate block: fall through to argmax.
+      }
+      std::size_t best = 0;
+      for (std::size_t j = 1; j < b.cardinality; ++j) {
+        if (row[b.offset + j] > row[b.offset + best]) best = j;
+      }
+      cat_vals[bi] = static_cast<std::int32_t>(best);
+    }
+    // Column order of append_row_values: numericals in schema order of
+    // numerical columns, categoricals in schema order of categorical
+    // columns — exactly how numerical_cols_ and blocks_ are built.
+    t.append_row_values(num_vals, cat_vals);
+  }
+  return t;
+}
+
+}  // namespace surro::preprocess

@@ -1,0 +1,81 @@
+#pragma once
+// MixedEncoder: the bridge between mixed-type Tables and the dense float
+// matrices the neural models consume. Layout (per row):
+//
+//   [ z_1 ... z_m | onehot block 1 | onehot block 2 | ... ]
+//
+// where z_i are Gaussian-quantile-transformed numerical features (paper
+// Sec. V-A) and each categorical column occupies a contiguous one-hot block.
+// decode() inverts the layout: numericals through the inverse quantile
+// transform, categoricals via argmax (or stochastic sampling of the
+// probability block when an Rng is supplied — used by TVAE/CTABGAN+/TabDDPM
+// heads that output per-block distributions).
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+#include "preprocess/one_hot.hpp"
+#include "preprocess/quantile_transformer.hpp"
+#include "tabular/table.hpp"
+#include "util/rng.hpp"
+
+namespace surro::preprocess {
+
+struct CategoricalBlock {
+  std::size_t column = 0;       // schema column index
+  std::size_t offset = 0;       // first matrix column of the block
+  std::size_t cardinality = 0;  // block width
+};
+
+class MixedEncoder {
+ public:
+  MixedEncoder() = default;
+
+  /// Learn transforms and layout from a training table. Vocabularies are
+  /// frozen at fit time; rows with unseen labels cannot occur afterwards
+  /// because codes come from the same vocabulary.
+  void fit(const tabular::Table& table, std::size_t num_quantiles = 1000);
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+  [[nodiscard]] std::size_t encoded_width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t num_numerical() const noexcept {
+    return numerical_cols_.size();
+  }
+  [[nodiscard]] const std::vector<CategoricalBlock>& blocks() const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& numerical_columns()
+      const noexcept {
+    return numerical_cols_;
+  }
+  [[nodiscard]] const tabular::Schema& schema() const noexcept {
+    return schema_;
+  }
+  [[nodiscard]] const QuantileTransformer& transformer(std::size_t i) const {
+    return transformers_.at(i);
+  }
+
+  /// Encode a table (must have the fit schema) into an (n, width) matrix.
+  [[nodiscard]] linalg::Matrix encode(const tabular::Table& table) const;
+
+  /// Decode a matrix back into a table. When `rng` is non-null, categorical
+  /// blocks are treated as unnormalized probabilities and sampled;
+  /// otherwise argmax. Numerical columns go through the inverse transform.
+  [[nodiscard]] tabular::Table decode(const linalg::Matrix& m,
+                                      util::Rng* rng = nullptr) const;
+
+  /// An empty table carrying the fit-time schema and vocabularies (useful
+  /// for models that build output tables incrementally).
+  [[nodiscard]] tabular::Table make_empty_table() const;
+
+ private:
+  bool fitted_ = false;
+  tabular::Schema schema_;
+  std::vector<std::size_t> numerical_cols_;
+  std::vector<QuantileTransformer> transformers_;
+  std::vector<CategoricalBlock> blocks_;
+  std::vector<std::vector<std::string>> vocabs_;  // per block
+  std::size_t width_ = 0;
+};
+
+}  // namespace surro::preprocess

@@ -1,0 +1,43 @@
+#include "preprocess/one_hot.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace surro::preprocess {
+
+OneHotEncoder::OneHotEncoder(std::size_t cardinality)
+    : cardinality_(cardinality) {
+  if (cardinality == 0) {
+    throw std::invalid_argument("one_hot: zero cardinality");
+  }
+}
+
+void OneHotEncoder::encode_into(std::int32_t code, std::span<float> out,
+                                std::size_t offset) const {
+  if (code < 0 || static_cast<std::size_t>(code) >= cardinality_) {
+    throw std::out_of_range("one_hot: code out of range");
+  }
+  assert(offset + cardinality_ <= out.size());
+  std::fill_n(out.begin() + offset, cardinality_, 0.0f);
+  out[offset + static_cast<std::size_t>(code)] = 1.0f;
+}
+
+std::int32_t OneHotEncoder::decode(std::span<const float> block) const {
+  if (block.size() != cardinality_) {
+    throw std::invalid_argument("one_hot: block size != cardinality");
+  }
+  const auto it = std::max_element(block.begin(), block.end());
+  return static_cast<std::int32_t>(it - block.begin());
+}
+
+linalg::Matrix OneHotEncoder::encode_column(
+    std::span<const std::int32_t> codes) const {
+  linalg::Matrix m(codes.size(), cardinality_, 0.0f);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    encode_into(codes[i], m.row(i));
+  }
+  return m;
+}
+
+}  // namespace surro::preprocess

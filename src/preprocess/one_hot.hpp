@@ -1,0 +1,37 @@
+#pragma once
+// One-hot encoding of dictionary-coded categorical columns (the paper
+// represents every categorical entry as a one-hot vector).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace surro::preprocess {
+
+class OneHotEncoder {
+ public:
+  OneHotEncoder() = default;
+  explicit OneHotEncoder(std::size_t cardinality);
+
+  [[nodiscard]] std::size_t cardinality() const noexcept {
+    return cardinality_;
+  }
+
+  /// Write the one-hot pattern of `code` into out[offset..offset+K).
+  void encode_into(std::int32_t code, std::span<float> out,
+                   std::size_t offset = 0) const;
+
+  /// Argmax decode of a probability/logit block.
+  [[nodiscard]] std::int32_t decode(std::span<const float> block) const;
+
+  /// Encode a whole code column into a dense (n, K) matrix.
+  [[nodiscard]] linalg::Matrix encode_column(
+      std::span<const std::int32_t> codes) const;
+
+ private:
+  std::size_t cardinality_ = 0;
+};
+
+}  // namespace surro::preprocess

@@ -1,0 +1,97 @@
+#include "preprocess/quantile_transformer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace surro::preprocess {
+
+QuantileTransformer::QuantileTransformer(std::size_t num_quantiles)
+    : num_quantiles_(std::max<std::size_t>(num_quantiles, 2)) {}
+
+void QuantileTransformer::fit(std::span<const double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("quantile_transformer: empty fit data");
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  const std::size_t n = std::min(num_quantiles_, sorted.size());
+  const std::size_t grid_n = std::max<std::size_t>(n, 2);
+  grid_ = util::linspace(0.0, 1.0, grid_n);
+  quantiles_.resize(grid_n);
+  for (std::size_t i = 0; i < grid_n; ++i) {
+    quantiles_[i] = util::quantile_sorted(sorted, grid_[i]);
+  }
+  // Enforce monotonicity in the presence of repeated values.
+  for (std::size_t i = 1; i < grid_n; ++i) {
+    quantiles_[i] = std::max(quantiles_[i], quantiles_[i - 1]);
+  }
+}
+
+double QuantileTransformer::cdf(double v) const {
+  if (v <= quantiles_.front()) return 0.0;
+  if (v >= quantiles_.back()) return 1.0;
+  // Find the surrounding grid cell and interpolate linearly. With repeated
+  // quantile values (ties), take the midpoint of the flat run, matching
+  // scikit-learn's averaging of forward/backward interpolation.
+  const auto lo_it =
+      std::lower_bound(quantiles_.begin(), quantiles_.end(), v);
+  const auto hi_it =
+      std::upper_bound(quantiles_.begin(), quantiles_.end(), v);
+  const auto lo = static_cast<std::size_t>(lo_it - quantiles_.begin());
+  const auto hi = static_cast<std::size_t>(hi_it - quantiles_.begin());
+  if (lo != hi) {
+    // v lies exactly on a (possibly repeated) grid value.
+    return 0.5 * (grid_[lo] + grid_[hi - 1]);
+  }
+  const std::size_t i = lo;  // first grid point > v; i >= 1 by the clamps
+  const double x0 = quantiles_[i - 1];
+  const double x1 = quantiles_[i];
+  const double frac = x1 > x0 ? (v - x0) / (x1 - x0) : 0.0;
+  return grid_[i - 1] + frac * (grid_[i] - grid_[i - 1]);
+}
+
+double QuantileTransformer::cdf_inverse(double p) const {
+  p = std::clamp(p, 0.0, 1.0);
+  // grid_ is uniform, so the cell index is direct.
+  const double pos = p * static_cast<double>(grid_.size() - 1);
+  const auto i = static_cast<std::size_t>(pos);
+  if (i + 1 >= grid_.size()) return quantiles_.back();
+  const double frac = pos - static_cast<double>(i);
+  return quantiles_[i] * (1.0 - frac) + quantiles_[i + 1] * frac;
+}
+
+double QuantileTransformer::transform_one(double v) const {
+  if (!fitted()) {
+    throw std::logic_error("quantile_transformer: transform before fit");
+  }
+  return util::normal_quantile(cdf(v));
+}
+
+std::vector<double> QuantileTransformer::transform(
+    std::span<const double> values) const {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const double v : values) out.push_back(transform_one(v));
+  return out;
+}
+
+double QuantileTransformer::inverse_one(double z) const {
+  if (!fitted()) {
+    throw std::logic_error("quantile_transformer: inverse before fit");
+  }
+  return cdf_inverse(util::normal_cdf(z));
+}
+
+std::vector<double> QuantileTransformer::inverse(
+    std::span<const double> z) const {
+  std::vector<double> out;
+  out.reserve(z.size());
+  for (const double v : z) out.push_back(inverse_one(v));
+  return out;
+}
+
+}  // namespace surro::preprocess

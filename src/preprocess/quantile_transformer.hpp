@@ -1,0 +1,50 @@
+#pragma once
+// Gaussian quantile transformation — the paper normalizes every numerical
+// feature with scikit-learn's QuantileTransformer(output_distribution=
+// "normal"). fit() stores an evenly-spaced quantile grid of the training
+// column; transform() maps a value through the empirical CDF and then the
+// inverse normal CDF; inverse_transform() maps back. Monotone, robust to
+// outliers, and exactly invertible on the training range up to grid
+// resolution.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace surro::preprocess {
+
+class QuantileTransformer {
+ public:
+  /// `num_quantiles` grid points (scikit-learn default is 1000); clamped to
+  /// the sample size at fit time.
+  explicit QuantileTransformer(std::size_t num_quantiles = 1000);
+
+  /// Estimate the quantile grid. Throws std::invalid_argument when empty.
+  void fit(std::span<const double> values);
+  [[nodiscard]] bool fitted() const noexcept { return !quantiles_.empty(); }
+
+  /// Data space -> approximately N(0,1). Values beyond the training range
+  /// clamp to the extreme grid quantiles.
+  [[nodiscard]] double transform_one(double v) const;
+  [[nodiscard]] std::vector<double> transform(
+      std::span<const double> values) const;
+
+  /// N(0,1) space -> data space.
+  [[nodiscard]] double inverse_one(double z) const;
+  [[nodiscard]] std::vector<double> inverse(
+      std::span<const double> z) const;
+
+  [[nodiscard]] std::span<const double> quantiles() const noexcept {
+    return quantiles_;
+  }
+
+ private:
+  [[nodiscard]] double cdf(double v) const;       // empirical CDF in [0,1]
+  [[nodiscard]] double cdf_inverse(double p) const;
+
+  std::size_t num_quantiles_;
+  std::vector<double> quantiles_;   // values at the grid probabilities
+  std::vector<double> grid_;        // probabilities in [0,1], ascending
+};
+
+}  // namespace surro::preprocess

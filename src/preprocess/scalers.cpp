@@ -1,0 +1,73 @@
+#include "preprocess/scalers.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace surro::preprocess {
+
+void StandardScaler::fit(std::span<const double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("standard_scaler: empty fit data");
+  }
+  mean_ = util::mean(values);
+  stddev_ = util::stddev(values);
+  if (stddev_ <= 0.0) stddev_ = 1.0;
+  fitted_ = true;
+}
+
+double StandardScaler::transform_one(double v) const noexcept {
+  return (v - mean_) / stddev_;
+}
+double StandardScaler::inverse_one(double z) const noexcept {
+  return z * stddev_ + mean_;
+}
+
+std::vector<double> StandardScaler::transform(
+    std::span<const double> values) const {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const double v : values) out.push_back(transform_one(v));
+  return out;
+}
+std::vector<double> StandardScaler::inverse(
+    std::span<const double> z) const {
+  std::vector<double> out;
+  out.reserve(z.size());
+  for (const double v : z) out.push_back(inverse_one(v));
+  return out;
+}
+
+void MinMaxScaler::fit(std::span<const double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("minmax_scaler: empty fit data");
+  }
+  min_ = *std::min_element(values.begin(), values.end());
+  max_ = *std::max_element(values.begin(), values.end());
+  fitted_ = true;
+}
+
+double MinMaxScaler::transform_one(double v) const noexcept {
+  if (max_ <= min_) return 0.5;
+  return (v - min_) / (max_ - min_);
+}
+double MinMaxScaler::inverse_one(double u) const noexcept {
+  return min_ + u * (max_ - min_);
+}
+
+std::vector<double> MinMaxScaler::transform(
+    std::span<const double> values) const {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const double v : values) out.push_back(transform_one(v));
+  return out;
+}
+std::vector<double> MinMaxScaler::inverse(std::span<const double> u) const {
+  std::vector<double> out;
+  out.reserve(u.size());
+  for (const double v : u) out.push_back(inverse_one(v));
+  return out;
+}
+
+}  // namespace surro::preprocess

@@ -1,0 +1,53 @@
+#pragma once
+// Standard and min-max scalers: baselines for the quantile transform in the
+// ablation bench, and internal normalization for metrics (the WD metric is
+// computed on min-max-scaled features so per-feature distances are
+// comparable and averageable, following the CTAB-GAN/TabDDPM convention).
+
+#include <span>
+#include <vector>
+
+namespace surro::preprocess {
+
+class StandardScaler {
+ public:
+  void fit(std::span<const double> values);
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+  [[nodiscard]] double transform_one(double v) const noexcept;
+  [[nodiscard]] double inverse_one(double z) const noexcept;
+  [[nodiscard]] std::vector<double> transform(
+      std::span<const double> values) const;
+  [[nodiscard]] std::vector<double> inverse(std::span<const double> z) const;
+
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double stddev() const noexcept { return stddev_; }
+
+ private:
+  double mean_ = 0.0;
+  double stddev_ = 1.0;
+  bool fitted_ = false;
+};
+
+class MinMaxScaler {
+ public:
+  void fit(std::span<const double> values);
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+  /// Maps [min,max] -> [0,1]; constant columns map to 0.5.
+  [[nodiscard]] double transform_one(double v) const noexcept;
+  [[nodiscard]] double inverse_one(double u) const noexcept;
+  [[nodiscard]] std::vector<double> transform(
+      std::span<const double> values) const;
+  [[nodiscard]] std::vector<double> inverse(std::span<const double> u) const;
+
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  double min_ = 0.0;
+  double max_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace surro::preprocess

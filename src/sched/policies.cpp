@@ -1,0 +1,59 @@
+#include "sched/policies.hpp"
+
+#include <algorithm>
+
+namespace surro::sched {
+
+double site_load(const ClusterState& state, std::size_t site) {
+  const auto& s = state.catalog->site(site);
+  const double capacity = std::max(1.0, static_cast<double>(s.cores));
+  return (static_cast<double>(state.busy_cores[site]) +
+          4.0 * static_cast<double>(state.queued_jobs[site])) /
+         capacity;
+}
+
+std::size_t RandomPolicy::place(const SimJob& /*job*/,
+                                const ClusterState& state, util::Rng& rng) {
+  return static_cast<std::size_t>(
+      rng.uniform_index(state.catalog->size()));
+}
+
+std::size_t DataLocalityPolicy::place(const SimJob& job,
+                                      const ClusterState& /*state*/,
+                                      util::Rng& /*rng*/) {
+  return job.home_site;
+}
+
+std::size_t LeastLoadedPolicy::place(const SimJob& /*job*/,
+                                     const ClusterState& state,
+                                     util::Rng& /*rng*/) {
+  std::size_t best = 0;
+  double best_load = site_load(state, 0);
+  for (std::size_t s = 1; s < state.catalog->size(); ++s) {
+    const double load = site_load(state, s);
+    if (load < best_load) {
+      best_load = load;
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::size_t HybridPolicy::place(const SimJob& job, const ClusterState& state,
+                                util::Rng& /*rng*/) {
+  if (site_load(state, job.home_site) <= spill_threshold_) {
+    return job.home_site;
+  }
+  std::size_t best = job.home_site;
+  double best_load = site_load(state, job.home_site);
+  for (std::size_t s = 0; s < state.catalog->size(); ++s) {
+    const double load = site_load(state, s);
+    if (load < best_load) {
+      best_load = load;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace surro::sched

@@ -1,0 +1,57 @@
+#pragma once
+// Allocation policies for the cluster simulator: the heuristics the paper's
+// introduction contrasts (random/disjoint decisions vs. data-locality- and
+// load-aware placement).
+
+#include "sched/simulator.hpp"
+
+namespace surro::sched {
+
+/// Uniform random site — the "disjoint heuristics" strawman.
+class RandomPolicy final : public AllocationPolicy {
+ public:
+  [[nodiscard]] std::size_t place(const SimJob& job,
+                                  const ClusterState& state,
+                                  util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "random"; }
+};
+
+/// Always run where the data lives (zero transfer, but hotspots queue).
+class DataLocalityPolicy final : public AllocationPolicy {
+ public:
+  [[nodiscard]] std::size_t place(const SimJob& job,
+                                  const ClusterState& state,
+                                  util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "locality"; }
+};
+
+/// Least-loaded site by (busy + queued·cores) / capacity-proxy.
+class LeastLoadedPolicy final : public AllocationPolicy {
+ public:
+  [[nodiscard]] std::size_t place(const SimJob& job,
+                                  const ClusterState& state,
+                                  util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "least-loaded"; }
+};
+
+/// Locality-aware load balancing: stay home unless the home site's load
+/// exceeds `spill_threshold`, then pick the least-loaded alternative —
+/// the kind of joint data/compute decision the paper motivates.
+class HybridPolicy final : public AllocationPolicy {
+ public:
+  explicit HybridPolicy(double spill_threshold = 0.85)
+      : spill_threshold_(spill_threshold) {}
+  [[nodiscard]] std::size_t place(const SimJob& job,
+                                  const ClusterState& state,
+                                  util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "hybrid"; }
+
+ private:
+  double spill_threshold_;
+};
+
+/// Load proxy used by the policies (busy cores + queued jobs, normalized by
+/// the site's share of popularity-weighted capacity).
+[[nodiscard]] double site_load(const ClusterState& state, std::size_t site);
+
+}  // namespace surro::sched

@@ -1,0 +1,198 @@
+#include "sched/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "panda/filters.hpp"
+
+namespace surro::sched {
+
+ClusterSimulator::ClusterSimulator(const panda::SiteCatalog& catalog,
+                                   SimConfig cfg)
+    : catalog_(&catalog), cfg_(cfg) {
+  if (cfg_.capacity_scale <= 0.0) {
+    throw std::invalid_argument("simulator: capacity_scale must be > 0");
+  }
+  capacity_.reserve(catalog.size());
+  for (const auto& site : catalog.sites()) {
+    capacity_.push_back(std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               static_cast<double>(site.cores) * cfg_.capacity_scale)));
+  }
+}
+
+namespace {
+struct Completion {
+  double time;        // days
+  std::size_t site;
+  std::uint32_t cores;
+  bool operator>(const Completion& other) const noexcept {
+    return time > other.time;
+  }
+};
+struct Waiting {
+  SimJob job;
+  std::size_t site;
+};
+}  // namespace
+
+SimMetrics ClusterSimulator::run(std::vector<SimJob> jobs,
+                                 AllocationPolicy& policy,
+                                 std::uint64_t seed) {
+  std::sort(jobs.begin(), jobs.end(),
+            [](const SimJob& a, const SimJob& b) {
+              return a.submit_time < b.submit_time;
+            });
+  util::Rng rng(seed);
+
+  ClusterState state;
+  state.catalog = catalog_;
+  state.busy_cores.assign(capacity_.size(), 0);
+  state.queued_jobs.assign(capacity_.size(), 0);
+
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      completions;
+  std::vector<std::vector<Waiting>> site_queues(capacity_.size());
+
+  SimMetrics metrics;
+  std::vector<double> waits;
+  waits.reserve(jobs.size());
+  double busy_core_days = 0.0;
+  double last_event_time = 0.0;
+  std::size_t total_busy = 0;
+
+  const double ref_hs23 = catalog_->reference_hs23();
+
+  const auto account_busy = [&](double now) {
+    busy_core_days += static_cast<double>(total_busy) *
+                      (now - last_event_time);
+    last_event_time = now;
+  };
+
+  const auto runtime_days = [&](const SimJob& job, std::size_t site) {
+    double speed = 1.0;
+    if (cfg_.hs23_aware_runtime) {
+      speed = catalog_->site(site).hs23_per_core / ref_hs23;
+    }
+    const double wall_hours =
+        job.cpu_hours / (static_cast<double>(job.cores) * speed);
+    return std::max(wall_hours, 0.001) / 24.0;
+  };
+
+  const auto try_start = [&](std::size_t site, double now) {
+    auto& queue = site_queues[site];
+    std::size_t i = 0;
+    while (i < queue.size()) {
+      const auto& w = queue[i];
+      if (state.busy_cores[site] + w.job.cores <= capacity_[site]) {
+        account_busy(now);
+        state.busy_cores[site] += w.job.cores;
+        total_busy += w.job.cores;
+        waits.push_back((now - w.job.submit_time) * 24.0);
+        completions.push({now + runtime_days(w.job, site), site,
+                          w.job.cores});
+        if (w.site != w.job.home_site) {
+          metrics.transferred_bytes += w.job.input_bytes;
+        }
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+        --state.queued_jobs[site];
+        ++metrics.completed_jobs;
+      } else {
+        ++i;
+      }
+    }
+  };
+
+  std::size_t next_job = 0;
+  while (next_job < jobs.size() || !completions.empty()) {
+    const double next_submit = next_job < jobs.size()
+                                   ? jobs[next_job].submit_time
+                                   : 1e300;
+    const double next_done =
+        completions.empty() ? 1e300 : completions.top().time;
+    if (next_submit <= next_done) {
+      const SimJob& job = jobs[next_job++];
+      const std::size_t site = policy.place(job, state, rng);
+      if (site >= capacity_.size()) {
+        throw std::out_of_range("simulator: policy returned bad site");
+      }
+      site_queues[site].push_back({job, site});
+      ++state.queued_jobs[site];
+      try_start(site, job.submit_time);
+    } else {
+      const Completion done = completions.top();
+      completions.pop();
+      account_busy(done.time);
+      state.busy_cores[done.site] -= done.cores;
+      total_busy -= done.cores;
+      try_start(done.site, done.time);
+      metrics.makespan_days = std::max(metrics.makespan_days, done.time);
+    }
+  }
+
+  if (!waits.empty()) {
+    std::sort(waits.begin(), waits.end());
+    double sum = 0.0;
+    for (const double w : waits) sum += w;
+    metrics.mean_wait_hours = sum / static_cast<double>(waits.size());
+    metrics.p95_wait_hours =
+        waits[static_cast<std::size_t>(0.95 *
+                                       static_cast<double>(waits.size() - 1))];
+  }
+  std::size_t total_capacity = 0;
+  for (const std::size_t c : capacity_) total_capacity += c;
+  if (metrics.makespan_days > 0.0 && total_capacity > 0) {
+    metrics.mean_utilization =
+        busy_core_days /
+        (static_cast<double>(total_capacity) * metrics.makespan_days);
+  }
+  return metrics;
+}
+
+std::vector<SimJob> jobs_from_table(const tabular::Table& table,
+                                    const panda::SiteCatalog& catalog,
+                                    std::uint64_t seed) {
+  const auto& schema = table.schema();
+  const std::size_t c_time = schema.index_of(panda::features::kCreationTime);
+  const std::size_t c_site = schema.index_of(panda::features::kComputingSite);
+  const std::size_t c_bytes =
+      schema.index_of(panda::features::kInputFileBytes);
+  const std::size_t c_workload = schema.index_of(panda::features::kWorkload);
+
+  util::Rng rng(seed);
+  const auto times = table.numerical(c_time);
+  const auto bytes = table.numerical(c_bytes);
+  const auto workloads = table.numerical(c_workload);
+  const auto site_codes = table.categorical(c_site);
+  const auto& site_vocab = table.vocabulary(c_site);
+
+  // Map table site labels onto catalog indices (unknown labels scatter
+  // uniformly so synthetic tables with rare invented labels still simulate).
+  std::vector<std::size_t> site_map(site_vocab.size());
+  for (std::size_t v = 0; v < site_vocab.size(); ++v) {
+    try {
+      site_map[v] = catalog.index_of(site_vocab[v]);
+    } catch (const std::out_of_range&) {
+      site_map[v] = static_cast<std::size_t>(rng.uniform_index(catalog.size()));
+    }
+  }
+
+  std::vector<SimJob> jobs;
+  jobs.reserve(table.num_rows());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    SimJob j;
+    j.submit_time = times[r];
+    j.home_site = site_map[static_cast<std::size_t>(site_codes[r])];
+    j.input_bytes = std::max(bytes[r], 0.0);
+    j.cores = rng.bernoulli(0.4) ? 8 : 1;
+    // workload is GFLOP-hours; convert to CPU-hours at the home site rate.
+    const double gflops = catalog.site(j.home_site).gflops_per_core;
+    j.cpu_hours = std::max(workloads[r], 0.0) / std::max(gflops, 1.0);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+}  // namespace surro::sched

@@ -1,0 +1,61 @@
+#include "tabular/schema.hpp"
+
+#include <unordered_set>
+
+namespace surro::tabular {
+
+Schema::Schema(std::vector<ColumnSpec> columns) : columns_(std::move(columns)) {
+  std::unordered_set<std::string> seen;
+  for (const auto& c : columns_) {
+    if (c.name.empty()) {
+      throw std::invalid_argument("schema: empty column name");
+    }
+    if (!seen.insert(c.name).second) {
+      throw std::invalid_argument("schema: duplicate column name '" + c.name +
+                                  "'");
+    }
+  }
+}
+
+std::size_t Schema::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  throw std::out_of_range("schema: unknown column '" + name + "'");
+}
+
+bool Schema::contains(const std::string& name) const noexcept {
+  for (const auto& c : columns_) {
+    if (c.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> Schema::numerical_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].kind == ColumnKind::kNumerical) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Schema::categorical_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].kind == ColumnKind::kCategorical) out.push_back(i);
+  }
+  return out;
+}
+
+bool operator==(const Schema& a, const Schema& b) noexcept {
+  if (a.columns_.size() != b.columns_.size()) return false;
+  for (std::size_t i = 0; i < a.columns_.size(); ++i) {
+    if (a.columns_[i].name != b.columns_[i].name ||
+        a.columns_[i].kind != b.columns_[i].kind) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace surro::tabular

@@ -1,0 +1,48 @@
+#pragma once
+// Column schema for mixed-type tables. Mirrors the paper's Fig. 3(a): each
+// column is either Numerical (double) or Categorical (dictionary-encoded
+// int32 codes with a per-column vocabulary).
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace surro::tabular {
+
+enum class ColumnKind { kNumerical, kCategorical };
+
+struct ColumnSpec {
+  std::string name;
+  ColumnKind kind = ColumnKind::kNumerical;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSpec> columns);
+
+  [[nodiscard]] std::size_t num_columns() const noexcept {
+    return columns_.size();
+  }
+  [[nodiscard]] const ColumnSpec& column(std::size_t i) const {
+    return columns_.at(i);
+  }
+  [[nodiscard]] const std::vector<ColumnSpec>& columns() const noexcept {
+    return columns_;
+  }
+
+  /// Index by name; throws std::out_of_range for unknown names.
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const noexcept;
+
+  [[nodiscard]] std::vector<std::size_t> numerical_indices() const;
+  [[nodiscard]] std::vector<std::size_t> categorical_indices() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) noexcept;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+};
+
+}  // namespace surro::tabular

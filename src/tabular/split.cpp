@@ -1,0 +1,42 @@
+#include "tabular/split.hpp"
+
+#include <stdexcept>
+
+namespace surro::tabular {
+
+Table shuffled(const Table& table, util::Rng& rng) {
+  const auto perm = rng.permutation(table.num_rows());
+  return table.select_rows(perm);
+}
+
+TrainTestSplit train_test_split(const Table& table, double train_fraction,
+                                util::Rng& rng) {
+  if (!(train_fraction > 0.0 && train_fraction < 1.0)) {
+    throw std::invalid_argument("split: train_fraction must be in (0,1)");
+  }
+  const auto perm = rng.permutation(table.num_rows());
+  const auto n_train = static_cast<std::size_t>(
+      static_cast<double>(table.num_rows()) * train_fraction);
+  const std::vector<std::size_t> train_idx(perm.begin(),
+                                           perm.begin() + n_train);
+  const std::vector<std::size_t> test_idx(perm.begin() + n_train, perm.end());
+  return {table.select_rows(train_idx), table.select_rows(test_idx)};
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> fold_ranges(
+    std::size_t num_rows, std::size_t k) {
+  if (k == 0) throw std::invalid_argument("split: k must be positive");
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(k);
+  const std::size_t base = num_rows / k;
+  const std::size_t extra = num_rows % k;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    out.emplace_back(start, start + len);
+    start += len;
+  }
+  return out;
+}
+
+}  // namespace surro::tabular

@@ -1,0 +1,27 @@
+#pragma once
+// Row shuffling and train/test splitting (the paper's 80/20 split).
+
+#include "tabular/table.hpp"
+#include "util/rng.hpp"
+
+namespace surro::tabular {
+
+struct TrainTestSplit {
+  Table train;
+  Table test;
+};
+
+/// Random permutation of the table's rows.
+[[nodiscard]] Table shuffled(const Table& table, util::Rng& rng);
+
+/// Shuffled split with `train_fraction` of rows in train (paper: 0.8).
+/// Throws std::invalid_argument unless 0 < train_fraction < 1.
+[[nodiscard]] TrainTestSplit train_test_split(const Table& table,
+                                              double train_fraction,
+                                              util::Rng& rng);
+
+/// Deterministic k-fold boundaries for cross-validation utilities.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> fold_ranges(
+    std::size_t num_rows, std::size_t k);
+
+}  // namespace surro::tabular

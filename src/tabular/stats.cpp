@@ -1,0 +1,95 @@
+#include "tabular/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "util/mathx.hpp"
+
+namespace surro::tabular {
+
+NumericalSummary summarize_numerical(const Table& table, std::size_t col) {
+  NumericalSummary s;
+  s.name = table.schema().column(col).name;
+  const auto data = table.numerical(col);
+  s.count = data.size();
+  if (data.empty()) return s;
+
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = util::mean(data);
+  s.stddev = util::stddev(data);
+  s.p50 = util::quantile_sorted(sorted, 0.50);
+  s.p95 = util::quantile_sorted(sorted, 0.95);
+  s.num_unique = 1;
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] != sorted[i - 1]) ++s.num_unique;
+  }
+  return s;
+}
+
+CategoricalSummary summarize_categorical(const Table& table, std::size_t col,
+                                         std::size_t top_k) {
+  CategoricalSummary s;
+  s.name = table.schema().column(col).name;
+  const auto codes = table.categorical(col);
+  const auto& vocab = table.vocabulary(col);
+  s.count = codes.size();
+
+  std::vector<std::uint64_t> counts(vocab.size(), 0);
+  for (const std::int32_t c : codes) counts[static_cast<std::size_t>(c)]++;
+  s.cardinality = 0;
+  for (const std::uint64_t c : counts) {
+    if (c > 0) ++s.cardinality;
+  }
+
+  std::vector<std::size_t> order(vocab.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (counts[a] != counts[b]) return counts[a] > counts[b];
+    return vocab[a] < vocab[b];
+  });
+  for (std::size_t i = 0; i < std::min(top_k, order.size()); ++i) {
+    if (counts[order[i]] == 0) break;
+    s.top_counts.emplace_back(vocab[order[i]], counts[order[i]]);
+  }
+  return s;
+}
+
+std::vector<double> category_frequencies(const Table& table,
+                                         std::size_t col) {
+  const auto codes = table.categorical(col);
+  std::vector<double> freq(table.cardinality(col), 0.0);
+  if (codes.empty()) return freq;
+  for (const std::int32_t c : codes) freq[static_cast<std::size_t>(c)] += 1.0;
+  for (double& f : freq) f /= static_cast<double>(codes.size());
+  return freq;
+}
+
+std::vector<std::string> profile_lines(const Table& table) {
+  std::vector<std::string> lines;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-16s %-12s %10s %14s", "feature", "kind",
+                "# unique", "range/top");
+  lines.emplace_back(buf);
+  const auto& schema = table.schema();
+  for (std::size_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.column(c).kind == ColumnKind::kNumerical) {
+      const auto s = summarize_numerical(table, c);
+      std::snprintf(buf, sizeof(buf), "%-16s %-12s %10zu [%.4g, %.4g]",
+                    s.name.c_str(), "numerical", s.num_unique, s.min, s.max);
+    } else {
+      const auto s = summarize_categorical(table, c, 1);
+      const std::string top =
+          s.top_counts.empty() ? "-" : s.top_counts.front().first;
+      std::snprintf(buf, sizeof(buf), "%-16s %-12s %10zu top=%s",
+                    s.name.c_str(), "categorical", s.cardinality, top.c_str());
+    }
+    lines.emplace_back(buf);
+  }
+  return lines;
+}
+
+}  // namespace surro::tabular

@@ -1,0 +1,46 @@
+#pragma once
+// Per-column summaries used by the Fig. 3(a) dataset profile and by tests.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tabular/table.hpp"
+
+namespace surro::tabular {
+
+struct NumericalSummary {
+  std::string name;
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  /// Number of distinct values (exact; the Fig. 3(a) "# unique" column).
+  std::size_t num_unique = 0;
+};
+
+struct CategoricalSummary {
+  std::string name;
+  std::size_t count = 0;
+  std::size_t cardinality = 0;
+  /// (label, count) sorted by descending count.
+  std::vector<std::pair<std::string, std::uint64_t>> top_counts;
+};
+
+[[nodiscard]] NumericalSummary summarize_numerical(const Table& table,
+                                                   std::size_t col);
+[[nodiscard]] CategoricalSummary summarize_categorical(const Table& table,
+                                                       std::size_t col,
+                                                       std::size_t top_k = 5);
+
+/// Normalized frequency of each category code (length = cardinality).
+[[nodiscard]] std::vector<double> category_frequencies(const Table& table,
+                                                       std::size_t col);
+
+/// Fig. 3(a)-style profile of the whole table, as printable lines.
+[[nodiscard]] std::vector<std::string> profile_lines(const Table& table);
+
+}  // namespace surro::tabular

@@ -1,0 +1,89 @@
+#include "tabular/table_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/stringx.hpp"
+
+namespace surro::tabular {
+
+std::string to_csv(const Table& table) {
+  util::CsvDocument doc;
+  const auto& schema = table.schema();
+  doc.header.reserve(schema.num_columns());
+  for (const auto& col : schema.columns()) doc.header.push_back(col.name);
+
+  doc.rows.resize(table.num_rows());
+  for (auto& row : doc.rows) row.resize(schema.num_columns());
+
+  for (std::size_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.column(c).kind == ColumnKind::kNumerical) {
+      const auto col = table.numerical(c);
+      for (std::size_t r = 0; r < col.size(); ++r) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", col[r]);
+        doc.rows[r][c] = buf;
+      }
+    } else {
+      for (std::size_t r = 0; r < table.num_rows(); ++r) {
+        doc.rows[r][c] = table.label_at(c, r);
+      }
+    }
+  }
+  return util::to_csv(doc);
+}
+
+void write_csv(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("table_io: cannot write " + path);
+  out << to_csv(table);
+  if (!out) throw std::runtime_error("table_io: write failed for " + path);
+}
+
+Table from_csv(const Schema& schema, const std::string& text) {
+  const util::CsvDocument doc = util::parse_csv(text, /*has_header=*/true);
+
+  std::vector<std::size_t> csv_col(schema.num_columns());
+  for (std::size_t c = 0; c < schema.num_columns(); ++c) {
+    const std::size_t idx = doc.column_index(schema.column(c).name);
+    if (idx == util::CsvDocument::npos) {
+      throw std::runtime_error("table_io: CSV is missing column '" +
+                               schema.column(c).name + "'");
+    }
+    csv_col[c] = idx;
+  }
+
+  Table table(schema);
+  for (std::size_t r = 0; r < doc.num_rows(); ++r) {
+    auto row = table.make_row();
+    for (std::size_t c = 0; c < schema.num_columns(); ++c) {
+      const std::string& cell = doc.rows[r][csv_col[c]];
+      if (schema.column(c).kind == ColumnKind::kNumerical) {
+        double v = 0.0;
+        if (!util::parse_double(cell, v)) {
+          throw std::runtime_error("table_io: bad numerical cell '" + cell +
+                                   "' in column '" + schema.column(c).name +
+                                   "' row " + std::to_string(r));
+        }
+        row.set(c, v);
+      } else {
+        row.set(c, cell);
+      }
+    }
+    table.append_row(row);
+  }
+  return table;
+}
+
+Table read_csv(const Schema& schema, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("table_io: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_csv(schema, buf.str());
+}
+
+}  // namespace surro::tabular

@@ -1,0 +1,27 @@
+#pragma once
+// CSV persistence for Tables. Numerical cells are written with full
+// round-trip precision ("%.17g"); categorical cells are written as labels.
+// Loading takes an explicit schema (type inference is deliberately avoided:
+// PanDA columns like computing-site names can look numeric).
+
+#include <string>
+
+#include "tabular/table.hpp"
+
+namespace surro::tabular {
+
+/// Serialize to CSV text (header row = column names).
+[[nodiscard]] std::string to_csv(const Table& table);
+
+/// Write to a file; throws std::runtime_error on I/O failure.
+void write_csv(const Table& table, const std::string& path);
+
+/// Parse CSV text into a table with the given schema. The CSV header must
+/// contain every schema column (extra CSV columns are ignored). Throws
+/// std::runtime_error on missing columns or unparseable numerical cells.
+[[nodiscard]] Table from_csv(const Schema& schema, const std::string& text);
+
+/// Read a CSV file with the given schema.
+[[nodiscard]] Table read_csv(const Schema& schema, const std::string& path);
+
+}  // namespace surro::tabular

@@ -1,0 +1,230 @@
+#include "temporal/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace surro::temporal {
+
+std::vector<double> bin_counts(std::span<const double> times,
+                               double horizon_days, double bin_width_days) {
+  if (horizon_days <= 0.0 || bin_width_days <= 0.0) {
+    throw std::invalid_argument("temporal: non-positive horizon/bin width");
+  }
+  const auto bins = static_cast<std::size_t>(
+      std::ceil(horizon_days / bin_width_days));
+  std::vector<double> counts(std::max<std::size_t>(bins, 1), 0.0);
+  for (const double t : times) {
+    if (t < 0.0 || t >= horizon_days) continue;
+    counts[static_cast<std::size_t>(t / bin_width_days)] += 1.0;
+  }
+  return counts;
+}
+
+std::vector<double> autocorrelation(std::span<const double> series,
+                                    std::size_t max_lag) {
+  const std::size_t n = series.size();
+  std::vector<double> acf(max_lag + 1, 0.0);
+  if (n == 0) return acf;
+  const double m = util::mean(series);
+  double denom = 0.0;
+  for (const double v : series) denom += (v - m) * (v - m);
+  acf[0] = 1.0;
+  if (denom <= 0.0) return acf;
+  for (std::size_t lag = 1; lag <= max_lag && lag < n; ++lag) {
+    double num = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i) {
+      num += (series[i] - m) * (series[i + lag] - m);
+    }
+    acf[lag] = num / denom;
+  }
+  return acf;
+}
+
+namespace {
+
+bool is_power_of_two(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+// Iterative radix-2 Cooley–Tukey, in place.
+void fft_radix2(std::vector<std::complex<double>>& a) {
+  const std::size_t n = a.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * util::kPi / static_cast<double>(len);
+    const std::complex<double> wl(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> dft(std::span<const double> series) {
+  const std::size_t n = series.size();
+  std::vector<std::complex<double>> out(n);
+  if (n == 0) return out;
+  if (is_power_of_two(n)) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = series[i];
+    fft_radix2(out);
+    return out;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * util::kPi * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      acc += series[t] * std::complex<double>(std::cos(angle),
+                                              std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<double> periodogram(std::span<const double> series) {
+  const std::size_t n = series.size();
+  if (n < 2) return {};
+  const double m = util::mean(series);
+  std::vector<double> centered(series.begin(), series.end());
+  for (double& v : centered) v -= m;
+  const auto spectrum = dft(centered);
+  std::vector<double> power(n / 2 + 1, 0.0);
+  for (std::size_t k = 0; k < power.size(); ++k) {
+    power[k] = std::norm(spectrum[k]) / static_cast<double>(n);
+  }
+  return power;
+}
+
+double dominant_period_days(std::span<const double> series,
+                            double bin_width_days, double min_period,
+                            double max_period) {
+  const auto power = periodogram(series);
+  if (power.size() < 3) return 0.0;
+  const double n = static_cast<double>(series.size());
+  double best_power = 0.0;
+  double best_period = 0.0;
+  double total = 0.0;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    const double period = n * bin_width_days / static_cast<double>(k);
+    total += power[k];
+    if (period < min_period || period > max_period) continue;
+    if (power[k] > best_power) {
+      best_power = power[k];
+      best_period = period;
+    }
+  }
+  // Require the peak to carry a non-trivial share of spectral mass.
+  if (total <= 0.0 || best_power < 0.01 * total) return 0.0;
+  return best_period;
+}
+
+namespace {
+std::vector<double> slot_profile(std::span<const double> times,
+                                 double horizon_days, std::size_t slots,
+                                 double slots_per_day) {
+  std::vector<double> counts(slots, 0.0);
+  std::vector<double> exposure(slots, 0.0);
+  // Exposure: how many times each slot occurs in the horizon.
+  const double total_slots = horizon_days * slots_per_day;
+  for (double s = 0.0; s < total_slots; s += 1.0) {
+    exposure[static_cast<std::size_t>(std::fmod(s, static_cast<double>(slots)))] +=
+        1.0;
+  }
+  for (const double t : times) {
+    if (t < 0.0 || t >= horizon_days) continue;
+    const double slot_pos = t * slots_per_day;
+    counts[static_cast<std::size_t>(std::fmod(slot_pos,
+                                              static_cast<double>(slots)))] +=
+        1.0;
+  }
+  std::vector<double> profile(slots, 1.0);
+  double mean_rate = 0.0;
+  std::size_t active = 0;
+  for (std::size_t s = 0; s < slots; ++s) {
+    if (exposure[s] > 0.0) {
+      profile[s] = counts[s] / exposure[s];
+      mean_rate += profile[s];
+      ++active;
+    }
+  }
+  if (active == 0 || mean_rate <= 0.0) {
+    return std::vector<double>(slots, 1.0);
+  }
+  mean_rate /= static_cast<double>(active);
+  for (double& p : profile) p /= mean_rate;
+  return profile;
+}
+}  // namespace
+
+std::vector<double> day_of_week_profile(std::span<const double> times,
+                                        double horizon_days) {
+  return slot_profile(times, horizon_days, 7, 1.0);
+}
+
+std::vector<double> hour_of_day_profile(std::span<const double> times,
+                                        double horizon_days) {
+  return slot_profile(times, horizon_days, 24, 24.0);
+}
+
+double profile_distance(std::span<const double> a,
+                        std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("temporal: profile length mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+  return a.empty() ? 0.0 : acc / static_cast<double>(a.size());
+}
+
+TemporalFidelity compare_temporal(std::span<const double> real_times,
+                                  std::span<const double> synth_times,
+                                  double horizon_days,
+                                  double bin_width_days,
+                                  std::size_t max_lag_bins) {
+  TemporalFidelity out;
+  out.weekly_profile_distance =
+      profile_distance(day_of_week_profile(real_times, horizon_days),
+                       day_of_week_profile(synth_times, horizon_days));
+  out.diurnal_profile_distance =
+      profile_distance(hour_of_day_profile(real_times, horizon_days),
+                       hour_of_day_profile(synth_times, horizon_days));
+
+  const auto real_series =
+      bin_counts(real_times, horizon_days, bin_width_days);
+  const auto synth_series =
+      bin_counts(synth_times, horizon_days, bin_width_days);
+  out.real_dominant_period =
+      dominant_period_days(real_series, bin_width_days);
+  out.synth_dominant_period =
+      dominant_period_days(synth_series, bin_width_days);
+
+  const auto acf_real = autocorrelation(real_series, max_lag_bins);
+  const auto acf_synth = autocorrelation(synth_series, max_lag_bins);
+  double rmse = 0.0;
+  for (std::size_t lag = 1; lag < acf_real.size(); ++lag) {
+    const double d = acf_real[lag] - acf_synth[lag];
+    rmse += d * d;
+  }
+  out.acf_rmse = std::sqrt(rmse / static_cast<double>(max_lag_bins));
+  return out;
+}
+
+}  // namespace surro::temporal

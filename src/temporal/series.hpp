@@ -1,0 +1,72 @@
+#pragma once
+// Temporal analysis of job-submission streams — the paper's Sec. VI first
+// limitation ("the temporal aspect of the submitted jobs has not been
+// studied in depth ... whether or not there are periodic ups and downs due
+// to weekends"). This module answers that question quantitatively: binned
+// count series, autocorrelation, a periodogram built on a radix-agnostic
+// DFT, day-of-week and hour-of-day profiles, and similarity scores between
+// the real and synthetic creation-time processes.
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace surro::temporal {
+
+/// Event times (days) -> counts per fixed-width bin over [0, horizon).
+[[nodiscard]] std::vector<double> bin_counts(std::span<const double> times,
+                                             double horizon_days,
+                                             double bin_width_days);
+
+/// Sample autocorrelation of a series at lags 0..max_lag (biased estimator,
+/// normalized so acf[0] == 1; zero-variance series yields all-zeros after
+/// lag 0).
+[[nodiscard]] std::vector<double> autocorrelation(
+    std::span<const double> series, std::size_t max_lag);
+
+/// Discrete Fourier transform (naive O(n²) fallback, radix-2 FFT when the
+/// length is a power of two). Exposed for tests.
+[[nodiscard]] std::vector<std::complex<double>> dft(
+    std::span<const double> series);
+
+/// One-sided power spectrum of the mean-removed series; entry k corresponds
+/// to frequency k / (n · bin_width) cycles per day.
+[[nodiscard]] std::vector<double> periodogram(std::span<const double> series);
+
+/// The dominant period (in days) of a count series binned at `bin_width`
+/// days, searched over periods in [min_period, max_period]. Returns 0 when
+/// the spectrum is flat.
+[[nodiscard]] double dominant_period_days(std::span<const double> series,
+                                          double bin_width_days,
+                                          double min_period = 2.0,
+                                          double max_period = 14.0);
+
+/// Mean event rate per day-of-week slot (7 entries, normalized to mean 1;
+/// all-zeros input yields all-ones).
+[[nodiscard]] std::vector<double> day_of_week_profile(
+    std::span<const double> times, double horizon_days);
+
+/// Mean event rate per hour-of-day slot (24 entries, normalized to mean 1).
+[[nodiscard]] std::vector<double> hour_of_day_profile(
+    std::span<const double> times, double horizon_days);
+
+/// L1 distance between two normalized profiles (0 = identical shapes).
+[[nodiscard]] double profile_distance(std::span<const double> a,
+                                      std::span<const double> b);
+
+/// Summary comparison of two creation-time processes.
+struct TemporalFidelity {
+  double weekly_profile_distance = 0.0;  // day-of-week L1
+  double diurnal_profile_distance = 0.0; // hour-of-day L1
+  double real_dominant_period = 0.0;     // days
+  double synth_dominant_period = 0.0;    // days
+  double acf_rmse = 0.0;                 // autocorrelation mismatch
+};
+
+[[nodiscard]] TemporalFidelity compare_temporal(
+    std::span<const double> real_times, std::span<const double> synth_times,
+    double horizon_days, double bin_width_days = 0.25,
+    std::size_t max_lag_bins = 64);
+
+}  // namespace surro::temporal

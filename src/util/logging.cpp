@@ -1,0 +1,80 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace surro::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_sink_mutex;
+
+constexpr const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void vlogf(LogLevel level, const char* fmt, std::va_list args) {
+  if (log_level() > level) return;
+  char stack_buf[1024];
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return;
+  }
+  if (static_cast<std::size_t>(needed) < sizeof(stack_buf)) {
+    va_end(args_copy);
+    log_line(level, std::string_view(stack_buf,
+                                     static_cast<std::size_t>(needed)));
+    return;
+  }
+  std::string big(static_cast<std::size_t>(needed) + 1, '\0');
+  std::vsnprintf(big.data(), big.size(), fmt, args_copy);
+  va_end(args_copy);
+  big.resize(static_cast<std::size_t>(needed));
+  log_line(level, big);
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, std::string_view msg) {
+  const std::lock_guard lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlogf(level, fmt, args);
+  va_end(args);
+}
+
+#define SURRO_DEFINE_LOG_FN(name, level)          \
+  void name(const char* fmt, ...) {               \
+    std::va_list args;                            \
+    va_start(args, fmt);                          \
+    vlogf(level, fmt, args);                      \
+    va_end(args);                                 \
+  }
+
+SURRO_DEFINE_LOG_FN(log_debug, LogLevel::kDebug)
+SURRO_DEFINE_LOG_FN(log_info, LogLevel::kInfo)
+SURRO_DEFINE_LOG_FN(log_warn, LogLevel::kWarn)
+SURRO_DEFINE_LOG_FN(log_error, LogLevel::kError)
+
+#undef SURRO_DEFINE_LOG_FN
+
+}  // namespace surro::util

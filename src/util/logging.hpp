@@ -1,0 +1,46 @@
+#pragma once
+// Minimal leveled logger. Experiments print a lot of structured output; the
+// logger keeps diagnostic chatter separate from result tables (which go to
+// stdout directly). Thread-safe line-at-a-time output to stderr.
+//
+// printf-style formatting (g++ 12 has no <format>); format strings are
+// checked by the compiler via the format attribute.
+
+#include <string_view>
+
+namespace surro::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded. Default: kInfo.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Core sink: one locked write of "[LEVEL] msg\n" to stderr.
+void log_line(LogLevel level, std::string_view msg);
+
+/// printf-style leveled logging.
+#if defined(__GNUC__)
+#define SURRO_PRINTF_CHECK __attribute__((format(printf, 2, 3)))
+#else
+#define SURRO_PRINTF_CHECK
+#endif
+
+void logf(LogLevel level, const char* fmt, ...) SURRO_PRINTF_CHECK;
+
+#undef SURRO_PRINTF_CHECK
+
+#if defined(__GNUC__)
+#define SURRO_PRINTF_CHECK1 __attribute__((format(printf, 1, 2)))
+#else
+#define SURRO_PRINTF_CHECK1
+#endif
+
+void log_debug(const char* fmt, ...) SURRO_PRINTF_CHECK1;
+void log_info(const char* fmt, ...) SURRO_PRINTF_CHECK1;
+void log_warn(const char* fmt, ...) SURRO_PRINTF_CHECK1;
+void log_error(const char* fmt, ...) SURRO_PRINTF_CHECK1;
+
+#undef SURRO_PRINTF_CHECK1
+
+}  // namespace surro::util

@@ -1,0 +1,111 @@
+#pragma once
+// Deterministic random number generation for every stochastic component.
+//
+// The library never uses std::random_device or global RNG state: every
+// simulator, model, and sampler takes an explicit 64-bit seed so experiments
+// are bit-reproducible across runs. The core generator is xoshiro256**,
+// seeded through SplitMix64 (the scheme recommended by the xoshiro authors).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace surro::util {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless hash.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can be
+/// plugged into <random> distributions, but the member samplers below are
+/// preferred: they are guaranteed stable across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Split off an independent stream (for per-thread / per-component RNGs).
+  [[nodiscard]] Rng split() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box–Muller (cached second variate).
+  double normal() noexcept;
+  double normal(double mean, double stddev) noexcept;
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma) noexcept;
+  /// Exponential with rate lambda (> 0).
+  double exponential(double lambda) noexcept;
+  /// Gamma(shape k > 0, scale theta > 0) via Marsaglia–Tsang.
+  double gamma(double shape, double scale) noexcept;
+  /// Poisson with mean lambda >= 0 (inversion for small, PTRS-like normal
+  /// approximation with rounding for large lambda).
+  std::uint64_t poisson(double lambda) noexcept;
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept;
+  /// Pareto (type I) with minimum xm > 0 and tail index alpha > 0.
+  double pareto(double xm, double alpha) noexcept;
+
+  /// Sample an index from unnormalized non-negative weights.
+  /// Precondition: weights non-empty with positive sum.
+  std::size_t categorical(std::span<const double> weights) noexcept;
+
+  /// Fisher–Yates shuffle of an index container.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A random permutation of [0, n).
+  [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n) noexcept;
+
+  /// k distinct indices from [0, n) (k <= n), unordered.
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(
+      std::size_t n, std::size_t k) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Precomputed alias table for O(1) sampling from a fixed discrete
+/// distribution; used by the workload simulator for site/user/dataset draws.
+class AliasTable {
+ public:
+  AliasTable() = default;
+  /// Build from unnormalized non-negative weights (positive sum required).
+  explicit AliasTable(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return prob_.empty(); }
+  /// The normalized probability of outcome i (for tests/diagnostics).
+  [[nodiscard]] double probability(std::size_t i) const noexcept {
+    return norm_[i];
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::size_t> alias_;
+  std::vector<double> norm_;
+};
+
+}  // namespace surro::util

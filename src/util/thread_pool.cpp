@@ -1,0 +1,98 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace surro::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      const std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain) {
+  if (begin >= end) return;
+  auto& pool = ThreadPool::global();
+  const std::size_t n = end - begin;
+  const std::size_t workers = pool.size();
+  if (workers <= 1 || n <= grain) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t chunks = std::min(workers * 4, (n + grain - 1) / grain);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(lo + chunk, end);
+    pool.submit([&body, lo, hi] { body(lo, hi); });
+  }
+  pool.wait_idle();
+}
+
+void parallel_for_each(std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t)>& body,
+                       std::size_t grain) {
+  parallel_for(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+}  // namespace surro::util

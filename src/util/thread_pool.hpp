@@ -1,0 +1,62 @@
+#pragma once
+// Shared-memory parallelism for the hot loops (GEMM, k-NN, histogram builds,
+// GBDT split search). A single process-wide pool is created lazily and sized
+// to the hardware; parallel_for falls back to a serial loop when the range is
+// small or the pool has a single worker, so call sites never special-case.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace surro::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (0 -> std::thread::hardware_concurrency()).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; completion is observed via wait_idle() or the
+  /// parallel_for barrier.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// The process-wide pool (lazily constructed, never destroyed before exit).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Splits [begin, end) into contiguous chunks and runs `body(lo, hi)` on the
+/// global pool. Serial when the range is tiny or only one worker exists.
+/// `grain` is the minimum chunk size worth shipping to a worker.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain = 1024);
+
+/// Per-element convenience wrapper.
+void parallel_for_each(std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t)>& body,
+                       std::size_t grain = 1024);
+
+}  // namespace surro::util

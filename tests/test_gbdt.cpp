@@ -1,0 +1,253 @@
+// GBDT substrate: binning, single trees, boosting convergence, and
+// target-statistic encoding.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "gbdt/binning.hpp"
+#include "gbdt/boosting.hpp"
+#include "gbdt/target_stats.hpp"
+#include "gbdt/tree.hpp"
+#include "util/rng.hpp"
+
+namespace surro::gbdt {
+namespace {
+
+// ----------------------------------------------------------------- binning --
+
+TEST(Binning, CodesRespectThresholds) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0, 5.0,
+                                      6.0, 7.0, 8.0, 9.0, 10.0};
+  const auto f = bin_feature(values, 4);
+  EXPECT_GE(f.num_bins(), 2u);
+  // Codes are monotone in the value.
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    EXPECT_LE(bin_code(f, values[i - 1]), bin_code(f, values[i]));
+  }
+}
+
+TEST(Binning, ConstantColumnSingleBin) {
+  const std::vector<double> values(50, 3.0);
+  const auto f = bin_feature(values, 8);
+  EXPECT_EQ(f.num_bins(), 1u);
+  for (const auto c : f.codes) EXPECT_EQ(c, 0);
+}
+
+TEST(Binning, NewValuesBinnedConsistently) {
+  const std::vector<double> values = {0.0, 1.0, 2.0, 3.0, 4.0};
+  const auto f = bin_feature(values, 4);
+  EXPECT_EQ(bin_code(f, -100.0), 0);
+  EXPECT_EQ(bin_code(f, 100.0), f.num_bins() - 1);
+}
+
+TEST(Binning, DatasetRejectsRagged) {
+  EXPECT_THROW(bin_dataset({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+  EXPECT_THROW(bin_dataset({}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ target stats --
+
+TEST(TargetStats, EncodesSmoothedMeans) {
+  //                              A    A    B
+  const std::vector<std::int32_t> codes = {0, 0, 1};
+  const std::vector<double> targets = {1.0, 3.0, 10.0};
+  TargetStatEncoder enc(/*smoothing=*/0.0);
+  enc.fit(codes, targets, 2);
+  EXPECT_NEAR(enc.encode_one(0), 2.0, 1e-12);
+  EXPECT_NEAR(enc.encode_one(1), 10.0, 1e-12);
+}
+
+TEST(TargetStats, SmoothingPullsTowardPrior) {
+  const std::vector<std::int32_t> codes = {0, 1};
+  const std::vector<double> targets = {0.0, 10.0};
+  TargetStatEncoder enc(/*smoothing=*/100.0);
+  enc.fit(codes, targets, 2);
+  // Prior is 5.0; heavy smoothing keeps encodings near it.
+  EXPECT_NEAR(enc.encode_one(0), 5.0, 0.2);
+  EXPECT_NEAR(enc.encode_one(1), 5.0, 0.2);
+}
+
+TEST(TargetStats, UnseenCodeGetsPrior) {
+  const std::vector<std::int32_t> codes = {0, 0};
+  const std::vector<double> targets = {2.0, 4.0};
+  TargetStatEncoder enc;
+  enc.fit(codes, targets, 1);
+  EXPECT_DOUBLE_EQ(enc.encode_one(99), enc.prior());
+  EXPECT_DOUBLE_EQ(enc.encode_one(-1), enc.prior());
+}
+
+TEST(TargetStats, Errors) {
+  TargetStatEncoder enc;
+  EXPECT_THROW(enc.fit({}, {}, 1), std::invalid_argument);
+  EXPECT_THROW(TargetStatEncoder(-1.0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- tree --
+
+TEST(RegressionTree, FitsAStepFunction) {
+  // y = 10 for x < 0.5, else -10: one split suffices.
+  std::vector<double> x(200);
+  std::vector<double> y(200);
+  util::Rng rng(1);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform();
+    y[i] = x[i] < 0.5 ? 10.0 : -10.0;
+  }
+  const auto data = bin_dataset({x}, 64);
+  std::vector<std::size_t> rows(x.size());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  RegressionTree tree;
+  TreeConfig cfg;
+  cfg.max_depth = 2;
+  cfg.min_samples_leaf = 5;
+  cfg.l2_reg = 0.0;
+  tree.fit(data, y, rows, cfg);
+  std::vector<double> preds(x.size(), 0.0);
+  tree.predict_dataset(data, 1.0, preds);
+  double err = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    err += std::abs(preds[i] - y[i]);
+  }
+  EXPECT_LT(err / static_cast<double>(x.size()), 0.5);
+}
+
+TEST(RegressionTree, RespectsMaxDepth) {
+  util::Rng rng(2);
+  std::vector<double> x(500);
+  std::vector<double> y(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform();
+    y[i] = std::sin(10.0 * x[i]);
+  }
+  const auto data = bin_dataset({x}, 128);
+  std::vector<std::size_t> rows(x.size());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  RegressionTree tree;
+  TreeConfig cfg;
+  cfg.max_depth = 3;
+  tree.fit(data, y, rows, cfg);
+  EXPECT_LE(tree.depth(), 3u);
+}
+
+TEST(RegressionTree, PureLeafWhenNoGain) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {5.0, 5.0, 5.0, 5.0};
+  const auto data = bin_dataset({x}, 4);
+  std::vector<std::size_t> rows = {0, 1, 2, 3};
+  RegressionTree tree;
+  TreeConfig cfg;
+  cfg.min_samples_leaf = 1;
+  cfg.l2_reg = 0.0;
+  tree.fit(data, y, rows, cfg);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+}
+
+// ---------------------------------------------------------------- boosting --
+
+tabular::Table regression_table(std::size_t n, std::uint64_t seed) {
+  tabular::Schema schema({{"x1", tabular::ColumnKind::kNumerical},
+                          {"group", tabular::ColumnKind::kCategorical},
+                          {"x2", tabular::ColumnKind::kNumerical},
+                          {"target", tabular::ColumnKind::kNumerical}});
+  tabular::Table t(schema);
+  util::Rng rng(seed);
+  static constexpr const char* kGroups[] = {"g0", "g1", "g2"};
+  static constexpr double kGroupEffect[] = {0.0, 5.0, -3.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x1 = rng.uniform(-2.0, 2.0);
+    const double x2 = rng.uniform(0.0, 1.0);
+    const std::size_t g = rng.uniform_index(3);
+    const double y = 3.0 * x1 + kGroupEffect[g] + x2 * x2 +
+                     rng.normal(0.0, 0.05);
+    auto row = t.make_row();
+    row.set(0, x1);
+    row.set(1, std::string(kGroups[g]));
+    row.set(2, x2);
+    row.set(3, y);
+    t.append_row(row);
+  }
+  return t;
+}
+
+TEST(GbdtRegressor, LearnsMixedSignal) {
+  const auto train = regression_table(3000, 3);
+  const auto test = regression_table(600, 4);
+  BoostingConfig cfg;
+  cfg.iterations = 60;
+  cfg.learning_rate = 0.3;
+  cfg.tree.max_depth = 5;
+  GbdtRegressor model(cfg);
+  model.fit(train, "target");
+  // Signal stddev is ~4; a fitted model should be far below that.
+  EXPECT_LT(model.rmse(test), 1.0);
+  EXPECT_EQ(model.num_trees(), 60u);
+}
+
+TEST(GbdtRegressor, BetterThanMeanBaseline) {
+  const auto train = regression_table(1500, 5);
+  const auto test = regression_table(400, 6);
+  BoostingConfig cfg;
+  cfg.iterations = 30;
+  cfg.learning_rate = 0.3;
+  GbdtRegressor model(cfg);
+  model.fit(train, "target");
+
+  // Mean-only baseline MSE on test.
+  const auto target = test.numerical(3);
+  double mean = 0.0;
+  for (const double v : target) mean += v;
+  mean /= static_cast<double>(target.size());
+  double base_mse = 0.0;
+  for (const double v : target) base_mse += (v - mean) * (v - mean);
+  base_mse /= static_cast<double>(target.size());
+
+  EXPECT_LT(model.mse(test), base_mse * 0.2);
+}
+
+TEST(GbdtRegressor, DeterministicForSeed) {
+  const auto train = regression_table(800, 7);
+  BoostingConfig cfg;
+  cfg.iterations = 10;
+  GbdtRegressor m1(cfg);
+  GbdtRegressor m2(cfg);
+  m1.fit(train, "target");
+  m2.fit(train, "target");
+  const auto p1 = m1.predict(train);
+  const auto p2 = m2.predict(train);
+  for (std::size_t i = 0; i < p1.size(); i += 53) {
+    EXPECT_DOUBLE_EQ(p1[i], p2[i]);
+  }
+}
+
+TEST(GbdtRegressor, Errors) {
+  GbdtRegressor model;
+  const auto t = regression_table(10, 8);
+  EXPECT_THROW(model.predict(t), std::logic_error);
+  EXPECT_THROW(model.fit(t, "group"), std::invalid_argument);
+  EXPECT_THROW(model.fit(t, "nope"), std::out_of_range);
+}
+
+TEST(GbdtRegressor, PredictOnUnseenCategories) {
+  const auto train = regression_table(500, 9);
+  BoostingConfig cfg;
+  cfg.iterations = 5;
+  GbdtRegressor model(cfg);
+  model.fit(train, "target");
+
+  // Table with an extra unseen group label.
+  tabular::Table test = regression_table(5, 10);
+  auto row = test.make_row();
+  row.set(0, 0.0);
+  row.set(1, std::string("UNSEEN"));
+  row.set(2, 0.5);
+  row.set(3, 0.0);
+  test.append_row(row);
+  const auto preds = model.predict(test);
+  EXPECT_EQ(preds.size(), 6u);
+  EXPECT_TRUE(std::isfinite(preds.back()));
+}
+
+}  // namespace
+}  // namespace surro::gbdt

@@ -1,0 +1,174 @@
+// Cross-module integration: the full generate -> filter -> split -> train ->
+// sample -> score pipeline at a scale that runs in tens of seconds, plus the
+// SurrogatePipeline façade and figure builders.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pipeline.hpp"
+#include "eval/experiment.hpp"
+#include "eval/figures.hpp"
+#include "metrics/report.hpp"
+#include "tabular/table_io.hpp"
+
+namespace surro {
+namespace {
+
+eval::ExperimentConfig tiny_config() {
+  auto cfg = eval::quick_experiment_config();
+  // Shrink further: integration tests must stay fast.
+  cfg.data.model.days = 10.0;
+  cfg.data.model.base_jobs_per_day = 150.0;
+  cfg.data.model.campaigns_per_day = 0.8;
+  cfg.data.extra_tier2_sites = 12;
+  cfg.budget.epochs = 4;
+  cfg.synth_rows = 600;
+  cfg.dcr.max_train_rows = 1200;
+  cfg.dcr.max_synth_rows = 500;
+  cfg.mlef.boosting.iterations = 25;
+  cfg.mlef.boosting.tree.max_depth = 5;
+  return cfg;
+}
+
+TEST(Integration, PrepareDataProducesPaperSchema) {
+  const auto data = eval::prepare_data(tiny_config());
+  EXPECT_GT(data.train.num_rows(), 200u);
+  EXPECT_GT(data.test.num_rows(), 50u);
+  EXPECT_EQ(data.full.num_columns(), 9u);
+  EXPECT_EQ(data.funnel.complete,
+            data.train.num_rows() + data.test.num_rows());
+  // 80/20 split within rounding.
+  const double frac =
+      static_cast<double>(data.train.num_rows()) /
+      static_cast<double>(data.funnel.complete);
+  EXPECT_NEAR(frac, 0.8, 0.01);
+}
+
+TEST(Integration, SmoteOnlyExperimentScoresSanely) {
+  auto cfg = tiny_config();
+  cfg.kinds = {models::GeneratorKind::kSmote};
+  const auto result = eval::run_experiment(cfg);
+  ASSERT_EQ(result.scores.size(), 1u);
+  const auto& s = result.scores.front();
+  EXPECT_EQ(s.model, "SMOTE");
+  // SMOTE tracks the training distribution closely and nearly memorizes.
+  EXPECT_LT(s.wd, 0.05);
+  EXPECT_LT(s.jsd, 0.05);
+  EXPECT_LT(s.diff_corr, 0.1);
+  EXPECT_LT(s.dcr, 0.5);
+  EXPECT_LT(std::abs(s.diff_mlef), 1.5);
+}
+
+TEST(Integration, ExperimentKeepsSamplesPerModel) {
+  auto cfg = tiny_config();
+  cfg.kinds = {models::GeneratorKind::kSmote,
+               models::GeneratorKind::kTvae};
+  const auto result = eval::run_experiment(cfg);
+  EXPECT_EQ(result.samples.size(), 2u);
+  EXPECT_TRUE(result.samples.contains("SMOTE"));
+  EXPECT_TRUE(result.samples.contains("TVAE"));
+  EXPECT_EQ(result.samples.at("SMOTE").num_rows(), cfg.synth_rows);
+}
+
+TEST(Integration, PipelineFacadeEndToEnd) {
+  core::PipelineConfig cfg;
+  cfg.experiment = tiny_config();
+  cfg.model = models::GeneratorKind::kSmote;
+  core::SurrogatePipeline pipe(cfg);
+  EXPECT_FALSE(pipe.fitted());
+  pipe.fit();
+  EXPECT_TRUE(pipe.fitted());
+  const auto synth = pipe.sample(500, 77);
+  EXPECT_EQ(synth.num_rows(), 500u);
+  const auto score = pipe.evaluate(synth);
+  EXPECT_EQ(score.model, "SMOTE");
+  EXPECT_LT(score.wd, 0.1);
+  EXPECT_THROW(pipe.fit(), std::logic_error);
+}
+
+TEST(Integration, PipelineThrowsBeforeFit) {
+  core::SurrogatePipeline pipe;
+  EXPECT_THROW(pipe.sample(10), std::logic_error);
+  EXPECT_THROW(pipe.train_table(), std::logic_error);
+}
+
+TEST(Integration, FigureBuildersProduceConsistentSeries) {
+  auto cfg = tiny_config();
+  cfg.kinds = {models::GeneratorKind::kSmote};
+  const auto result = eval::run_experiment(cfg);
+  const std::map<std::string, tabular::Table> samples(
+      result.samples.begin(), result.samples.end());
+
+  const auto marginals = eval::fig4a_numerical_marginals(result.train,
+                                                         samples, 24);
+  ASSERT_EQ(marginals.size(), 4u);  // four numerical features
+  for (const auto& m : marginals) {
+    ASSERT_TRUE(m.mass.contains("GT"));
+    ASSERT_TRUE(m.mass.contains("SMOTE"));
+    double gt_mass = 0.0;
+    double synth_mass = 0.0;
+    for (const double v : m.mass.at("GT")) gt_mass += v;
+    for (const double v : m.mass.at("SMOTE")) synth_mass += v;
+    EXPECT_NEAR(gt_mass, 1.0, 1e-9);
+    EXPECT_NEAR(synth_mass, 1.0, 1e-9);
+  }
+
+  const auto cats = eval::fig4b_categorical_tops(result.train, samples, 5);
+  ASSERT_EQ(cats.size(), 5u);  // five categorical features
+  for (const auto& c : cats) {
+    EXPECT_FALSE(c.top_labels.empty());
+    // SMOTE frequencies of top labels should be close to GT.
+    const auto& gt = c.freq.at("GT");
+    const auto& sm = c.freq.at("SMOTE");
+    for (std::size_t i = 0; i < gt.size(); ++i) {
+      EXPECT_NEAR(gt[i], sm[i], 0.12) << c.feature << " label "
+                                      << c.top_labels[i];
+    }
+  }
+
+  const auto fig5 = eval::fig5_correlations(result.train, samples);
+  EXPECT_EQ(fig5.ground_truth.n, 9u);
+  ASSERT_TRUE(fig5.differences.contains("SMOTE"));
+  // SMOTE's difference matrix should be small everywhere.
+  for (const double d : fig5.differences.at("SMOTE").values) {
+    EXPECT_LT(std::abs(d), 0.35);
+  }
+}
+
+TEST(Integration, Fig1GrowthIsMonotoneAndExabyteBound) {
+  const auto growth = eval::fig1_data_growth(2015.0, 2024.0);
+  ASSERT_GE(growth.size(), 9u);
+  for (std::size_t i = 1; i < growth.size(); ++i) {
+    EXPECT_GT(growth[i].disk_petabytes, growth[i - 1].disk_petabytes);
+    EXPECT_GT(growth[i].tape_petabytes, growth[i - 1].tape_petabytes);
+  }
+  // Ends in the hundreds-of-PB / EB regime like the paper's Fig. 1.
+  EXPECT_GT(growth.back().disk_petabytes + growth.back().tape_petabytes,
+            1000.0);
+}
+
+TEST(Integration, TableCsvRoundTripThroughPipeline) {
+  const auto data = eval::prepare_data(tiny_config());
+  const std::string csv = tabular::to_csv(data.train);
+  const auto back = tabular::from_csv(data.train.schema(), csv);
+  ASSERT_EQ(back.num_rows(), data.train.num_rows());
+  const std::size_t wl = data.train.schema().index_of("workload");
+  for (std::size_t r = 0; r < back.num_rows(); r += 211) {
+    EXPECT_DOUBLE_EQ(back.numerical(wl)[r], data.train.numerical(wl)[r]);
+  }
+}
+
+TEST(Integration, ExperimentIsDeterministic) {
+  auto cfg = tiny_config();
+  cfg.kinds = {models::GeneratorKind::kSmote};
+  const auto a = eval::run_experiment(cfg);
+  const auto b = eval::run_experiment(cfg);
+  ASSERT_EQ(a.scores.size(), b.scores.size());
+  EXPECT_DOUBLE_EQ(a.scores[0].wd, b.scores[0].wd);
+  EXPECT_DOUBLE_EQ(a.scores[0].dcr, b.scores[0].dcr);
+  EXPECT_DOUBLE_EQ(a.train_mlef, b.train_mlef);
+}
+
+}  // namespace
+}  // namespace surro

@@ -1,0 +1,176 @@
+// Exact-NN correctness: KD-tree vs. brute force on random point sets.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "knn/brute.hpp"
+#include "knn/kdtree.hpp"
+#include "util/rng.hpp"
+
+namespace surro::knn {
+namespace {
+
+linalg::Matrix random_points(std::size_t n, std::size_t d,
+                             util::Rng& rng) {
+  linalg::Matrix m(n, d);
+  for (float& v : m.flat()) v = static_cast<float>(rng.normal());
+  return m;
+}
+
+TEST(BruteKnn, FindsExactNearest) {
+  linalg::Matrix data(3, 1);
+  data(0, 0) = 0.0f;
+  data(1, 0) = 10.0f;
+  data(2, 0) = 3.0f;
+  const std::vector<float> q = {2.5f};
+  const auto nn = brute_knn(data, q, 2);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0].index, 2u);
+  EXPECT_EQ(nn[1].index, 0u);
+  EXPECT_NEAR(nn[0].dist_sq, 0.25f, 1e-6f);
+}
+
+TEST(BruteKnn, ExcludeSkipsSelf) {
+  linalg::Matrix data(3, 1);
+  data(0, 0) = 0.0f;
+  data(1, 0) = 1.0f;
+  data(2, 0) = 5.0f;
+  const auto nn = brute_knn(data, data.row(0), 1, /*exclude=*/0);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].index, 1u);
+}
+
+TEST(BruteKnn, KClampedToAvailable) {
+  util::Rng rng(1);
+  const auto data = random_points(5, 2, rng);
+  const auto nn = brute_knn(data, data.row(0), 100);
+  EXPECT_EQ(nn.size(), 5u);
+}
+
+TEST(BruteKnn, ResultsSortedAscending) {
+  util::Rng rng(2);
+  const auto data = random_points(200, 4, rng);
+  const auto q = random_points(1, 4, rng);
+  const auto nn = brute_knn(data, q.row(0), 10);
+  for (std::size_t i = 1; i < nn.size(); ++i) {
+    EXPECT_LE(nn[i - 1].dist_sq, nn[i].dist_sq);
+  }
+}
+
+TEST(BruteKnn, ErrorsOnBadInput) {
+  linalg::Matrix empty;
+  const std::vector<float> q = {1.0f};
+  EXPECT_THROW(brute_knn(empty, q, 1), std::invalid_argument);
+  util::Rng rng(3);
+  const auto data = random_points(4, 3, rng);
+  const std::vector<float> wrong = {1.0f};
+  EXPECT_THROW(brute_knn(data, wrong, 1), std::invalid_argument);
+}
+
+TEST(BruteKnnBatch, SelfModeExcludesOwnRow) {
+  util::Rng rng(4);
+  const auto data = random_points(50, 3, rng);
+  const auto all = brute_knn_batch(data, data, 3, /*self_mode=*/true);
+  ASSERT_EQ(all.size(), 50u);
+  for (std::size_t q = 0; q < all.size(); ++q) {
+    for (const auto& n : all[q]) EXPECT_NE(n.index, q);
+  }
+}
+
+TEST(NearestDistances, ZeroForIdenticalSets) {
+  util::Rng rng(5);
+  const auto data = random_points(30, 4, rng);
+  const auto d = nearest_distances(data, data);
+  for (const float v : d) EXPECT_NEAR(v, 0.0f, 1e-6f);
+}
+
+class KdTreeVsBrute
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(KdTreeVsBrute, SameNeighborsAsBruteForce) {
+  const auto [n, d, k] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(n * 100 + d * 10 + k));
+  const auto data = random_points(n, d, rng);
+  const KdTree tree(data);
+  const auto queries = random_points(20, d, rng);
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    const auto expected = brute_knn(data, queries.row(q), k);
+    const auto actual = tree.query(queries.row(q), k);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      // Indices may differ under exact distance ties; distances must match.
+      EXPECT_NEAR(actual[i].dist_sq, expected[i].dist_sq, 1e-5f)
+          << "query " << q << " neighbor " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KdTreeVsBrute,
+    ::testing::Values(std::make_tuple(10, 2, 3), std::make_tuple(100, 3, 5),
+                      std::make_tuple(500, 4, 1),
+                      std::make_tuple(1000, 2, 10),
+                      std::make_tuple(257, 8, 7),
+                      std::make_tuple(64, 1, 64)));
+
+TEST(KdTree, ExcludeMatchesBrute) {
+  util::Rng rng(6);
+  const auto data = random_points(100, 3, rng);
+  const KdTree tree(data);
+  for (std::size_t q = 0; q < 10; ++q) {
+    const auto expected = brute_knn(data, data.row(q), 4,
+                                    static_cast<std::ptrdiff_t>(q));
+    const auto actual = tree.query(data.row(q), 4,
+                                   static_cast<std::ptrdiff_t>(q));
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_NEAR(actual[i].dist_sq, expected[i].dist_sq, 1e-5f);
+    }
+    for (const auto& nbr : actual) EXPECT_NE(nbr.index, q);
+  }
+}
+
+TEST(KdTree, NearestDistanceMatchesQuery) {
+  util::Rng rng(7);
+  const auto data = random_points(300, 3, rng);
+  const KdTree tree(data);
+  const auto q = random_points(1, 3, rng);
+  const auto nn = tree.query(q.row(0), 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_NEAR(tree.nearest_distance(q.row(0)),
+              std::sqrt(nn[0].dist_sq), 1e-5f);
+}
+
+TEST(KdTree, SmallLeafSizes) {
+  util::Rng rng(8);
+  const auto data = random_points(128, 2, rng);
+  const KdTree tree(data, /*leaf_size=*/1);
+  const auto q = random_points(1, 2, rng);
+  const auto expected = brute_knn(data, q.row(0), 5);
+  const auto actual = tree.query(q.row(0), 5);
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i].dist_sq, expected[i].dist_sq, 1e-5f);
+  }
+}
+
+TEST(KdTree, ThrowsOnEmptyOrMismatched) {
+  linalg::Matrix empty;
+  EXPECT_THROW(KdTree tree(empty), std::invalid_argument);
+  util::Rng rng(9);
+  const auto data = random_points(10, 3, rng);
+  const KdTree tree(data);
+  const std::vector<float> wrong = {0.0f};
+  EXPECT_THROW(tree.query(wrong, 1), std::invalid_argument);
+}
+
+TEST(KdTree, DuplicatePointsHandled) {
+  linalg::Matrix data(6, 2, 1.0f);  // all identical
+  const KdTree tree(data);
+  const auto nn = tree.query(data.row(0), 3);
+  ASSERT_EQ(nn.size(), 3u);
+  for (const auto& n : nn) EXPECT_NEAR(n.dist_sq, 0.0f, 1e-9f);
+}
+
+}  // namespace
+}  // namespace surro::knn

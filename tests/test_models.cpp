@@ -1,0 +1,278 @@
+// Generative models: schema preservation, determinism, and model-specific
+// invariants (SMOTE interpolation, VAE/GAN/DDPM training smoke) on small
+// synthetic tables so the whole file runs in seconds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "models/ctabgan.hpp"
+#include "models/generator.hpp"
+#include "models/smote.hpp"
+#include "models/tabddpm.hpp"
+#include "models/tvae.hpp"
+#include "util/rng.hpp"
+
+namespace surro::models {
+namespace {
+
+// Tiny mixed table with clear structure: two clusters that differ in both
+// numerical location and dominant category.
+tabular::Table cluster_table(std::size_t n, std::uint64_t seed) {
+  tabular::Schema schema({{"x", tabular::ColumnKind::kNumerical},
+                          {"site", tabular::ColumnKind::kCategorical},
+                          {"y", tabular::ColumnKind::kNumerical},
+                          {"status", tabular::ColumnKind::kCategorical}});
+  tabular::Table t(schema);
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool cluster_a = rng.bernoulli(0.65);
+    auto row = t.make_row();
+    if (cluster_a) {
+      row.set(0, rng.normal(0.0, 0.4));
+      row.set(1, std::string(rng.bernoulli(0.9) ? "BNL" : "CERN"));
+      row.set(2, rng.normal(-2.0, 0.3));
+      row.set(3, std::string(rng.bernoulli(0.85) ? "finished" : "failed"));
+    } else {
+      row.set(0, rng.normal(5.0, 0.4));
+      row.set(1, std::string(rng.bernoulli(0.8) ? "RAL" : "CERN"));
+      row.set(2, rng.normal(3.0, 0.3));
+      row.set(3, std::string(rng.bernoulli(0.6) ? "finished" : "failed"));
+    }
+    t.append_row(row);
+  }
+  return t;
+}
+
+TrainBudget tiny_budget() {
+  TrainBudget b;
+  b.epochs = 8;
+  b.batch_size = 64;
+  b.learning_rate = 1e-3f;
+  return b;
+}
+
+// ------------------------------------------------------------------ common --
+
+class AllGenerators : public ::testing::TestWithParam<GeneratorKind> {};
+
+TEST_P(AllGenerators, SamplePreservesSchemaAndVocab) {
+  const auto train = cluster_table(400, 1);
+  auto model = make_generator(GetParam(), tiny_budget(), 7);
+  model->fit(train);
+  const auto synth = model->sample(100, 99);
+  EXPECT_EQ(synth.num_rows(), 100u);
+  EXPECT_TRUE(synth.schema() == train.schema());
+  // All labels must come from the training vocabulary.
+  for (const std::size_t col : train.schema().categorical_indices()) {
+    for (std::size_t r = 0; r < synth.num_rows(); ++r) {
+      EXPECT_TRUE(train.code_of(col, synth.label_at(col, r)).has_value())
+          << "unknown label " << synth.label_at(col, r);
+    }
+  }
+}
+
+TEST_P(AllGenerators, SamplingIsDeterministicPerSeed) {
+  const auto train = cluster_table(300, 2);
+  auto model = make_generator(GetParam(), tiny_budget(), 7);
+  model->fit(train);
+  const auto a = model->sample(50, 42);
+  const auto b = model->sample(50, 42);
+  for (std::size_t r = 0; r < 50; ++r) {
+    EXPECT_DOUBLE_EQ(a.numerical(0)[r], b.numerical(0)[r]);
+    EXPECT_EQ(a.label_at(1, r), b.label_at(1, r));
+  }
+}
+
+TEST_P(AllGenerators, DifferentSeedsGiveDifferentSamples) {
+  const auto train = cluster_table(300, 3);
+  auto model = make_generator(GetParam(), tiny_budget(), 7);
+  model->fit(train);
+  const auto a = model->sample(50, 1);
+  const auto b = model->sample(50, 2);
+  int identical = 0;
+  for (std::size_t r = 0; r < 50; ++r) {
+    identical += a.numerical(0)[r] == b.numerical(0)[r];
+  }
+  EXPECT_LT(identical, 50);
+}
+
+TEST_P(AllGenerators, SampleBeforeFitThrows) {
+  auto model = make_generator(GetParam(), tiny_budget(), 7);
+  EXPECT_THROW(model->sample(10, 1), std::logic_error);
+}
+
+TEST_P(AllGenerators, NumericalValuesWithinTrainingRange) {
+  // Quantile-based decoding clamps synthetic numericals to the observed
+  // training range — an invariant of the shared preprocessing.
+  const auto train = cluster_table(400, 4);
+  auto model = make_generator(GetParam(), tiny_budget(), 7);
+  model->fit(train);
+  const auto synth = model->sample(200, 5);
+  for (const std::size_t col : train.schema().numerical_indices()) {
+    const auto tr = train.numerical(col);
+    const double lo = *std::min_element(tr.begin(), tr.end());
+    const double hi = *std::max_element(tr.begin(), tr.end());
+    for (const double v : synth.numerical(col)) {
+      EXPECT_GE(v, lo - 1e-9);
+      EXPECT_LE(v, hi + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllGenerators,
+                         ::testing::Values(GeneratorKind::kTvae,
+                                           GeneratorKind::kCtabganPlus,
+                                           GeneratorKind::kSmote,
+                                           GeneratorKind::kTabDdpm),
+                         [](const auto& info) {
+                           return to_string(info.param) == "CTABGAN+"
+                                      ? std::string("CTABGANPlus")
+                                      : to_string(info.param);
+                         });
+
+TEST(GeneratorFactory, NamesMatch) {
+  EXPECT_EQ(to_string(GeneratorKind::kTvae), "TVAE");
+  EXPECT_EQ(to_string(GeneratorKind::kSmote), "SMOTE");
+  auto m = make_generator(GeneratorKind::kTabDdpm, tiny_budget(), 1);
+  EXPECT_EQ(m->name(), "TabDDPM");
+}
+
+// ------------------------------------------------------------------- SMOTE --
+
+TEST(SmoteModel, RecoverClusterProportions) {
+  const auto train = cluster_table(600, 5);
+  Smote model;
+  model.fit(train);
+  const auto synth = model.sample(2000, 6);
+  // Cluster A has x near 0, cluster B near 5; interpolation between k=5
+  // neighbours stays within clusters, so the mix is preserved.
+  int cluster_a = 0;
+  for (const double v : synth.numerical(0)) cluster_a += v < 2.5;
+  EXPECT_NEAR(cluster_a / 2000.0, 0.65, 0.06);
+}
+
+TEST(SmoteModel, FitRequiresTwoRows) {
+  Smote model;
+  const auto t = cluster_table(1, 7);
+  EXPECT_THROW(model.fit(t), std::invalid_argument);
+}
+
+TEST(SmoteModel, InvalidKThrows) {
+  SmoteConfig cfg;
+  cfg.k_neighbors = 0;
+  EXPECT_THROW(Smote{cfg}, std::invalid_argument);
+}
+
+TEST(SmoteModel, SamplesStayNearTrainingManifold) {
+  // With two tight, well-separated clusters, no interpolated sample can
+  // appear between them (neighbours never straddle the gap).
+  const auto train = cluster_table(600, 8);
+  Smote model;
+  model.fit(train);
+  const auto synth = model.sample(1500, 9);
+  for (const double v : synth.numerical(0)) {
+    EXPECT_TRUE(v < 2.0 || v > 3.0) << "mid-gap sample at " << v;
+  }
+}
+
+// -------------------------------------------------------------------- TVAE --
+
+TEST(TvaeModel, LossDecreasesOverTraining) {
+  const auto train = cluster_table(500, 10);
+  TvaeConfig cfg;
+  cfg.budget = tiny_budget();
+  cfg.budget.epochs = 2;
+  Tvae short_run(cfg);
+  short_run.fit(train);
+  const float early = short_run.last_epoch_loss();
+
+  cfg.budget.epochs = 25;
+  Tvae long_run(cfg);
+  long_run.fit(train);
+  EXPECT_LT(long_run.last_epoch_loss(), early);
+}
+
+TEST(TvaeModel, DoubleFitThrows) {
+  const auto train = cluster_table(100, 11);
+  TvaeConfig cfg;
+  cfg.budget = tiny_budget();
+  cfg.budget.epochs = 1;
+  Tvae model(cfg);
+  model.fit(train);
+  EXPECT_THROW(model.fit(train), std::logic_error);
+}
+
+// ---------------------------------------------------------------- CTABGAN+ --
+
+TEST(CtabganModel, RequiresCategoricalColumns) {
+  tabular::Schema schema({{"x", tabular::ColumnKind::kNumerical}});
+  tabular::Table t(schema);
+  for (int i = 0; i < 50; ++i) {
+    auto row = t.make_row();
+    row.set(0, static_cast<double>(i));
+    t.append_row(row);
+  }
+  CtabganConfig cfg;
+  cfg.budget = tiny_budget();
+  CtabganPlus model(cfg);
+  EXPECT_THROW(model.fit(t), std::invalid_argument);
+}
+
+TEST(CtabganModel, TrainingProducesFiniteLosses) {
+  const auto train = cluster_table(400, 12);
+  CtabganConfig cfg;
+  cfg.budget = tiny_budget();
+  CtabganPlus model(cfg);
+  model.fit(train);
+  EXPECT_TRUE(std::isfinite(model.last_disc_loss()));
+  EXPECT_TRUE(std::isfinite(model.last_gen_loss()));
+}
+
+// ----------------------------------------------------------------- TabDDPM --
+
+TEST(TabDdpmModel, AlphaBarScheduleIsMonotoneDecreasing) {
+  const auto train = cluster_table(200, 13);
+  TabDdpmConfig cfg;
+  cfg.budget = tiny_budget();
+  cfg.budget.epochs = 1;
+  cfg.timesteps = 20;
+  TabDdpm model(cfg);
+  model.fit(train);
+  const auto& ab = model.alpha_bar();
+  ASSERT_EQ(ab.size(), 21u);
+  EXPECT_NEAR(ab[0], 1.0, 1e-9);
+  for (std::size_t t = 1; t < ab.size(); ++t) {
+    EXPECT_LT(ab[t], ab[t - 1]);
+    EXPECT_GT(ab[t], 0.0);
+  }
+}
+
+TEST(TabDdpmModel, TooFewTimestepsThrows) {
+  TabDdpmConfig cfg;
+  cfg.timesteps = 1;
+  EXPECT_THROW(TabDdpm{cfg}, std::invalid_argument);
+}
+
+TEST(TabDdpmModel, LearnsBimodalStructure) {
+  // After a modest training run the model should place most mass in the two
+  // true clusters rather than the empty gap.
+  const auto train = cluster_table(600, 14);
+  TabDdpmConfig cfg;
+  cfg.budget.epochs = 30;
+  cfg.budget.batch_size = 128;
+  cfg.budget.learning_rate = 1.5e-3f;
+  cfg.timesteps = 30;
+  TabDdpm model(cfg);
+  model.fit(train);
+  const auto synth = model.sample(600, 15);
+  int in_gap = 0;
+  for (const double v : synth.numerical(0)) {
+    in_gap += v > 1.8 && v < 3.2;
+  }
+  EXPECT_LT(in_gap, 90) << "too much probability mass between clusters";
+}
+
+}  // namespace
+}  // namespace surro::models

@@ -1,0 +1,293 @@
+// RNG determinism, distribution moments, and alias-table correctness.
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace surro::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(7);
+  Rng split = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == split.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(4);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(5);
+  for (std::uint64_t n : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_index(n), n);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(8);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(10);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(11);
+  std::vector<double> v(50001);
+  for (auto& x : v) x = rng.lognormal(1.0, 0.5);
+  std::nth_element(v.begin(), v.begin() + 25000, v.end());
+  EXPECT_NEAR(v[25000], std::exp(1.0), 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(12);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, GammaMeanVariance) {
+  Rng rng(13);
+  const double shape = 3.0;
+  const double scale = 2.0;
+  const int n = 100000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gamma(shape, scale);
+    EXPECT_GT(g, 0.0);
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, shape * scale, 0.1);
+  EXPECT_NEAR(sq / n - mean * mean, shape * scale * scale, 0.5);
+}
+
+TEST(Rng, GammaSmallShape) {
+  Rng rng(14);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.gamma(0.5, 1.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(15);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.poisson(3.5));
+  }
+  EXPECT_NEAR(sum / n, 3.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeMean) {
+  Rng rng(16);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.poisson(200.0));
+  }
+  EXPECT_NEAR(sum / n, 200.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(17);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(18);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ParetoBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ParetoMedian) {
+  Rng rng(20);
+  std::vector<double> v(20001);
+  for (auto& x : v) x = rng.pareto(1.0, 2.0);
+  std::nth_element(v.begin(), v.begin() + 10000, v.end());
+  // Median of Pareto(1, 2) is 2^(1/2).
+  EXPECT_NEAR(v[10000], std::sqrt(2.0), 0.05);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(21);
+  const std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.categorical(w)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(22);
+  const auto p = rng.permutation(100);
+  std::vector<std::size_t> sorted(p);
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(23);
+  const auto s = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(s.size(), 20u);
+  const std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (const auto v : s) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(24);
+  const auto s = rng.sample_without_replacement(10, 10);
+  const std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(AliasTable, MatchesWeights) {
+  const std::vector<double> w = {5.0, 1.0, 14.0, 0.0, 2.0};
+  AliasTable table{std::span<const double>(w)};
+  Rng rng(25);
+  std::vector<int> counts(w.size(), 0);
+  const int n = 220000;
+  for (int i = 0; i < n; ++i) counts[table.sample(rng)]++;
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), w[i] / total, 0.01)
+        << "outcome " << i;
+  }
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  const std::vector<double> w = {1.0, 0.0, 1.0};
+  AliasTable table{std::span<const double>(w)};
+  Rng rng(26);
+  for (int i = 0; i < 20000; ++i) EXPECT_NE(table.sample(rng), 1u);
+}
+
+TEST(AliasTable, SingleOutcome) {
+  const std::vector<double> w = {3.0};
+  AliasTable table{std::span<const double>(w)};
+  Rng rng(27);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTable, NormalizedProbabilities) {
+  const std::vector<double> w = {2.0, 6.0};
+  AliasTable table{std::span<const double>(w)};
+  EXPECT_NEAR(table.probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(table.probability(1), 0.75, 1e-12);
+}
+
+class RngStreamTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngStreamTest, Chi2UniformityOfLowBits) {
+  // Coarse uniformity of uniform_index(16) across several seeds.
+  Rng rng(GetParam());
+  std::vector<int> counts(16, 0);
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) counts[rng.uniform_index(16)]++;
+  double chi2 = 0.0;
+  const double expected = n / 16.0;
+  for (const int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 15 dof; 99.9th percentile ≈ 37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngStreamTest,
+                         ::testing::Values(1, 2, 3, 99, 1234, 0xDEADBEEF));
+
+}  // namespace
+}  // namespace surro::util

@@ -1,0 +1,161 @@
+// Cluster simulator invariants and allocation-policy behaviour.
+
+#include <gtest/gtest.h>
+
+#include "panda/filters.hpp"
+#include "panda/generator.hpp"
+#include "sched/policies.hpp"
+#include "sched/simulator.hpp"
+
+namespace surro::sched {
+namespace {
+
+std::vector<SimJob> simple_jobs(std::size_t n, std::size_t home,
+                                double cpu_hours = 1.0) {
+  std::vector<SimJob> jobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    SimJob j;
+    j.submit_time = static_cast<double>(i) * 0.001;
+    j.cpu_hours = cpu_hours;
+    j.cores = 1;
+    j.home_site = home;
+    j.input_bytes = 1e9;
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+panda::SiteCatalog small_catalog() {
+  std::vector<panda::Site> sites = {
+      {"A", 20.0, 25.0, 1000, 10.0, 1.0, "X"},
+      {"B", 20.0, 25.0, 1000, 5.0, 1.0, "X"},
+      {"C", 10.0, 13.0, 500, 1.0, 1.0, "Y"},
+  };
+  return panda::SiteCatalog(std::move(sites));
+}
+
+TEST(Simulator, CompletesAllJobs) {
+  const auto catalog = small_catalog();
+  SimConfig cfg;
+  cfg.capacity_scale = 0.01;  // 10, 10, 5 cores
+  ClusterSimulator sim(catalog, cfg);
+  DataLocalityPolicy policy;
+  const auto metrics = sim.run(simple_jobs(200, 0), policy, 1);
+  EXPECT_EQ(metrics.completed_jobs, 200u);
+  EXPECT_GT(metrics.makespan_days, 0.0);
+}
+
+TEST(Simulator, LocalityPolicyNeverTransfers) {
+  const auto catalog = small_catalog();
+  ClusterSimulator sim(catalog, {});
+  DataLocalityPolicy policy;
+  const auto metrics = sim.run(simple_jobs(100, 1), policy, 2);
+  EXPECT_DOUBLE_EQ(metrics.transferred_bytes, 0.0);
+}
+
+TEST(Simulator, RandomPolicyTransfersMostInputs) {
+  const auto catalog = small_catalog();
+  ClusterSimulator sim(catalog, {});
+  RandomPolicy policy;
+  const auto metrics = sim.run(simple_jobs(300, 0), policy, 3);
+  // ~2/3 of jobs land away from home -> ~2e11 bytes transferred.
+  EXPECT_GT(metrics.transferred_bytes, 1e11);
+}
+
+TEST(Simulator, HotspotQueuesUnderLocality) {
+  // Everything homes at the small site C: locality queues hard, while
+  // least-loaded spreads and finishes sooner.
+  const auto catalog = small_catalog();
+  SimConfig cfg;
+  cfg.capacity_scale = 0.004;  // 4, 4, 2 cores
+  ClusterSimulator sim(catalog, cfg);
+  DataLocalityPolicy locality;
+  LeastLoadedPolicy least;
+  const auto jobs = simple_jobs(400, 2, 4.0);
+  const auto m_loc = sim.run(jobs, locality, 4);
+  const auto m_ll = sim.run(jobs, least, 4);
+  EXPECT_GT(m_loc.mean_wait_hours, m_ll.mean_wait_hours);
+}
+
+TEST(Simulator, HybridSpillsOnlyUnderPressure) {
+  const auto catalog = small_catalog();
+  SimConfig cfg;
+  cfg.capacity_scale = 0.004;
+  ClusterSimulator sim(catalog, cfg);
+  RandomPolicy random;
+  HybridPolicy hybrid(0.75);
+
+  // Uncongested home (large site A): hybrid stays home, transferring far
+  // less than random placement.
+  const auto light = simple_jobs(100, 0, 0.5);
+  const auto m_hyb_light = sim.run(light, hybrid, 5);
+  const auto m_rand_light = sim.run(light, random, 5);
+  EXPECT_LT(m_hyb_light.transferred_bytes,
+            m_rand_light.transferred_bytes * 0.5);
+
+  // Hot spot (small site C overloaded): hybrid spills and finishes with
+  // shorter queues than pure locality.
+  DataLocalityPolicy locality;
+  const auto heavy = simple_jobs(400, 2, 4.0);
+  const auto m_loc = sim.run(heavy, locality, 5);
+  const auto m_hyb = sim.run(heavy, hybrid, 5);
+  EXPECT_LT(m_hyb.mean_wait_hours, m_loc.mean_wait_hours);
+}
+
+TEST(Simulator, UtilizationWithinBounds) {
+  const auto catalog = small_catalog();
+  ClusterSimulator sim(catalog, {});
+  LeastLoadedPolicy policy;
+  const auto metrics = sim.run(simple_jobs(500, 0), policy, 6);
+  EXPECT_GE(metrics.mean_utilization, 0.0);
+  EXPECT_LE(metrics.mean_utilization, 1.0 + 1e-9);
+}
+
+TEST(Simulator, MultiCoreJobsFitCapacity) {
+  const auto catalog = small_catalog();
+  SimConfig cfg;
+  cfg.capacity_scale = 0.008;  // site A: 8 cores
+  ClusterSimulator sim(catalog, cfg);
+  DataLocalityPolicy policy;
+  auto jobs = simple_jobs(50, 0, 2.0);
+  for (auto& j : jobs) j.cores = 8;
+  const auto metrics = sim.run(jobs, policy, 7);
+  EXPECT_EQ(metrics.completed_jobs, 50u);
+}
+
+TEST(Simulator, InvalidConfigThrows) {
+  const auto catalog = small_catalog();
+  SimConfig cfg;
+  cfg.capacity_scale = 0.0;
+  EXPECT_THROW(ClusterSimulator(catalog, cfg), std::invalid_argument);
+}
+
+TEST(JobsFromTable, ConvertsWorkloadTable) {
+  panda::GeneratorConfig cfg;
+  cfg.model.days = 4.0;
+  cfg.model.base_jobs_per_day = 150.0;
+  panda::RecordGenerator gen(cfg);
+  const auto table = panda::build_job_table(gen.generate(), gen.catalog());
+  const auto jobs = jobs_from_table(table, gen.catalog(), 8);
+  ASSERT_EQ(jobs.size(), table.num_rows());
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.submit_time, 0.0);
+    EXPECT_GE(j.cpu_hours, 0.0);
+    EXPECT_LT(j.home_site, gen.catalog().size());
+    EXPECT_GE(j.input_bytes, 0.0);
+  }
+}
+
+TEST(SiteLoad, ReflectsBusyAndQueued) {
+  const auto catalog = small_catalog();
+  ClusterState state;
+  state.catalog = &catalog;
+  state.busy_cores = {100, 0, 0};
+  state.queued_jobs = {0, 25, 0};
+  EXPECT_GT(site_load(state, 0), 0.0);
+  EXPECT_GT(site_load(state, 1), 0.0);
+  EXPECT_DOUBLE_EQ(site_load(state, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace surro::sched

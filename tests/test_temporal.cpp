@@ -1,0 +1,222 @@
+// Temporal-analysis module: binning, autocorrelation, DFT/periodogram,
+// dominant-period recovery, and weekly/diurnal profiles.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "temporal/series.hpp"
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+
+namespace surro::temporal {
+namespace {
+
+TEST(BinCounts, CountsEventsPerBin) {
+  const std::vector<double> times = {0.1, 0.2, 1.5, 2.9};
+  const auto counts = bin_counts(times, 3.0, 1.0);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_DOUBLE_EQ(counts[0], 2.0);
+  EXPECT_DOUBLE_EQ(counts[1], 1.0);
+  EXPECT_DOUBLE_EQ(counts[2], 1.0);
+}
+
+TEST(BinCounts, IgnoresOutOfRange) {
+  const std::vector<double> times = {-1.0, 5.0, 0.5};
+  const auto counts = bin_counts(times, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(counts[0] + counts[1], 1.0);
+}
+
+TEST(BinCounts, InvalidArgsThrow) {
+  const std::vector<double> times = {0.5};
+  EXPECT_THROW(bin_counts(times, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(bin_counts(times, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const std::vector<double> series = {1.0, 3.0, 2.0, 5.0, 4.0};
+  const auto acf = autocorrelation(series, 3);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod) {
+  std::vector<double> series(128);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] = std::sin(2.0 * util::kPi * static_cast<double>(i) / 8.0);
+  }
+  const auto acf = autocorrelation(series, 16);
+  EXPECT_GT(acf[8], 0.8);  // one full period
+  EXPECT_LT(acf[4], -0.8);  // half period anti-correlates
+}
+
+TEST(Autocorrelation, ConstantSeriesIsZeroBeyondLagZero) {
+  const std::vector<double> series(32, 7.0);
+  const auto acf = autocorrelation(series, 4);
+  for (std::size_t lag = 1; lag < acf.size(); ++lag) {
+    EXPECT_DOUBLE_EQ(acf[lag], 0.0);
+  }
+}
+
+TEST(Dft, MatchesAnalyticSingleTone) {
+  // x[t] = cos(2π·3t/32): spectrum concentrates at bin 3 (and n-3).
+  std::vector<double> series(32);
+  for (std::size_t t = 0; t < 32; ++t) {
+    series[t] = std::cos(2.0 * util::kPi * 3.0 * static_cast<double>(t) / 32.0);
+  }
+  const auto spectrum = dft(series);
+  EXPECT_NEAR(std::abs(spectrum[3]), 16.0, 1e-9);
+  EXPECT_NEAR(std::abs(spectrum[29]), 16.0, 1e-9);
+  EXPECT_NEAR(std::abs(spectrum[5]), 0.0, 1e-9);
+}
+
+TEST(Dft, NonPowerOfTwoFallbackMatchesFft) {
+  // Same signal evaluated with n=30 (naive) and checked against a direct
+  // analytic inner product.
+  util::Rng rng(1);
+  std::vector<double> series(30);
+  for (auto& v : series) v = rng.normal();
+  const auto spectrum = dft(series);
+  // Parseval: sum |X|^2 = n * sum x^2.
+  double lhs = 0.0;
+  for (const auto& c : spectrum) lhs += std::norm(c);
+  double rhs = 0.0;
+  for (const double v : series) rhs += v * v;
+  EXPECT_NEAR(lhs, 30.0 * rhs, 1e-6 * std::abs(rhs) * 30.0);
+}
+
+TEST(Dft, ParsevalHoldsForFftPath) {
+  util::Rng rng(2);
+  std::vector<double> series(64);
+  for (auto& v : series) v = rng.normal();
+  const auto spectrum = dft(series);
+  double lhs = 0.0;
+  for (const auto& c : spectrum) lhs += std::norm(c);
+  double rhs = 0.0;
+  for (const double v : series) rhs += v * v;
+  EXPECT_NEAR(lhs, 64.0 * rhs, 1e-6 * std::abs(rhs) * 64.0);
+}
+
+TEST(Periodogram, FlatForWhiteNoiseOnAverage) {
+  util::Rng rng(3);
+  std::vector<double> series(256);
+  for (auto& v : series) v = rng.normal();
+  const auto power = periodogram(series);
+  // No bin should dominate overwhelmingly.
+  double total = 0.0;
+  double peak = 0.0;
+  for (const double p : power) {
+    total += p;
+    peak = std::max(peak, p);
+  }
+  EXPECT_LT(peak, 0.2 * total);
+}
+
+TEST(DominantPeriod, RecoversWeeklyCycle) {
+  // 6-hour bins over 56 days with a 7-day sinusoidal rate.
+  const double bin = 0.25;
+  std::vector<double> series;
+  for (double t = 0.0; t < 56.0; t += bin) {
+    series.push_back(100.0 +
+                     30.0 * std::sin(2.0 * util::kPi * t / 7.0));
+  }
+  const double period = dominant_period_days(series, bin);
+  EXPECT_NEAR(period, 7.0, 0.5);
+}
+
+TEST(DominantPeriod, ZeroForAperiodicSeries) {
+  util::Rng rng(4);
+  std::vector<double> series(224);
+  for (auto& v : series) v = rng.normal(100.0, 1.0);
+  const double period = dominant_period_days(series, 0.25);
+  // White noise has no stable in-band peak carrying >1% of mass... the
+  // threshold makes this usually zero; allow either zero or an in-band
+  // value (randomness), but never out of band.
+  if (period != 0.0) {
+    EXPECT_GE(period, 2.0);
+    EXPECT_LE(period, 14.0);
+  }
+}
+
+TEST(WeekProfile, DetectsQuietWeekends) {
+  // Synthetic events: weekdays get 3x the weekend rate.
+  util::Rng rng(5);
+  std::vector<double> times;
+  for (double day = 0.0; day < 70.0; day += 1.0) {
+    const bool weekend = std::fmod(day, 7.0) >= 5.0;
+    const std::size_t n = weekend ? 40 : 120;
+    for (std::size_t i = 0; i < n; ++i) {
+      times.push_back(day + rng.uniform());
+    }
+  }
+  const auto profile = day_of_week_profile(times, 70.0);
+  ASSERT_EQ(profile.size(), 7u);
+  EXPECT_LT(profile[5], 0.6);  // Saturday below average
+  EXPECT_LT(profile[6], 0.6);  // Sunday below average
+  EXPECT_GT(profile[1], 1.0);  // weekday above average
+}
+
+TEST(HourProfile, DetectsDiurnalPeak) {
+  util::Rng rng(6);
+  std::vector<double> times;
+  for (double day = 0.0; day < 30.0; day += 1.0) {
+    for (int i = 0; i < 200; ++i) {
+      // Rejection-sample a diurnal peak at midday.
+      for (;;) {
+        const double frac = rng.uniform();
+        const double rate =
+            1.0 - 0.8 * std::cos(2.0 * util::kPi * frac);
+        if (rng.uniform() * 1.8 < rate) {
+          times.push_back(day + frac);
+          break;
+        }
+      }
+    }
+  }
+  const auto profile = hour_of_day_profile(times, 30.0);
+  ASSERT_EQ(profile.size(), 24u);
+  EXPECT_GT(profile[12], profile[0]);
+}
+
+TEST(ProfileDistance, ZeroForIdentical) {
+  const std::vector<double> p = {1.0, 0.5, 1.5};
+  EXPECT_DOUBLE_EQ(profile_distance(p, p), 0.0);
+}
+
+TEST(ProfileDistance, MismatchedLengthThrows) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(profile_distance(a, b), std::invalid_argument);
+}
+
+TEST(CompareTemporal, IdenticalStreamsScorePerfect) {
+  util::Rng rng(7);
+  std::vector<double> times;
+  for (int i = 0; i < 5000; ++i) times.push_back(rng.uniform(0.0, 28.0));
+  const auto f = compare_temporal(times, times, 28.0);
+  EXPECT_DOUBLE_EQ(f.weekly_profile_distance, 0.0);
+  EXPECT_DOUBLE_EQ(f.diurnal_profile_distance, 0.0);
+  EXPECT_DOUBLE_EQ(f.acf_rmse, 0.0);
+}
+
+TEST(CompareTemporal, DetectsLostWeeklyStructure) {
+  // Real: strong weekday/weekend modulation. Synthetic: uniform.
+  util::Rng rng(8);
+  std::vector<double> real_times;
+  std::vector<double> synth_times;
+  for (double day = 0.0; day < 56.0; day += 1.0) {
+    const bool weekend = std::fmod(day, 7.0) >= 5.0;
+    const std::size_t n = weekend ? 30 : 130;
+    for (std::size_t i = 0; i < n; ++i) {
+      real_times.push_back(day + rng.uniform());
+    }
+    for (std::size_t i = 0; i < 100; ++i) {
+      synth_times.push_back(day + rng.uniform());
+    }
+  }
+  const auto f = compare_temporal(real_times, synth_times, 56.0);
+  EXPECT_GT(f.weekly_profile_distance, 0.2);
+  EXPECT_NEAR(f.real_dominant_period, 7.0, 1.0);
+}
+
+}  // namespace
+}  // namespace surro::temporal

@@ -1,0 +1,199 @@
+// surro_cli — command-line front end for the surro library.
+//
+//   surro_cli generate   --days 30 --rate 240 --seed 42 --out jobs.csv
+//   surro_cli profile    --data jobs.csv
+//   surro_cli synthesize --data jobs.csv --model tabddpm --rows 5000
+//                        --epochs 30 --seed 7 --out synth.csv
+//   surro_cli evaluate   --real jobs.csv --synth synth.csv
+//   surro_cli simulate   --data jobs.csv --policy hybrid
+//
+// Tables are CSV files with the paper's 9-column schema (see
+// panda::job_table_schema). `synthesize` trains the chosen surrogate on the
+// input table and writes synthetic rows; `evaluate` scores a synthetic
+// table against a real one with the five Table I metrics (MLEF uses an
+// internal 80/20 split of the real table).
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/surro.hpp"
+#include "util/logging.hpp"
+#include "util/stringx.hpp"
+
+namespace {
+
+using namespace surro;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double num(const std::string& key, double fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::stod(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
+      args.kv[argv[i] + 2] = argv[i + 1];
+      ++i;
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: surro_cli <command> [--key value ...]\n"
+      "  generate   --days D --rate R --seed S --out FILE\n"
+      "  profile    --data FILE\n"
+      "  synthesize --data FILE --model {tvae|ctabgan|smote|tabddpm}\n"
+      "             --rows N --epochs E --seed S --out FILE\n"
+      "  evaluate   --real FILE --synth FILE\n"
+      "  simulate   --data FILE --policy {random|locality|least|hybrid}\n");
+  return 2;
+}
+
+models::GeneratorKind parse_model(const std::string& name) {
+  if (name == "tvae") return models::GeneratorKind::kTvae;
+  if (name == "ctabgan") return models::GeneratorKind::kCtabganPlus;
+  if (name == "smote") return models::GeneratorKind::kSmote;
+  if (name == "tabddpm") return models::GeneratorKind::kTabDdpm;
+  throw std::invalid_argument("unknown model '" + name + "'");
+}
+
+int cmd_generate(const Args& args) {
+  panda::GeneratorConfig cfg;
+  cfg.model.days = args.num("days", 30.0);
+  cfg.model.base_jobs_per_day = args.num("rate", 240.0);
+  cfg.seed = static_cast<std::uint64_t>(args.num("seed", 42.0));
+  panda::RecordGenerator gen(cfg);
+  panda::FilterFunnel funnel;
+  const auto table = panda::build_job_table(gen.generate(), gen.catalog(),
+                                            &funnel);
+  for (const auto& line : funnel.describe()) {
+    std::printf("%s\n", line.c_str());
+  }
+  const std::string out = args.get("out", "jobs.csv");
+  tabular::write_csv(table, out);
+  std::printf("wrote %s (%zu rows)\n", out.c_str(), table.num_rows());
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  const auto table = tabular::read_csv(panda::job_table_schema(),
+                                       args.get("data", "jobs.csv"));
+  for (const auto& line : tabular::profile_lines(table)) {
+    std::printf("%s\n", line.c_str());
+  }
+  return 0;
+}
+
+int cmd_synthesize(const Args& args) {
+  const auto table = tabular::read_csv(panda::job_table_schema(),
+                                       args.get("data", "jobs.csv"));
+  models::TrainBudget budget;
+  budget.epochs = static_cast<std::size_t>(args.num("epochs", 30.0));
+  budget.log_every_epochs = 5;
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 7.0));
+  auto model = models::make_generator(parse_model(args.get("model", "tabddpm")),
+                                      budget, seed);
+  std::printf("training %s on %zu rows...\n", model->name().c_str(),
+              table.num_rows());
+  model->fit(table);
+  const auto rows = static_cast<std::size_t>(
+      args.num("rows", static_cast<double>(table.num_rows())));
+  const auto synth = model->sample(rows, seed ^ 0xFEEDULL);
+  const std::string out = args.get("out", "synth.csv");
+  tabular::write_csv(synth, out);
+  std::printf("wrote %s (%zu rows)\n", out.c_str(), synth.num_rows());
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  const auto schema = panda::job_table_schema();
+  const auto real = tabular::read_csv(schema, args.get("real", "jobs.csv"));
+  const auto synth =
+      tabular::read_csv(schema, args.get("synth", "synth.csv"));
+
+  util::Rng rng(99);
+  const auto split = tabular::train_test_split(real, 0.8, rng);
+
+  metrics::ModelScore score;
+  score.model = "synthetic";
+  score.wd = metrics::mean_wasserstein(split.train, synth);
+  score.jsd = metrics::mean_jsd(split.train, synth);
+  score.diff_corr = metrics::diff_corr(split.train, synth);
+  metrics::DcrConfig dcr;
+  dcr.max_train_rows = 8000;
+  dcr.max_synth_rows = 4000;
+  score.dcr = metrics::mean_dcr(split.train, synth, dcr);
+  metrics::MlefConfig mlef;
+  const double train_mse = metrics::mlef_mse(split.train, split.test, mlef);
+  score.diff_mlef =
+      metrics::diff_mlef(metrics::mlef_mse(synth, split.test, mlef),
+                         train_mse);
+  std::printf("%s\n", metrics::render_table1({score}).c_str());
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const auto table = tabular::read_csv(panda::job_table_schema(),
+                                       args.get("data", "jobs.csv"));
+  const auto catalog = panda::SiteCatalog::make_default();
+  sched::SimConfig cfg;
+  cfg.capacity_scale = args.num("capacity-scale", 0.0002);
+  sched::ClusterSimulator sim(catalog, cfg);
+  const auto jobs = sched::jobs_from_table(table, catalog, 3);
+
+  const std::string name = args.get("policy", "hybrid");
+  sched::RandomPolicy random;
+  sched::DataLocalityPolicy locality;
+  sched::LeastLoadedPolicy least;
+  sched::HybridPolicy hybrid;
+  sched::AllocationPolicy* policy = nullptr;
+  if (name == "random") policy = &random;
+  else if (name == "locality") policy = &locality;
+  else if (name == "least") policy = &least;
+  else if (name == "hybrid") policy = &hybrid;
+  else throw std::invalid_argument("unknown policy '" + name + "'");
+
+  const auto m = sim.run(jobs, *policy, 5);
+  std::printf("policy %s over %zu jobs:\n", policy->name().c_str(),
+              jobs.size());
+  std::printf("  mean wait       %.2f h\n", m.mean_wait_hours);
+  std::printf("  p95 wait        %.2f h\n", m.p95_wait_hours);
+  std::printf("  utilization     %.3f\n", m.mean_utilization);
+  std::printf("  data moved      %s\n",
+              util::format_bytes(m.transferred_bytes).c_str());
+  std::printf("  makespan        %.1f days\n", m.makespan_days);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "profile") return cmd_profile(args);
+    if (cmd == "synthesize") return cmd_synthesize(args);
+    if (cmd == "evaluate") return cmd_evaluate(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
