@@ -4,12 +4,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+#include <string>
+
 #include "gbdt/boosting.hpp"
 #include "knn/brute.hpp"
 #include "knn/kdtree.hpp"
 #include "linalg/ops.hpp"
 #include "metrics/dcr.hpp"
 #include "metrics/wasserstein.hpp"
+#include "models/generator.hpp"
 #include "models/smote.hpp"
 #include "panda/filters.hpp"
 #include "panda/generator.hpp"
@@ -133,6 +138,48 @@ void BM_SmoteSampling(benchmark::State& state) {
                           1000);
 }
 BENCHMARK(BM_SmoteSampling)->Unit(benchmark::kMillisecond);
+
+// Sampling throughput (rows/sec) versus worker count, per model — the
+// scaling curve future PRs track when touching the synthesis path. Each
+// model is trained once and shared across its thread-count args; timing
+// covers sample_into only (including any per-worker replica cloning).
+// Output is identical across thread counts by contract, so the counters
+// measure pure scheduling gains.
+void BM_SampleThroughput(benchmark::State& state,
+                         const std::string& model_key) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  static std::map<std::string, std::unique_ptr<models::TabularGenerator>>
+      fitted;  // share one fit per model across thread-count args
+  auto& model = fitted[model_key];
+  if (!model) {
+    models::TrainBudget budget;
+    budget.epochs = 8;
+    model = models::make_generator(model_key, budget, 11);
+    model->fit(bench_table(3000));
+  }
+  models::SampleRequest request;
+  request.rows = 4000;
+  request.chunk_rows = 512;
+  request.threads = threads;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    request.seed = seed++;
+    tabular::Table synth;
+    model->sample_into(synth, request);
+    benchmark::DoNotOptimize(&synth);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(request.rows));
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK_CAPTURE(BM_SampleThroughput, smote, "smote")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SampleThroughput, tvae, "tvae")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SampleThroughput, ctabgan, "ctabgan")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SampleThroughput, tabddpm, "tabddpm")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 void BM_GbdtFit(benchmark::State& state) {
   const auto table = bench_table(3000);

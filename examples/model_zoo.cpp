@@ -1,6 +1,8 @@
-// Model zoo: train each of the paper's four surrogates on the same workload
-// and print a side-by-side sample plus per-feature diagnostics — a compact
-// tour of the models::TabularGenerator API for users choosing a model.
+// Model zoo: train every surrogate registered with the GeneratorRegistry on
+// the same workload and print a side-by-side sample plus per-feature
+// diagnostics — a compact tour of the models::TabularGenerator API for
+// users choosing a model. The loop enumerates the registry, so a newly
+// linked model shows up here without touching this file.
 
 #include <cstdio>
 
@@ -22,12 +24,17 @@ int main() {
               "GFLOP-h\n\n",
               gt.mean, gt.p50, gt.p95);
 
-  std::printf("%-10s %10s %10s %12s %12s %12s\n", "model", "fit (s)",
+  auto& registry = models::GeneratorRegistry::instance();
+  std::printf("registered models:\n");
+  for (const auto& key : registry.keys()) {
+    std::printf("  %-10s %s\n", key.c_str(),
+                registry.info(key).description.c_str());
+  }
+
+  std::printf("\n%-10s %10s %10s %12s %12s %12s\n", "model", "fit (s)",
               "sample(s)", "wl mean", "wl p95", "WD");
-  for (const auto kind :
-       {models::GeneratorKind::kTvae, models::GeneratorKind::kCtabganPlus,
-        models::GeneratorKind::kSmote, models::GeneratorKind::kTabDdpm}) {
-    auto model = models::make_generator(kind, cfg.budget, 5);
+  for (const auto& key : registry.keys()) {
+    auto model = registry.create(key, cfg.budget, 5);
     util::Stopwatch fit_watch;
     model->fit(data.train);
     const double fit_s = fit_watch.seconds();

@@ -16,7 +16,7 @@ int main() {
   using namespace surro;
 
   core::PipelineConfig cfg;
-  cfg.model = models::GeneratorKind::kTabDdpm;  // the paper's recommendation
+  cfg.model = "tabddpm";  // the paper's recommendation
   cfg.experiment.budget.epochs = 25;
   cfg.experiment.verbose = true;
 

@@ -7,10 +7,15 @@
 //   auto score = pipe.evaluate(synth);        // the five Table I metrics
 //
 // Wraps the eval harness for users who want one model (default TabDDPM, the
-// paper's recommendation) rather than the whole comparison.
+// paper's recommendation) rather than the whole comparison. Models are
+// addressed by registry key, sampling can fan out over the thread pool via
+// sample(SampleRequest), and a fitted model can be persisted with
+// save_model()/load_model() so one training run serves many synthesis calls.
 
+#include <iosfwd>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "eval/experiment.hpp"
 #include "models/generator.hpp"
@@ -19,7 +24,8 @@ namespace surro::core {
 
 struct PipelineConfig {
   eval::ExperimentConfig experiment = eval::quick_experiment_config();
-  models::GeneratorKind model = models::GeneratorKind::kTabDdpm;
+  /// Registry key of the surrogate (see models::GeneratorRegistry::keys()).
+  std::string model = "tabddpm";
 };
 
 class SurrogatePipeline {
@@ -27,17 +33,26 @@ class SurrogatePipeline {
   explicit SurrogatePipeline(PipelineConfig cfg = {});
 
   /// Simulate the PanDA window, filter (Fig. 3(b)), split 80/20, and train
-  /// the selected surrogate on the training partition.
-  void fit();
+  /// the selected surrogate on the training partition. `opts` forwards
+  /// progress/cancellation hooks to the model.
+  void fit(const models::FitOptions& opts = {});
   [[nodiscard]] bool fitted() const noexcept { return fitted_; }
 
   /// Synthetic job records with the training schema and vocabularies.
   [[nodiscard]] tabular::Table sample(std::size_t rows,
                                       std::uint64_t seed = 1234);
+  /// Full-control variant: chunked, optionally parallel synthesis.
+  [[nodiscard]] tabular::Table sample(const models::SampleRequest& request);
 
   /// Score a synthetic table on all five metrics (against this pipeline's
   /// train/test partitions).
   [[nodiscard]] metrics::ModelScore evaluate(const tabular::Table& synthetic);
+
+  /// Persist / restore the fitted surrogate (models::save_model archive).
+  /// Loading replaces the current model; the pipeline counts as fitted for
+  /// sampling afterwards, but train/test tables require a prior fit().
+  void save_model(std::ostream& os) const;
+  void load_model(std::istream& is);
 
   [[nodiscard]] const tabular::Table& train_table() const;
   [[nodiscard]] const tabular::Table& test_table() const;
@@ -48,7 +63,8 @@ class SurrogatePipeline {
 
  private:
   PipelineConfig cfg_;
-  bool fitted_ = false;
+  bool fitted_ = false;      // a model is ready to sample
+  bool has_data_ = false;    // fit() ran here (train/test available)
   panda::FilterFunnel funnel_;
   tabular::Table train_;
   tabular::Table test_;

@@ -4,7 +4,13 @@
 //   surro::panda    — synthetic PanDA workload simulator + Fig. 3(b) funnel
 //   surro::tabular  — mixed-type columnar tables
 //   surro::preprocess — quantile transform, one-hot, mixed encoder
-//   surro::models   — TVAE, CTABGAN+, SMOTE, TabDDPM surrogates
+//   surro::models   — Surrogate Model API v2: the string-keyed
+//                     GeneratorRegistry (TVAE, CTABGAN+, SMOTE, TabDDPM
+//                     self-register; new models plug in without core
+//                     edits), fit() with progress/cancellation, chunked
+//                     parallel sample_into() whose output is bitwise
+//                     independent of the thread count, and fitted-model
+//                     persistence via save_model()/load_model()
 //   surro::metrics  — WD, JSD, diff-CORR, DCR, MLEF
 //   surro::eval     — end-to-end experiment + figure builders
 //   surro::sched    — event-driven multi-site scheduler simulator

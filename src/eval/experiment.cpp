@@ -39,16 +39,22 @@ PreparedData prepare_data(const ExperimentConfig& cfg) {
   return out;
 }
 
-tabular::Table train_and_sample(models::GeneratorKind kind,
+tabular::Table train_and_sample(const std::string& model_key,
                                 const ExperimentConfig& cfg,
                                 const tabular::Table& train,
                                 std::size_t rows) {
-  auto model = models::make_generator(kind, cfg.budget, cfg.seed);
+  auto model = models::make_generator(model_key, cfg.budget, cfg.seed);
   util::Stopwatch watch;
   model->fit(train);
   const double fit_s = watch.seconds();
   watch.reset();
-  tabular::Table sample = model->sample(rows, cfg.seed ^ 0xABCDEFULL);
+  models::SampleRequest request;
+  request.rows = rows;
+  request.seed = cfg.seed ^ 0xABCDEFULL;
+  request.chunk_rows = cfg.sample_chunk_rows;
+  request.threads = cfg.sample_threads;
+  tabular::Table sample;
+  model->sample_into(sample, request);
   if (cfg.verbose) {
     util::log_info("%s: fit %.1fs, sampled %zu rows in %.1fs",
                    model->name().c_str(), fit_s, rows, watch.seconds());
@@ -95,9 +101,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   const std::size_t rows =
       cfg.synth_rows > 0 ? cfg.synth_rows : result.train.num_rows();
-  for (const auto kind : cfg.kinds) {
-    const std::string name = models::to_string(kind);
-    tabular::Table sample = train_and_sample(kind, cfg, result.train, rows);
+  for (const auto& key : cfg.model_keys) {
+    const std::string name =
+        models::GeneratorRegistry::instance().info(key).display_name;
+    tabular::Table sample = train_and_sample(key, cfg, result.train, rows);
     result.scores.push_back(score_model(name, sample, result.train,
                                         result.test, result.train_mlef,
                                         cfg));

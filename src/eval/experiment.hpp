@@ -5,6 +5,7 @@
 // bench/table1_surrogate_comparison and the integration tests.
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "metrics/dcr.hpp"
@@ -23,11 +24,15 @@ struct ExperimentConfig {
   models::TrainBudget budget;
   /// Synthetic rows per model (0 = match the training-set size).
   std::size_t synth_rows = 0;
+  /// Chunk grain and worker count for sampling (see models::SampleRequest;
+  /// sample_threads 0 = use every pool worker — output is thread-count
+  /// independent either way).
+  std::size_t sample_chunk_rows = 4096;
+  std::size_t sample_threads = 0;
   metrics::MlefConfig mlef;
   metrics::DcrConfig dcr;
-  std::vector<models::GeneratorKind> kinds{
-      models::GeneratorKind::kTvae, models::GeneratorKind::kCtabganPlus,
-      models::GeneratorKind::kSmote, models::GeneratorKind::kTabDdpm};
+  /// Registry keys of the surrogates to run, in order.
+  std::vector<std::string> model_keys{"tvae", "ctabgan", "smote", "tabddpm"};
   std::uint64_t seed = 42;
   bool verbose = false;
 };
@@ -55,8 +60,8 @@ struct PreparedData {
 };
 [[nodiscard]] PreparedData prepare_data(const ExperimentConfig& cfg);
 
-/// Train + sample one generator on prepared data.
-[[nodiscard]] tabular::Table train_and_sample(models::GeneratorKind kind,
+/// Train + sample one generator (by registry key) on prepared data.
+[[nodiscard]] tabular::Table train_and_sample(const std::string& model_key,
                                               const ExperimentConfig& cfg,
                                               const tabular::Table& train,
                                               std::size_t rows);

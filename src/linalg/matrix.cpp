@@ -1,4 +1,33 @@
-// Matrix is header-only; this TU anchors the target so the build file stays
-// uniform (one .cpp per module) and gives a home for any future out-of-line
-// members.
 #include "linalg/matrix.hpp"
+
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace surro::linalg {
+
+void save_matrix(std::ostream& os, const Matrix& m) {
+  util::io::write_tag(os, "MATX");
+  util::io::write_u64(os, m.rows());
+  util::io::write_u64(os, m.cols());
+  for (const float v : m.flat()) util::io::write_f32(os, v);
+}
+
+Matrix load_matrix(std::istream& is) {
+  util::io::expect_tag(is, "MATX");
+  const auto rows = static_cast<std::size_t>(util::io::read_u64(is));
+  const auto cols = static_cast<std::size_t>(util::io::read_u64(is));
+  // A fitted production model may legitimately carry a large training
+  // slice, so the matrix bound (2^28 floats = 1 GiB) is looser than the
+  // generic vector cap — but still rejects corrupt length fields cheaply.
+  constexpr std::size_t kMaxMatrixElements = 1ULL << 28;
+  if (rows > kMaxMatrixElements || cols > kMaxMatrixElements ||
+      (cols != 0 && rows > kMaxMatrixElements / cols)) {
+    throw std::runtime_error("matrix: implausible serialized shape");
+  }
+  Matrix m(rows, cols);
+  for (float& v : m.flat()) v = util::io::read_f32(is);
+  return m;
+}
+
+}  // namespace surro::linalg

@@ -6,6 +6,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -80,5 +81,10 @@ class Matrix {
   std::size_t cols_ = 0;
   std::vector<float> data_;
 };
+
+/// Binary (de)serialization: shape + raw IEEE-754 floats (see
+/// util/serialize.hpp for the byte conventions).
+void save_matrix(std::ostream& os, const Matrix& m);
+[[nodiscard]] Matrix load_matrix(std::istream& is);
 
 }  // namespace surro::linalg

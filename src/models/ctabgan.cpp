@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 #include "nn/losses.hpp"
 #include "util/logging.hpp"
+#include "util/serialize.hpp"
 
 namespace surro::models {
 
@@ -94,7 +96,7 @@ void CtabganPlus::generator_backward(const linalg::Matrix& grad_soft) {
   gen_.backward(head_grad_);
 }
 
-void CtabganPlus::fit(const tabular::Table& train) {
+void CtabganPlus::fit(const tabular::Table& train, const FitOptions& opts) {
   if (fitted_) throw std::logic_error("ctabgan: fit called twice");
   encoder_.fit(train, cfg_.num_quantiles);
   const std::size_t width = encoder_.encoded_width();
@@ -149,6 +151,9 @@ void CtabganPlus::fit(const tabular::Table& train) {
   linalg::Matrix grad_gen_head;
 
   for (std::size_t step = 0; step < total_steps; ++step) {
+    if (step % steps_per_epoch == 0 && opts.cancelled()) {
+      throw FitCancelled(name());
+    }
     const float lr = schedule.at(step);
     g_opt.set_learning_rate(lr);
     d_opt.set_learning_rate(lr);
@@ -241,11 +246,15 @@ void CtabganPlus::fit(const tabular::Table& train) {
                      step + 1, total_steps, static_cast<double>(last_d_),
                      static_cast<double>(last_g_));
     }
+    if (opts.on_progress && (step + 1) % steps_per_epoch == 0) {
+      opts.on_progress({(step + 1) / steps_per_epoch, cfg_.budget.epochs,
+                        last_g_ + last_d_});
+    }
   }
   fitted_ = true;
 }
 
-tabular::Table CtabganPlus::sample(std::size_t n, std::uint64_t seed) {
+tabular::Table CtabganPlus::sample_chunk(std::size_t n, std::uint64_t seed) {
   if (!fitted_) throw std::logic_error("ctabgan: sample before fit");
   util::Rng rng(seed);
   tabular::Table out = encoder_.make_empty_table();
@@ -269,5 +278,60 @@ tabular::Table CtabganPlus::sample(std::size_t n, std::uint64_t seed) {
   }
   return out;
 }
+
+void CtabganPlus::save(std::ostream& os) const {
+  if (!fitted_) throw std::logic_error("ctabgan: save before fit");
+  util::io::write_tag(os, "CTGN");
+  util::io::write_u32(os, 1);  // payload version
+  util::io::write_u64(os, cfg_.noise_dim);
+  util::io::write_f32(os, cfg_.gumbel_tau);
+  util::io::write_u64(os, cond_width_);
+  encoder_.save(os);
+  nn::save_mlp(os, gen_);
+  // Training-by-sampling frequency tables drive the condition draws during
+  // synthesis; the row index pools are training-only and stay behind.
+  util::io::write_u64(os, category_log_freq_.size());
+  for (const auto& freqs : category_log_freq_) {
+    util::io::write_vec_f64(os, freqs);
+  }
+}
+
+void CtabganPlus::load(std::istream& is) {
+  if (fitted_) throw std::logic_error("ctabgan: load into fitted model");
+  util::io::expect_tag(is, "CTGN");
+  const std::uint32_t version = util::io::read_u32(is);
+  if (version != 1) throw std::runtime_error("ctabgan: unsupported payload");
+  cfg_.noise_dim = static_cast<std::size_t>(util::io::read_u64(is));
+  cfg_.gumbel_tau = util::io::read_f32(is);
+  cond_width_ = static_cast<std::size_t>(util::io::read_u64(is));
+  encoder_.load(is);
+  gen_ = nn::load_mlp(is);
+  category_log_freq_.resize(util::io::read_count(is));
+  for (auto& freqs : category_log_freq_) freqs = util::io::read_vec_f64(is);
+  fitted_ = true;
+}
+
+std::unique_ptr<TabularGenerator> CtabganPlus::clone() const {
+  std::stringstream buffer;
+  save(buffer);
+  auto copy = std::make_unique<CtabganPlus>(cfg_);
+  copy->load(buffer);
+  return copy;
+}
+
+namespace {
+const RegisterGenerator kRegisterCtabgan{{
+    "ctabgan",
+    "CTABGAN+",
+    "Conditional GAN with training-by-sampling and Gumbel-softmax heads "
+    "(Zhao et al., 2024)",
+    [](const TrainBudget& budget, std::uint64_t seed) {
+      CtabganConfig cfg;
+      cfg.budget = budget;
+      cfg.seed = seed;
+      return std::make_unique<CtabganPlus>(cfg);
+    },
+}};
+}  // namespace
 
 }  // namespace surro::models

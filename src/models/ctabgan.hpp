@@ -41,10 +41,17 @@ class CtabganPlus final : public TabularGenerator {
  public:
   explicit CtabganPlus(CtabganConfig cfg = {});
 
-  void fit(const tabular::Table& train) override;
-  [[nodiscard]] tabular::Table sample(std::size_t n,
-                                      std::uint64_t seed) override;
+  using TabularGenerator::fit;
+  void fit(const tabular::Table& train, const FitOptions& opts) override;
+  [[nodiscard]] bool fitted() const noexcept override { return fitted_; }
+  [[nodiscard]] tabular::Table sample_chunk(std::size_t n,
+                                            std::uint64_t seed) override;
+  [[nodiscard]] std::string key() const override { return "ctabgan"; }
   [[nodiscard]] std::string name() const override { return "CTABGAN+"; }
+
+  void save(std::ostream& os) const override;
+  void load(std::istream& is) override;
+  [[nodiscard]] std::unique_ptr<TabularGenerator> clone() const override;
 
   [[nodiscard]] float last_disc_loss() const noexcept { return last_d_; }
   [[nodiscard]] float last_gen_loss() const noexcept { return last_g_; }

@@ -1,6 +1,9 @@
 #include "models/smote.hpp"
 
+#include <sstream>
 #include <stdexcept>
+
+#include "util/serialize.hpp"
 
 namespace surro::models {
 
@@ -10,10 +13,12 @@ Smote::Smote(SmoteConfig cfg) : cfg_(cfg) {
   }
 }
 
-void Smote::fit(const tabular::Table& train) {
+void Smote::fit(const tabular::Table& train, const FitOptions& opts) {
+  if (fitted_) throw std::logic_error("smote: fit called twice");
   if (train.num_rows() < 2) {
     throw std::invalid_argument("smote: need at least two training rows");
   }
+  if (opts.cancelled()) throw FitCancelled(name());
   encoder_.fit(train, cfg_.num_quantiles);
 
   const auto& num_cols = encoder_.numerical_columns();
@@ -35,9 +40,11 @@ void Smote::fit(const tabular::Table& train) {
 
   tree_ = std::make_unique<knn::KdTree>(numerical_);
   fitted_ = true;
+  // SMOTE "trains" in a single pass; report it as one completed epoch.
+  if (opts.on_progress) opts.on_progress({1, 1, 0.0f});
 }
 
-tabular::Table Smote::sample(std::size_t n, std::uint64_t seed) {
+tabular::Table Smote::sample_chunk(std::size_t n, std::uint64_t seed) {
   if (!fitted_) throw std::logic_error("smote: sample before fit");
   util::Rng rng(seed);
 
@@ -72,5 +79,74 @@ tabular::Table Smote::sample(std::size_t n, std::uint64_t seed) {
   }
   return out;
 }
+
+void Smote::save(std::ostream& os) const {
+  if (!fitted_) throw std::logic_error("smote: save before fit");
+  util::io::write_tag(os, "SMOT");
+  util::io::write_u32(os, 1);  // payload version
+  util::io::write_u64(os, cfg_.k_neighbors);
+  util::io::write_u64(os, cfg_.num_quantiles);
+  encoder_.save(os);
+  linalg::save_matrix(os, numerical_);
+  util::io::write_u64(os, cat_codes_.size());
+  for (const auto& codes : cat_codes_) util::io::write_vec_i32(os, codes);
+}
+
+void Smote::load(std::istream& is) {
+  if (fitted_) throw std::logic_error("smote: load into fitted model");
+  util::io::expect_tag(is, "SMOT");
+  const std::uint32_t version = util::io::read_u32(is);
+  if (version != 1) throw std::runtime_error("smote: unsupported payload");
+  cfg_.k_neighbors = static_cast<std::size_t>(util::io::read_u64(is));
+  cfg_.num_quantiles = static_cast<std::size_t>(util::io::read_u64(is));
+  encoder_.load(is);
+  numerical_ = linalg::load_matrix(is);
+  cat_codes_.resize(util::io::read_count(is));
+  for (auto& codes : cat_codes_) codes = util::io::read_vec_i32(is);
+
+  // Cross-field validation so corrupt archives fail here rather than as
+  // out-of-range donor lookups during sampling.
+  if (cfg_.k_neighbors == 0 || numerical_.rows() < 2 ||
+      numerical_.cols() != encoder_.num_numerical() ||
+      cat_codes_.size() != encoder_.blocks().size()) {
+    throw std::runtime_error("smote: corrupt fitted state");
+  }
+  for (std::size_t bi = 0; bi < cat_codes_.size(); ++bi) {
+    const auto cardinality =
+        static_cast<std::int32_t>(encoder_.blocks()[bi].cardinality);
+    if (cat_codes_[bi].size() != numerical_.rows()) {
+      throw std::runtime_error("smote: corrupt categorical codes");
+    }
+    for (const std::int32_t code : cat_codes_[bi]) {
+      if (code < 0 || code >= cardinality) {
+        throw std::runtime_error("smote: code outside vocabulary");
+      }
+    }
+  }
+  // The k-d tree is a pure function of the numerical slice — rebuild it
+  // instead of shipping its internals.
+  tree_ = std::make_unique<knn::KdTree>(numerical_);
+  fitted_ = true;
+}
+
+std::unique_ptr<TabularGenerator> Smote::clone() const {
+  std::stringstream buffer;
+  save(buffer);
+  auto copy = std::make_unique<Smote>(cfg_);
+  copy->load(buffer);
+  return copy;
+}
+
+namespace {
+const RegisterGenerator kRegisterSmote{{
+    "smote",
+    "SMOTE",
+    "k-NN interpolation baseline (Chawla et al., 2002); no training, "
+    "near-memorization privacy profile",
+    [](const TrainBudget& /*budget*/, std::uint64_t /*seed*/) {
+      return std::make_unique<Smote>();
+    },
+}};
+}  // namespace
 
 }  // namespace surro::models

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 #include "nn/losses.hpp"
 #include "util/logging.hpp"
 #include "util/mathx.hpp"
+#include "util/serialize.hpp"
 
 namespace surro::models {
 
@@ -30,14 +32,7 @@ void TabDdpm::embed_time(std::size_t t, linalg::Matrix& out, std::size_t row,
   }
 }
 
-void TabDdpm::fit(const tabular::Table& train) {
-  if (fitted_) throw std::logic_error("tabddpm: fit called twice");
-  encoder_.fit(train, cfg_.num_quantiles);
-  const std::size_t width = encoder_.encoded_width();
-  const std::size_t m = encoder_.num_numerical();
-  const std::size_t t_dim = cfg_.time_embed_dim;
-  const std::size_t in_dim = width + t_dim;
-
+void TabDdpm::build_schedule() {
   // Cosine ᾱ schedule (Nichol & Dhariwal), converted to per-step betas.
   const std::size_t T = cfg_.timesteps;
   alpha_bar_.resize(T + 1);
@@ -58,6 +53,18 @@ void TabDdpm::fit(const tabular::Table& train) {
     betas_[t] = beta;
     alphas_[t] = 1.0 - beta;
   }
+}
+
+void TabDdpm::fit(const tabular::Table& train, const FitOptions& opts) {
+  if (fitted_) throw std::logic_error("tabddpm: fit called twice");
+  encoder_.fit(train, cfg_.num_quantiles);
+  const std::size_t width = encoder_.encoded_width();
+  const std::size_t m = encoder_.num_numerical();
+  const std::size_t t_dim = cfg_.time_embed_dim;
+  const std::size_t in_dim = width + t_dim;
+  const std::size_t T = cfg_.timesteps;
+
+  build_schedule();
 
   net_ = nn::make_mlp(in_dim, cfg_.hidden, width, nn::Activation::kSiLU,
                       rng_);
@@ -80,6 +87,7 @@ void TabDdpm::fit(const tabular::Table& train) {
 
   std::size_t step = 0;
   for (std::size_t epoch = 0; epoch < cfg_.budget.epochs; ++epoch) {
+    if (opts.cancelled()) throw FitCancelled(name());
     const auto perm = rng_.permutation(n);
     double epoch_loss = 0.0;
     std::size_t batches = 0;
@@ -164,11 +172,14 @@ void TabDdpm::fit(const tabular::Table& train) {
                      cfg_.budget.epochs,
                      static_cast<double>(last_epoch_loss_));
     }
+    if (opts.on_progress) {
+      opts.on_progress({epoch + 1, cfg_.budget.epochs, last_epoch_loss_});
+    }
   }
   fitted_ = true;
 }
 
-tabular::Table TabDdpm::sample(std::size_t n, std::uint64_t seed) {
+tabular::Table TabDdpm::sample_chunk(std::size_t n, std::uint64_t seed) {
   if (!fitted_) throw std::logic_error("tabddpm: sample before fit");
   util::Rng rng(seed);
   const std::size_t width = encoder_.encoded_width();
@@ -364,5 +375,59 @@ std::vector<double> TabDdpm::anomaly_scores(const tabular::Table& rows,
   for (double& s : scores) s /= norm;
   return scores;
 }
+
+void TabDdpm::save(std::ostream& os) const {
+  if (!fitted_) throw std::logic_error("tabddpm: save before fit");
+  util::io::write_tag(os, "DDPM");
+  util::io::write_u32(os, 1);  // payload version
+  util::io::write_u64(os, cfg_.timesteps);
+  util::io::write_u64(os, cfg_.time_embed_dim);
+  encoder_.save(os);
+  nn::save_mlp(os, net_);
+}
+
+void TabDdpm::load(std::istream& is) {
+  if (fitted_) throw std::logic_error("tabddpm: load into fitted model");
+  util::io::expect_tag(is, "DDPM");
+  const std::uint32_t version = util::io::read_u32(is);
+  if (version != 1) throw std::runtime_error("tabddpm: unsupported payload");
+  cfg_.timesteps = static_cast<std::size_t>(util::io::read_u64(is));
+  cfg_.time_embed_dim = static_cast<std::size_t>(util::io::read_u64(is));
+  encoder_.load(is);
+  net_ = nn::load_mlp(is);
+  build_schedule();
+  fitted_ = true;
+}
+
+std::unique_ptr<TabularGenerator> TabDdpm::clone() const {
+  std::stringstream buffer;
+  save(buffer);
+  auto copy = std::make_unique<TabDdpm>(cfg_);
+  copy->load(buffer);
+  return copy;
+}
+
+namespace {
+const RegisterGenerator kRegisterTabDdpm{{
+    "tabddpm",
+    "TabDDPM",
+    "Gaussian + multinomial denoising diffusion (Kotelnikov et al., 2023) "
+    "— the paper's recommended surrogate",
+    [](const TrainBudget& budget, std::uint64_t seed) {
+      TabDdpmConfig cfg;
+      cfg.budget = budget;
+      // The diffusion model needs more gradient signal per wall-clock than
+      // the VAE/GAN at our reduced epoch counts: the paper's 2e-4 over
+      // 30k epochs scales to ~1.5e-3 at tens of epochs, and doubling the
+      // epoch count keeps its optimization budget comparable to the
+      // adversarial pair (which takes 2 passes per step).
+      cfg.budget.learning_rate = budget.learning_rate * 7.5f;
+      cfg.budget.epochs = budget.epochs * 2;
+      cfg.timesteps = 50;
+      cfg.seed = seed;
+      return std::make_unique<TabDdpm>(cfg);
+    },
+}};
+}  // namespace
 
 }  // namespace surro::models

@@ -39,10 +39,17 @@ class TabDdpm final : public TabularGenerator {
  public:
   explicit TabDdpm(TabDdpmConfig cfg = {});
 
-  void fit(const tabular::Table& train) override;
-  [[nodiscard]] tabular::Table sample(std::size_t n,
-                                      std::uint64_t seed) override;
+  using TabularGenerator::fit;
+  void fit(const tabular::Table& train, const FitOptions& opts) override;
+  [[nodiscard]] bool fitted() const noexcept override { return fitted_; }
+  [[nodiscard]] tabular::Table sample_chunk(std::size_t n,
+                                            std::uint64_t seed) override;
+  [[nodiscard]] std::string key() const override { return "tabddpm"; }
   [[nodiscard]] std::string name() const override { return "TabDDPM"; }
+
+  void save(std::ostream& os) const override;
+  void load(std::istream& is) override;
+  [[nodiscard]] std::unique_ptr<TabularGenerator> clone() const override;
 
   [[nodiscard]] float last_epoch_loss() const noexcept {
     return last_epoch_loss_;
@@ -65,6 +72,10 @@ class TabDdpm final : public TabularGenerator {
   /// Write the sinusoidal embedding of timestep t into out[row, offset..).
   void embed_time(std::size_t t, linalg::Matrix& out, std::size_t row,
                   std::size_t offset) const;
+
+  /// (Re)compute the cosine beta/alpha schedule from cfg_.timesteps — a
+  /// pure function of the config, shared by fit() and load().
+  void build_schedule();
 
   TabDdpmConfig cfg_;
   bool fitted_ = false;

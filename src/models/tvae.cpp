@@ -2,16 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 #include "nn/losses.hpp"
 #include "util/logging.hpp"
+#include "util/serialize.hpp"
 
 namespace surro::models {
 
 Tvae::Tvae(TvaeConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
 
-void Tvae::fit(const tabular::Table& train) {
+void Tvae::fit(const tabular::Table& train, const FitOptions& opts) {
   if (fitted_) throw std::logic_error("tvae: fit called twice");
   encoder_map_.fit(train, cfg_.num_quantiles);
   const std::size_t width = encoder_map_.encoded_width();
@@ -46,6 +48,7 @@ void Tvae::fit(const tabular::Table& train) {
 
   std::size_t step = 0;
   for (std::size_t epoch = 0; epoch < cfg_.budget.epochs; ++epoch) {
+    if (opts.cancelled()) throw FitCancelled(name());
     const auto perm = rng_.permutation(n);
     double epoch_loss = 0.0;
     std::size_t epoch_batches = 0;
@@ -117,11 +120,14 @@ void Tvae::fit(const tabular::Table& train) {
                      cfg_.budget.epochs,
                      static_cast<double>(last_epoch_loss_));
     }
+    if (opts.on_progress) {
+      opts.on_progress({epoch + 1, cfg_.budget.epochs, last_epoch_loss_});
+    }
   }
   fitted_ = true;
 }
 
-tabular::Table Tvae::sample(std::size_t n, std::uint64_t seed) {
+tabular::Table Tvae::sample_chunk(std::size_t n, std::uint64_t seed) {
   if (!fitted_) throw std::logic_error("tvae: sample before fit");
   util::Rng rng(seed);
   const std::size_t latent = cfg_.latent_dim;
@@ -141,6 +147,48 @@ tabular::Table Tvae::sample(std::size_t n, std::uint64_t seed) {
     out.append_table(encoder_map_.decode(y, &rng));
   }
   return out;
+}
+
+void Tvae::save(std::ostream& os) const {
+  if (!fitted_) throw std::logic_error("tvae: save before fit");
+  util::io::write_tag(os, "TVAE");
+  util::io::write_u32(os, 1);  // payload version
+  util::io::write_u64(os, cfg_.latent_dim);
+  encoder_map_.save(os);
+  nn::save_mlp(os, decoder_);
+}
+
+void Tvae::load(std::istream& is) {
+  if (fitted_) throw std::logic_error("tvae: load into fitted model");
+  util::io::expect_tag(is, "TVAE");
+  const std::uint32_t version = util::io::read_u32(is);
+  if (version != 1) throw std::runtime_error("tvae: unsupported payload");
+  cfg_.latent_dim = static_cast<std::size_t>(util::io::read_u64(is));
+  encoder_map_.load(is);
+  decoder_ = nn::load_mlp(is);
+  fitted_ = true;
+}
+
+namespace {
+const RegisterGenerator kRegisterTvae{{
+    "tvae",
+    "TVAE",
+    "Variational autoencoder for mixed-type tables (Xu et al., 2019)",
+    [](const TrainBudget& budget, std::uint64_t seed) {
+      TvaeConfig cfg;
+      cfg.budget = budget;
+      cfg.seed = seed;
+      return std::make_unique<Tvae>(cfg);
+    },
+}};
+}  // namespace
+
+std::unique_ptr<TabularGenerator> Tvae::clone() const {
+  std::stringstream buffer;
+  save(buffer);
+  auto copy = std::make_unique<Tvae>(cfg_);
+  copy->load(buffer);
+  return copy;
 }
 
 }  // namespace surro::models

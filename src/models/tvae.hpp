@@ -27,10 +27,17 @@ class Tvae final : public TabularGenerator {
  public:
   explicit Tvae(TvaeConfig cfg = {});
 
-  void fit(const tabular::Table& train) override;
-  [[nodiscard]] tabular::Table sample(std::size_t n,
-                                      std::uint64_t seed) override;
+  using TabularGenerator::fit;
+  void fit(const tabular::Table& train, const FitOptions& opts) override;
+  [[nodiscard]] bool fitted() const noexcept override { return fitted_; }
+  [[nodiscard]] tabular::Table sample_chunk(std::size_t n,
+                                            std::uint64_t seed) override;
+  [[nodiscard]] std::string key() const override { return "tvae"; }
   [[nodiscard]] std::string name() const override { return "TVAE"; }
+
+  void save(std::ostream& os) const override;
+  void load(std::istream& is) override;
+  [[nodiscard]] std::unique_ptr<TabularGenerator> clone() const override;
 
   /// Mean total loss of the last training epoch (diagnostics/tests).
   [[nodiscard]] float last_epoch_loss() const noexcept {

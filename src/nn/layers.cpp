@@ -2,10 +2,73 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "nn/init.hpp"
+#include "util/serialize.hpp"
 
 namespace surro::nn {
+
+namespace {
+// Layer kind bytes in the serialized stream.
+constexpr std::uint32_t kLinearTag = 0;
+constexpr std::uint32_t kActivationTag = 1;
+constexpr std::uint32_t kDropoutTag = 2;
+constexpr std::uint32_t kLayerNormTag = 3;
+}  // namespace
+
+std::unique_ptr<Layer> load_layer(std::istream& is) {
+  util::io::expect_tag(is, "LAYR");
+  const std::uint32_t kind = util::io::read_u32(is);
+  switch (kind) {
+    case kLinearTag: {
+      const auto in_dim = static_cast<std::size_t>(util::io::read_u64(is));
+      const auto out_dim = static_cast<std::size_t>(util::io::read_u64(is));
+      util::Rng dummy(0);  // weights are overwritten below
+      auto layer = std::make_unique<Linear>(in_dim, out_dim, dummy);
+      layer->weight().value = linalg::load_matrix(is);
+      layer->bias().value = linalg::load_matrix(is);
+      if (layer->weight().value.rows() != in_dim ||
+          layer->weight().value.cols() != out_dim ||
+          layer->bias().value.rows() != 1 ||
+          layer->bias().value.cols() != out_dim) {
+        throw std::runtime_error("nn: linear layer shape mismatch in stream");
+      }
+      return layer;
+    }
+    case kActivationTag: {
+      const std::uint32_t raw = util::io::read_u32(is);
+      if (raw > static_cast<std::uint32_t>(Activation::kSiLU)) {
+        throw std::runtime_error("nn: unknown activation kind in stream");
+      }
+      const auto act = static_cast<Activation>(raw);
+      const float slope = util::io::read_f32(is);
+      return std::make_unique<ActivationLayer>(act, slope);
+    }
+    case kDropoutTag: {
+      const float p = util::io::read_f32(is);
+      util::Rng rng(util::io::read_u64(is));
+      return std::make_unique<Dropout>(p, rng);
+    }
+    case kLayerNormTag: {
+      const auto dim = static_cast<std::size_t>(util::io::read_u64(is));
+      const float eps = util::io::read_f32(is);
+      auto layer = std::make_unique<LayerNorm>(dim, eps);
+      const auto params = layer->params();
+      params[0]->value = linalg::load_matrix(is);  // gamma
+      params[1]->value = linalg::load_matrix(is);  // beta
+      for (const auto* p : params) {
+        if (p->value.rows() != 1 || p->value.cols() != dim) {
+          throw std::runtime_error(
+              "nn: layer norm shape mismatch in stream");
+        }
+      }
+      return layer;
+    }
+    default:
+      throw std::runtime_error("nn: unknown layer kind in stream");
+  }
+}
 
 // ---------------------------------------------------------------- Linear ---
 
@@ -40,6 +103,15 @@ void Linear::backward(const linalg::Matrix& grad_out,
   linalg::col_sums(grad_out, db);
   for (std::size_t j = 0; j < out_dim_; ++j) b_.grad(0, j) += db[j];
   linalg::gemm_nt(grad_out, w_.value, grad_in);
+}
+
+void Linear::save(std::ostream& os) const {
+  util::io::write_tag(os, "LAYR");
+  util::io::write_u32(os, kLinearTag);
+  util::io::write_u64(os, in_dim_);
+  util::io::write_u64(os, out_dim_);
+  linalg::save_matrix(os, w_.value);
+  linalg::save_matrix(os, b_.value);
 }
 
 // ------------------------------------------------------------ Activation ---
@@ -137,10 +209,26 @@ void ActivationLayer::backward(const linalg::Matrix& grad_out,
   }
 }
 
+void ActivationLayer::save(std::ostream& os) const {
+  util::io::write_tag(os, "LAYR");
+  util::io::write_u32(os, kActivationTag);
+  util::io::write_u32(os, static_cast<std::uint32_t>(kind_));
+  util::io::write_f32(os, slope_);
+}
+
 // --------------------------------------------------------------- Dropout ---
 
 Dropout::Dropout(float p, util::Rng& rng) : p_(p), rng_(rng.split()) {
   assert(p >= 0.0f && p < 1.0f);
+}
+
+void Dropout::save(std::ostream& os) const {
+  // The mask RNG restarts from a fixed stream on load; dropout is identity
+  // at inference time, so sampling behaviour is unaffected.
+  util::io::write_tag(os, "LAYR");
+  util::io::write_u32(os, kDropoutTag);
+  util::io::write_f32(os, p_);
+  util::io::write_u64(os, 0x0D120u);
 }
 
 void Dropout::forward(const linalg::Matrix& in, linalg::Matrix& out,
@@ -182,6 +270,15 @@ LayerNorm::LayerNorm(std::size_t dim, float eps) : dim_(dim), eps_(eps) {
   gamma_.value.fill(1.0f);
   beta_.resize(1, dim);
   beta_.value.zero();
+}
+
+void LayerNorm::save(std::ostream& os) const {
+  util::io::write_tag(os, "LAYR");
+  util::io::write_u32(os, kLayerNormTag);
+  util::io::write_u64(os, dim_);
+  util::io::write_f32(os, eps_);
+  linalg::save_matrix(os, gamma_.value);
+  linalg::save_matrix(os, beta_.value);
 }
 
 void LayerNorm::forward(const linalg::Matrix& in, linalg::Matrix& out,

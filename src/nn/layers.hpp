@@ -7,6 +7,7 @@
 // after each step. That makes multi-head models (e.g. the VAE's mu/logvar
 // branches sharing an encoder trunk) correct without extra machinery.
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,7 +45,14 @@ class Layer {
   virtual std::vector<Param*> params() { return {}; }
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Binary persistence of architecture + parameters (not the forward/
+  /// backward caches). load_layer() is the matching factory.
+  virtual void save(std::ostream& os) const = 0;
 };
+
+/// Reconstruct a layer written by Layer::save().
+[[nodiscard]] std::unique_ptr<Layer> load_layer(std::istream& is);
 
 /// Affine: out = in·W + b.   W: (in_dim, out_dim), b: (1, out_dim).
 class Linear final : public Layer {
@@ -58,6 +66,7 @@ class Linear final : public Layer {
                 linalg::Matrix& grad_in) override;
   std::vector<Param*> params() override { return {&w_, &b_}; }
   [[nodiscard]] std::string name() const override { return "Linear"; }
+  void save(std::ostream& os) const override;
 
   [[nodiscard]] std::size_t in_dim() const noexcept { return in_dim_; }
   [[nodiscard]] std::size_t out_dim() const noexcept { return out_dim_; }
@@ -83,6 +92,10 @@ class ActivationLayer final : public Layer {
   void backward(const linalg::Matrix& grad_out,
                 linalg::Matrix& grad_in) override;
   [[nodiscard]] std::string name() const override;
+  void save(std::ostream& os) const override;
+
+  [[nodiscard]] Activation kind() const noexcept { return kind_; }
+  [[nodiscard]] float slope() const noexcept { return slope_; }
 
  private:
   Activation kind_;
@@ -101,6 +114,9 @@ class Dropout final : public Layer {
   void backward(const linalg::Matrix& grad_out,
                 linalg::Matrix& grad_in) override;
   [[nodiscard]] std::string name() const override { return "Dropout"; }
+  void save(std::ostream& os) const override;
+
+  [[nodiscard]] float prob() const noexcept { return p_; }
 
  private:
   float p_;
@@ -120,6 +136,7 @@ class LayerNorm final : public Layer {
                 linalg::Matrix& grad_in) override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
   [[nodiscard]] std::string name() const override { return "LayerNorm"; }
+  void save(std::ostream& os) const override;
 
  private:
   std::size_t dim_;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/serialize.hpp"
+
 namespace surro::nn {
 
 void Mlp::push(std::unique_ptr<Layer> layer) {
@@ -82,6 +84,24 @@ Mlp make_mlp(std::size_t in_dim, const std::vector<std::size_t>& hidden,
     prev = h;
   }
   mlp.linear(prev, out_dim, rng, kaiming);
+  return mlp;
+}
+
+void save_mlp(std::ostream& os, const Mlp& mlp) {
+  util::io::write_tag(os, "MLP0");
+  util::io::write_u64(os, mlp.num_layers());
+  for (std::size_t i = 0; i < mlp.num_layers(); ++i) {
+    mlp.layer(i).save(os);
+  }
+}
+
+Mlp load_mlp(std::istream& is) {
+  util::io::expect_tag(is, "MLP0");
+  const auto n = static_cast<std::size_t>(util::io::read_u64(is));
+  Mlp mlp;
+  for (std::size_t i = 0; i < n; ++i) {
+    mlp.push(load_layer(is));
+  }
   return mlp;
 }
 

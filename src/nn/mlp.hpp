@@ -29,6 +29,10 @@ class Mlp {
     return layers_.size();
   }
 
+  [[nodiscard]] const Layer& layer(std::size_t i) const {
+    return *layers_.at(i);
+  }
+
   /// Forward through every layer; the returned reference stays valid until
   /// the next forward call.
   const linalg::Matrix& forward(const linalg::Matrix& in, bool train);
@@ -56,5 +60,9 @@ class Mlp {
                            const std::vector<std::size_t>& hidden,
                            std::size_t out_dim, Activation act,
                            util::Rng& rng, float dropout_p = 0.0f);
+
+/// Binary persistence of the full layer stack (architecture + parameters).
+void save_mlp(std::ostream& os, const Mlp& mlp);
+[[nodiscard]] Mlp load_mlp(std::istream& is);
 
 }  // namespace surro::nn

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/serialize.hpp"
+
 namespace surro::preprocess {
 
 void MixedEncoder::fit(const tabular::Table& table,
@@ -126,6 +128,81 @@ tabular::Table MixedEncoder::decode(const linalg::Matrix& m,
     t.append_row_values(num_vals, cat_vals);
   }
   return t;
+}
+
+void MixedEncoder::save(std::ostream& os) const {
+  if (!fitted_) throw std::logic_error("mixed_encoder: save before fit");
+  util::io::write_tag(os, "MENC");
+  // Schema: column specs in order.
+  util::io::write_u64(os, schema_.num_columns());
+  for (const auto& spec : schema_.columns()) {
+    util::io::write_string(os, spec.name);
+    util::io::write_u32(os,
+                        spec.kind == tabular::ColumnKind::kCategorical ? 1 : 0);
+  }
+  util::io::write_u64(os, numerical_cols_.size());
+  for (const std::size_t c : numerical_cols_) util::io::write_u64(os, c);
+  for (const auto& qt : transformers_) qt.save(os);
+  util::io::write_u64(os, blocks_.size());
+  for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+    util::io::write_u64(os, blocks_[bi].column);
+    util::io::write_u64(os, blocks_[bi].offset);
+    util::io::write_u64(os, blocks_[bi].cardinality);
+    util::io::write_vec_string(os, vocabs_[bi]);
+  }
+  util::io::write_u64(os, width_);
+}
+
+void MixedEncoder::load(std::istream& is) {
+  util::io::expect_tag(is, "MENC");
+  const std::size_t num_cols = util::io::read_count(is);
+  std::vector<tabular::ColumnSpec> specs(num_cols);
+  for (auto& spec : specs) {
+    spec.name = util::io::read_string(is);
+    spec.kind = util::io::read_u32(is) == 1 ? tabular::ColumnKind::kCategorical
+                                            : tabular::ColumnKind::kNumerical;
+  }
+  schema_ = tabular::Schema(std::move(specs));
+
+  numerical_cols_.resize(util::io::read_count(is));
+  for (auto& c : numerical_cols_) {
+    c = static_cast<std::size_t>(util::io::read_u64(is));
+  }
+  transformers_.assign(numerical_cols_.size(), QuantileTransformer(0));
+  for (auto& qt : transformers_) qt.load(is);
+
+  const std::size_t num_blocks = util::io::read_count(is);
+  blocks_.resize(num_blocks);
+  vocabs_.resize(num_blocks);
+  for (std::size_t bi = 0; bi < num_blocks; ++bi) {
+    blocks_[bi].column = static_cast<std::size_t>(util::io::read_u64(is));
+    blocks_[bi].offset = static_cast<std::size_t>(util::io::read_u64(is));
+    blocks_[bi].cardinality = static_cast<std::size_t>(util::io::read_u64(is));
+    vocabs_[bi] = util::io::read_vec_string(is);
+  }
+  width_ = static_cast<std::size_t>(util::io::read_u64(is));
+
+  // Cross-field validation: a corrupt archive must fail here, not as an
+  // out-of-bounds read in encode()/decode() later.
+  for (std::size_t k = 0; k < numerical_cols_.size(); ++k) {
+    if (numerical_cols_[k] >= schema_.num_columns() ||
+        !transformers_[k].fitted()) {
+      throw std::runtime_error("mixed_encoder: corrupt numerical layout");
+    }
+  }
+  std::size_t offset = numerical_cols_.size();
+  for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+    const auto& b = blocks_[bi];
+    if (b.column >= schema_.num_columns() || b.offset != offset ||
+        b.cardinality == 0 || vocabs_[bi].size() != b.cardinality) {
+      throw std::runtime_error("mixed_encoder: corrupt block layout");
+    }
+    offset += b.cardinality;
+  }
+  if (width_ != offset) {
+    throw std::runtime_error("mixed_encoder: corrupt encoded width");
+  }
+  fitted_ = true;
 }
 
 }  // namespace surro::preprocess

@@ -11,6 +11,7 @@
 // probability block when an Rng is supplied — used by TVAE/CTABGAN+/TabDDPM
 // heads that output per-block distributions).
 
+#include <iosfwd>
 #include <optional>
 
 #include "linalg/matrix.hpp"
@@ -67,6 +68,10 @@ class MixedEncoder {
   /// An empty table carrying the fit-time schema and vocabularies (useful
   /// for models that build output tables incrementally).
   [[nodiscard]] tabular::Table make_empty_table() const;
+
+  /// Binary persistence of the fitted transforms, layout, and vocabularies.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 
  private:
   bool fitted_ = false;

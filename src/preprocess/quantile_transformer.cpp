@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/mathx.hpp"
+#include "util/serialize.hpp"
 
 namespace surro::preprocess {
 
@@ -92,6 +93,20 @@ std::vector<double> QuantileTransformer::inverse(
   out.reserve(z.size());
   for (const double v : z) out.push_back(inverse_one(v));
   return out;
+}
+
+void QuantileTransformer::save(std::ostream& os) const {
+  util::io::write_tag(os, "QNTL");
+  util::io::write_u64(os, num_quantiles_);
+  util::io::write_vec_f64(os, quantiles_);
+  util::io::write_vec_f64(os, grid_);
+}
+
+void QuantileTransformer::load(std::istream& is) {
+  util::io::expect_tag(is, "QNTL");
+  num_quantiles_ = static_cast<std::size_t>(util::io::read_u64(is));
+  quantiles_ = util::io::read_vec_f64(is);
+  grid_ = util::io::read_vec_f64(is);
 }
 
 }  // namespace surro::preprocess

@@ -8,6 +8,7 @@
 // resolution.
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -37,6 +38,10 @@ class QuantileTransformer {
   [[nodiscard]] std::span<const double> quantiles() const noexcept {
     return quantiles_;
   }
+
+  /// Binary persistence of the fitted quantile grid.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 
  private:
   [[nodiscard]] double cdf(double v) const;       // empirical CDF in [0,1]

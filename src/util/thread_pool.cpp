@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace surro::util {
 
@@ -29,20 +30,79 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     const std::lock_guard lock(mutex_);
-    tasks_.push(std::move(task));
+    tasks_.push(Task{std::move(task), nullptr});
     ++in_flight_;
   }
   cv_task_.notify_one();
 }
 
+void ThreadPool::submit(TaskGroup& group, std::function<void()> task) {
+  {
+    const std::lock_guard lock(mutex_);
+    tasks_.push(Task{std::move(task), &group});
+    ++in_flight_;
+    ++group.pending_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::run_task(Task task) {
+  std::exception_ptr error;
+  try {
+    task.fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    const std::lock_guard lock(mutex_);
+    --in_flight_;
+    if (task.group != nullptr) {
+      --task.group->pending_;
+      if (error && !task.group->error_) task.group->error_ = error;
+    } else if (error && !ungrouped_error_) {
+      ungrouped_error_ = error;
+    }
+  }
+  // A finished task may unblock wait()/wait_idle() callers.
+  cv_done_.notify_all();
+}
+
+void ThreadPool::wait(TaskGroup& group) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (group.pending_ == 0) break;
+    if (!tasks_.empty()) {
+      Task task = std::move(tasks_.front());
+      tasks_.pop();
+      lock.unlock();
+      run_task(std::move(task));
+      lock.lock();
+      continue;
+    }
+    // The group's remaining tasks are running on other threads.
+    cv_done_.wait(lock,
+                  [&] { return group.pending_ == 0 || !tasks_.empty(); });
+  }
+  if (group.error_) {
+    const std::exception_ptr error = std::exchange(group.error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (ungrouped_error_) {
+    const std::exception_ptr error = std::exchange(ungrouped_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -50,12 +110,7 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
-    {
-      const std::lock_guard lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) cv_idle_.notify_all();
-    }
+    run_task(std::move(task));
   }
 }
 
@@ -77,11 +132,12 @@ void parallel_for(std::size_t begin, std::size_t end,
   }
   const std::size_t chunks = std::min(workers * 4, (n + grain - 1) / grain);
   const std::size_t chunk = (n + chunks - 1) / chunks;
+  TaskGroup group;
   for (std::size_t lo = begin; lo < end; lo += chunk) {
     const std::size_t hi = std::min(lo + chunk, end);
-    pool.submit([&body, lo, hi] { body(lo, hi); });
+    pool.submit(group, [&body, lo, hi] { body(lo, hi); });
   }
-  pool.wait_idle();
+  pool.wait(group);
 }
 
 void parallel_for_each(std::size_t begin, std::size_t end,

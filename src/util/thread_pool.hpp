@@ -1,11 +1,19 @@
 #pragma once
 // Shared-memory parallelism for the hot loops (GEMM, k-NN, histogram builds,
-// GBDT split search). A single process-wide pool is created lazily and sized
-// to the hardware; parallel_for falls back to a serial loop when the range is
-// small or the pool has a single worker, so call sites never special-case.
+// GBDT split search) and for chunked model sampling. A single process-wide
+// pool is created lazily and sized to the hardware.
+//
+// Work is tracked per TaskGroup, and waiting is *helping*: a thread blocked
+// on TaskGroup::wait() executes queued tasks (its own group's or anyone
+// else's) instead of sleeping. That makes nested parallelism safe — a pool
+// worker running a sampling chunk may itself call parallel_for (e.g. through
+// GEMM) without deadlocking the pool. parallel_for falls back to a serial
+// loop when the range is small or the pool has a single worker, so call
+// sites never special-case.
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -13,6 +21,25 @@
 #include <vector>
 
 namespace surro::util {
+
+class ThreadPool;
+
+/// Completion tracker for a batch of related tasks. Submit through
+/// ThreadPool::submit(group, task) and block in wait(); reusable for
+/// subsequent batches once wait() returned. If a task throws, the first
+/// exception is captured and rethrown by wait() after the batch drains —
+/// the pool's bookkeeping never wedges.
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+ private:
+  friend class ThreadPool;
+  std::size_t pending_ = 0;  // guarded by the owning pool's mutex
+  std::exception_ptr error_;  // first failure, guarded likewise
+};
 
 class ThreadPool {
  public:
@@ -25,31 +52,51 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueue a task; completion is observed via wait_idle() or the
-  /// parallel_for barrier.
+  /// Enqueue a task; completion is observed via wait_idle().
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Enqueue a task tracked by `group`; completion is observed via
+  /// wait(group). The group must outlive the task.
+  void submit(TaskGroup& group, std::function<void()> task);
+
+  /// Block until every task submitted against `group` has finished. The
+  /// calling thread helps drain the queue while it waits, so this is safe to
+  /// call from inside a pool worker (nested parallelism). Rethrows the
+  /// first exception any of the group's tasks threw.
+  void wait(TaskGroup& group);
+
+  /// Block until every submitted task (all groups) has finished. Unlike
+  /// wait(), this must not be called from a pool worker. Exceptions from
+  /// ungrouped tasks are rethrown here (first one wins).
   void wait_idle();
 
   /// The process-wide pool (lazily constructed, never destroyed before exit).
   static ThreadPool& global();
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
   void worker_loop();
+  /// Run one task (caller holds no lock), then update the books.
+  void run_task(Task task);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
+  std::queue<Task> tasks_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_task_;  // workers: work available / stop
+  std::condition_variable cv_done_;  // waiters: a task finished
   std::size_t in_flight_ = 0;
+  std::exception_ptr ungrouped_error_;  // first ungrouped-task failure
   bool stop_ = false;
 };
 
 /// Splits [begin, end) into contiguous chunks and runs `body(lo, hi)` on the
 /// global pool. Serial when the range is tiny or only one worker exists.
-/// `grain` is the minimum chunk size worth shipping to a worker.
+/// `grain` is the minimum chunk size worth shipping to a worker. Safe to
+/// call from inside pool tasks (the waiting thread helps execute).
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& body,
                   std::size_t grain = 1024);

@@ -55,7 +55,7 @@ TrainBudget tiny_budget() {
 
 // ------------------------------------------------------------------ common --
 
-class AllGenerators : public ::testing::TestWithParam<GeneratorKind> {};
+class AllGenerators : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(AllGenerators, SamplePreservesSchemaAndVocab) {
   const auto train = cluster_table(400, 1);
@@ -121,22 +121,18 @@ TEST_P(AllGenerators, NumericalValuesWithinTrainingRange) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Kinds, AllGenerators,
-                         ::testing::Values(GeneratorKind::kTvae,
-                                           GeneratorKind::kCtabganPlus,
-                                           GeneratorKind::kSmote,
-                                           GeneratorKind::kTabDdpm),
-                         [](const auto& info) {
-                           return to_string(info.param) == "CTABGAN+"
-                                      ? std::string("CTABGANPlus")
-                                      : to_string(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(Keys, AllGenerators,
+                         ::testing::Values("tvae", "ctabgan", "smote",
+                                           "tabddpm"),
+                         [](const auto& info) { return info.param; });
 
-TEST(GeneratorFactory, NamesMatch) {
-  EXPECT_EQ(to_string(GeneratorKind::kTvae), "TVAE");
-  EXPECT_EQ(to_string(GeneratorKind::kSmote), "SMOTE");
-  auto m = make_generator(GeneratorKind::kTabDdpm, tiny_budget(), 1);
+TEST(GeneratorFactory, RegistryNamesMatch) {
+  auto& registry = GeneratorRegistry::instance();
+  EXPECT_EQ(registry.info("tvae").display_name, "TVAE");
+  EXPECT_EQ(registry.info("smote").display_name, "SMOTE");
+  auto m = make_generator("tabddpm", tiny_budget(), 1);
   EXPECT_EQ(m->name(), "TabDDPM");
+  EXPECT_EQ(m->key(), "tabddpm");
 }
 
 // ------------------------------------------------------------------- SMOTE --

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace surro::util {
@@ -79,6 +80,99 @@ TEST(ParallelForEach, MatchesSerialSum) {
   double sum = 0.0;
   for (const double v : out) sum += v;
   EXPECT_DOUBLE_EQ(sum, static_cast<double>(n) * (n - 1));
+}
+
+TEST(TaskGroup, WaitCoversOnlyOwnTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  TaskGroup group_a;
+  TaskGroup group_b;
+  for (int i = 0; i < 50; ++i) {
+    pool.submit(group_a, [&a] { a.fetch_add(1); });
+    pool.submit(group_b, [&b] { b.fetch_add(1); });
+  }
+  pool.wait(group_a);
+  EXPECT_EQ(a.load(), 50);
+  pool.wait(group_b);
+  EXPECT_EQ(b.load(), 50);
+  pool.wait_idle();
+}
+
+TEST(TaskGroup, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  TaskGroup group;
+  for (int batch = 0; batch < 4; ++batch) {
+    for (int i = 0; i < 25; ++i) {
+      pool.submit(group, [&counter] { counter.fetch_add(1); });
+    }
+    pool.wait(group);
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(TaskGroup, ThrowingTaskPropagatesWithoutWedgingPool) {
+  ThreadPool pool(2);
+  TaskGroup group;
+  std::atomic<int> survivors{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit(group, [&survivors, i] {
+      if (i == 3) throw std::runtime_error("boom");
+      survivors.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.wait(group), std::runtime_error);
+  EXPECT_EQ(survivors.load(), 9);
+  // Bookkeeping survived: the pool accepts and completes new batches.
+  std::atomic<int> after{0};
+  for (int i = 0; i < 5; ++i) {
+    pool.submit(group, [&after] { after.fetch_add(1); });
+  }
+  pool.wait(group);
+  EXPECT_EQ(after.load(), 5);
+  pool.wait_idle();
+}
+
+TEST(TaskGroup, NestedWaitFromWorkerDoesNotDeadlock) {
+  // A pool task that itself fans out over the same pool and waits — the
+  // pattern of parallel model sampling whose chunks call parallel_for
+  // (GEMM). The helping wait must drain subtasks instead of deadlocking.
+  ThreadPool& pool = ThreadPool::global();
+  std::atomic<int> inner_sum{0};
+  TaskGroup outer;
+  const int outer_n = 8;
+  for (int o = 0; o < outer_n; ++o) {
+    pool.submit(outer, [&pool, &inner_sum] {
+      TaskGroup inner;
+      for (int i = 0; i < 16; ++i) {
+        pool.submit(inner, [&inner_sum] { inner_sum.fetch_add(1); });
+      }
+      pool.wait(inner);
+    });
+  }
+  pool.wait(outer);
+  EXPECT_EQ(inner_sum.load(), outer_n * 16);
+}
+
+TEST(TaskGroup, NestedParallelForFromWorkerCompletes) {
+  ThreadPool& pool = ThreadPool::global();
+  TaskGroup group;
+  std::vector<std::atomic<int>> hits(4096);
+  for (int w = 0; w < 4; ++w) {
+    pool.submit(group, [&hits] {
+      parallel_for(
+          0, hits.size(),
+          [&hits](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+          },
+          /*grain=*/64);
+    });
+  }
+  pool.wait(group);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 4);
+  }
 }
 
 TEST(ParallelFor, NestedBodiesComputeCorrectly) {

@@ -1,21 +1,28 @@
 // surro_cli — command-line front end for the surro library.
 //
-//   surro_cli generate   --days 30 --rate 240 --seed 42 --out jobs.csv
-//   surro_cli profile    --data jobs.csv
-//   surro_cli synthesize --data jobs.csv --model tabddpm --rows 5000
-//                        --epochs 30 --seed 7 --out synth.csv
-//   surro_cli evaluate   --real jobs.csv --synth synth.csv
-//   surro_cli simulate   --data jobs.csv --policy hybrid
+//   surro_cli models
+//   surro_cli generate     --days 30 --rate 240 --seed 42 --out jobs.csv
+//   surro_cli profile      --data jobs.csv
+//   surro_cli synthesize   --data jobs.csv --model tabddpm --rows 5000
+//                          --epochs 30 --seed 7 --threads 4 --out synth.csv
+//   surro_cli save-model   --data jobs.csv --model tabddpm --epochs 30
+//                          --seed 7 --out model.bin
+//   surro_cli sample-model --model-file model.bin --rows 100000 --seed 9
+//                          --threads 8 --out synth.csv
+//   surro_cli evaluate     --real jobs.csv --synth synth.csv
+//   surro_cli simulate     --data jobs.csv --policy hybrid
 //
 // Tables are CSV files with the paper's 9-column schema (see
-// panda::job_table_schema). `synthesize` trains the chosen surrogate on the
-// input table and writes synthetic rows; `evaluate` scores a synthetic
-// table against a real one with the five Table I metrics (MLEF uses an
-// internal 80/20 split of the real table).
+// panda::job_table_schema). Models are addressed by registry key; `models`
+// lists everything that self-registered. `save-model` trains once and
+// persists the fitted state; `sample-model` reloads it and synthesizes —
+// chunked, parallel (--threads), and bitwise-identical for any thread
+// count.
 
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 
 #include "core/surro.hpp"
@@ -27,7 +34,11 @@ namespace {
 using namespace surro;
 
 struct Args {
-  std::map<std::string, std::string> kv;
+  std::map<std::string, std::string> kv;  // --key value
+  std::set<std::string> bare;             // --flag with no value
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kv.contains(key) || bare.contains(key);
+  }
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback = "") const {
     const auto it = kv.find(key);
@@ -37,38 +48,81 @@ struct Args {
     const auto it = kv.find(key);
     return it == kv.end() ? fallback : std::stod(it->second);
   }
+  /// Bare boolean flag (--verbose) or explicit --verbose true/false.
+  [[nodiscard]] bool flag(const std::string& key) const {
+    if (bare.contains(key)) return true;
+    const auto it = kv.find(key);
+    if (it == kv.end()) return false;
+    return it->second != "false" && it->second != "0";
+  }
 };
 
 Args parse_args(int argc, char** argv, int first) {
   Args args;
   for (int i = first; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
-      args.kv[argv[i] + 2] = argv[i + 1];
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    const std::string key = argv[i] + 2;
+    // A flag is boolean when it is the last token or the next token is
+    // itself a --flag; otherwise it consumes the next token as its value.
+    // (Values may start with a single '-': negative numbers still work.)
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.kv[key] = argv[i + 1];
       ++i;
+    } else {
+      args.bare.insert(key);
     }
   }
   return args;
 }
 
+std::string model_list() {
+  std::string out;
+  for (const auto& key : models::GeneratorRegistry::instance().keys()) {
+    if (!out.empty()) out += "|";
+    out += key;
+  }
+  return out;
+}
+
 int usage() {
+  const std::string keys = model_list();
   std::fprintf(
       stderr,
-      "usage: surro_cli <command> [--key value ...]\n"
-      "  generate   --days D --rate R --seed S --out FILE\n"
-      "  profile    --data FILE\n"
-      "  synthesize --data FILE --model {tvae|ctabgan|smote|tabddpm}\n"
-      "             --rows N --epochs E --seed S --out FILE\n"
-      "  evaluate   --real FILE --synth FILE\n"
-      "  simulate   --data FILE --policy {random|locality|least|hybrid}\n");
+      "usage: surro_cli <command> [--key value ...] [--flag]\n"
+      "  models                list registered surrogate models\n"
+      "  generate     --days D --rate R --seed S --out FILE\n"
+      "  profile      --data FILE\n"
+      "  synthesize   --data FILE --model {%s}\n"
+      "               --rows N --epochs E --seed S --threads T --out FILE\n"
+      "  save-model   --data FILE --model {%s}\n"
+      "               --epochs E --seed S --out FILE [--verbose]\n"
+      "  sample-model --model-file FILE --rows N --seed S --threads T\n"
+      "               --chunk-rows C --out FILE\n"
+      "  evaluate     --real FILE --synth FILE\n"
+      "  simulate     --data FILE --policy {random|locality|least|hybrid}\n",
+      keys.c_str(), keys.c_str());
   return 2;
 }
 
-models::GeneratorKind parse_model(const std::string& name) {
-  if (name == "tvae") return models::GeneratorKind::kTvae;
-  if (name == "ctabgan") return models::GeneratorKind::kCtabganPlus;
-  if (name == "smote") return models::GeneratorKind::kSmote;
-  if (name == "tabddpm") return models::GeneratorKind::kTabDdpm;
-  throw std::invalid_argument("unknown model '" + name + "'");
+/// Validated registry lookup (keeps error messages uniform).
+const models::GeneratorInfo& model_info_or_throw(const std::string& key) {
+  auto& registry = models::GeneratorRegistry::instance();
+  if (!registry.contains(key)) {
+    throw std::invalid_argument("unknown model '" + key + "' (have: " +
+                                model_list() + ")");
+  }
+  return registry.info(key);
+}
+
+int cmd_models(const Args& /*args*/) {
+  auto& registry = models::GeneratorRegistry::instance();
+  std::printf("%-10s %-10s %s\n", "key", "name", "description");
+  for (const auto& key : registry.keys()) {
+    const auto& info = registry.info(key);
+    std::printf("%-10s %-10s %s\n", info.key.c_str(),
+                info.display_name.c_str(), info.description.c_str());
+  }
+  return 0;
 }
 
 int cmd_generate(const Args& args) {
@@ -98,25 +152,70 @@ int cmd_profile(const Args& args) {
   return 0;
 }
 
-int cmd_synthesize(const Args& args) {
+/// Shared by synthesize / save-model: load data, train the chosen model.
+std::unique_ptr<models::TabularGenerator> train_from_args(
+    const Args& args, tabular::Table* table_out = nullptr) {
   const auto table = tabular::read_csv(panda::job_table_schema(),
                                        args.get("data", "jobs.csv"));
   models::TrainBudget budget;
   budget.epochs = static_cast<std::size_t>(args.num("epochs", 30.0));
-  budget.log_every_epochs = 5;
+  budget.log_every_epochs = args.flag("verbose") ? 1 : 5;
   const auto seed = static_cast<std::uint64_t>(args.num("seed", 7.0));
-  auto model = models::make_generator(parse_model(args.get("model", "tabddpm")),
-                                      budget, seed);
+  const std::string key = args.get("model", "tabddpm");
+  (void)model_info_or_throw(key);
+  auto model = models::make_generator(key, budget, seed);
   std::printf("training %s on %zu rows...\n", model->name().c_str(),
               table.num_rows());
   model->fit(table);
-  const auto rows = static_cast<std::size_t>(
-      args.num("rows", static_cast<double>(table.num_rows())));
-  const auto synth = model->sample(rows, seed ^ 0xFEEDULL);
+  if (table_out != nullptr) *table_out = table;
+  return model;
+}
+
+/// Shared by synthesize / sample-model: chunked parallel synthesis + CSV.
+int sample_to_csv(models::TabularGenerator& model, const Args& args,
+                  std::size_t default_rows) {
+  models::SampleRequest request;
+  request.rows = static_cast<std::size_t>(
+      args.num("rows", static_cast<double>(default_rows)));
+  request.seed = static_cast<std::uint64_t>(args.num("seed", 7.0)) ^
+                 0xFEEDULL;
+  request.threads = static_cast<std::size_t>(args.num("threads", 1.0));
+  request.chunk_rows =
+      static_cast<std::size_t>(args.num("chunk-rows", 4096.0));
+  if (args.flag("verbose")) {
+    request.on_progress = [](std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "\r  sampled %zu/%zu rows", done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+    };
+  }
+  tabular::Table synth;
+  model.sample_into(synth, request);
   const std::string out = args.get("out", "synth.csv");
   tabular::write_csv(synth, out);
   std::printf("wrote %s (%zu rows)\n", out.c_str(), synth.num_rows());
   return 0;
+}
+
+int cmd_synthesize(const Args& args) {
+  tabular::Table table;
+  auto model = train_from_args(args, &table);
+  return sample_to_csv(*model, args, table.num_rows());
+}
+
+int cmd_save_model(const Args& args) {
+  auto model = train_from_args(args);
+  const std::string out = args.get("out", "model.bin");
+  models::save_model_file(*model, out);
+  std::printf("wrote %s (%s, fitted)\n", out.c_str(),
+              model->name().c_str());
+  return 0;
+}
+
+int cmd_sample_model(const Args& args) {
+  const std::string path = args.get("model-file", "model.bin");
+  auto model = models::load_model_file(path);
+  std::printf("loaded %s from %s\n", model->name().c_str(), path.c_str());
+  return sample_to_csv(*model, args, 1000);
 }
 
 int cmd_evaluate(const Args& args) {
@@ -186,9 +285,12 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Args args = parse_args(argc, argv, 2);
   try {
+    if (cmd == "models") return cmd_models(args);
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "profile") return cmd_profile(args);
     if (cmd == "synthesize") return cmd_synthesize(args);
+    if (cmd == "save-model") return cmd_save_model(args);
+    if (cmd == "sample-model") return cmd_sample_model(args);
     if (cmd == "evaluate") return cmd_evaluate(args);
     if (cmd == "simulate") return cmd_simulate(args);
   } catch (const std::exception& e) {
