@@ -5,6 +5,9 @@
 //   --paper   large profile (closer to paper scale; minutes)
 //   (default) medium profile balancing fidelity and wall-clock
 //   --out DIR write CSV artifacts into DIR (default: current directory)
+//   --json-out FILE
+//             also write a machine-readable JSON result artifact (scores,
+//             wall-clock, rows/sec) for CI to archive and diff
 
 #include <cstdio>
 #include <cstring>
@@ -20,7 +23,16 @@ enum class Profile { kQuick, kMedium, kPaper };
 struct HarnessOptions {
   Profile profile = Profile::kMedium;
   std::string out_dir = ".";
+  std::string json_out;  // empty = no JSON artifact
 };
+
+inline const char* profile_name(Profile profile) {
+  switch (profile) {
+    case Profile::kQuick: return "quick";
+    case Profile::kPaper: return "paper";
+    default: return "medium";
+  }
+}
 
 inline HarnessOptions parse_options(int argc, char** argv,
                                     Profile default_profile = Profile::kMedium) {
@@ -35,6 +47,8 @@ inline HarnessOptions parse_options(int argc, char** argv,
       opts.profile = Profile::kPaper;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       opts.out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      opts.json_out = argv[++i];
     }
   }
   return opts;
@@ -85,6 +99,23 @@ inline void write_text_file(const std::string& path,
   }
   out << content;
   std::printf("wrote %s\n", path.c_str());
+}
+
+/// When --json-out was given, wrap the experiment's JSON in a harness
+/// envelope (harness name + profile) and write it.
+inline void maybe_write_json(const HarnessOptions& opts,
+                             const std::string& harness,
+                             const eval::ExperimentConfig& cfg,
+                             const eval::ExperimentResult& result,
+                             double wall_seconds) {
+  if (opts.json_out.empty()) return;
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("harness", harness);
+  w.kv("profile", profile_name(opts.profile));
+  w.key("result").raw(eval::experiment_to_json(cfg, result, wall_seconds));
+  w.end_object();
+  write_text_file(opts.json_out, w.str() + "\n");
 }
 
 }  // namespace surro::bench

@@ -34,9 +34,12 @@ int main(int argc, char** argv) {
   for (const auto& line : metrics::check_paper_shape(result.scores)) {
     std::printf("  %s\n", line.c_str());
   }
-  std::printf("\ntotal wall-clock: %.1fs\n", watch.seconds());
+  const double wall_seconds = watch.seconds();
+  std::printf("\ntotal wall-clock: %.1fs\n", wall_seconds);
 
   bench::write_text_file(opts.out_dir + "/table1_scores.csv",
                          metrics::scores_to_csv(result.scores));
+  bench::maybe_write_json(opts, "table1_surrogate_comparison", cfg, result,
+                          wall_seconds);
   return 0;
 }

@@ -42,7 +42,7 @@ PreparedData prepare_data(const ExperimentConfig& cfg) {
 tabular::Table train_and_sample(const std::string& model_key,
                                 const ExperimentConfig& cfg,
                                 const tabular::Table& train,
-                                std::size_t rows) {
+                                std::size_t rows, ModelTiming* timing) {
   auto model = models::make_generator(model_key, cfg.budget, cfg.seed);
   util::Stopwatch watch;
   model->fit(train);
@@ -55,9 +55,18 @@ tabular::Table train_and_sample(const std::string& model_key,
   request.threads = cfg.sample_threads;
   tabular::Table sample;
   model->sample_into(sample, request);
+  const double sample_s = watch.seconds();
+  if (timing != nullptr) {
+    timing->model = model->name();
+    timing->fit_seconds = fit_s;
+    timing->sample_seconds = sample_s;
+    timing->synth_rows = rows;
+    timing->rows_per_sec =
+        sample_s > 0.0 ? static_cast<double>(rows) / sample_s : 0.0;
+  }
   if (cfg.verbose) {
     util::log_info("%s: fit %.1fs, sampled %zu rows in %.1fs",
-                   model->name().c_str(), fit_s, rows, watch.seconds());
+                   model->name().c_str(), fit_s, rows, sample_s);
   }
   return sample;
 }
@@ -70,10 +79,12 @@ metrics::ModelScore score_model(const std::string& name,
                                 const ExperimentConfig& cfg) {
   metrics::ModelScore score;
   score.model = name;
-  score.wd = metrics::mean_wasserstein(train, synthetic);
-  score.jsd = metrics::mean_jsd(train, synthetic);
-  score.diff_corr = metrics::diff_corr(train, synthetic);
-  score.dcr = metrics::mean_dcr(train, synthetic, cfg.dcr);
+  score.wd = metrics::mean_wasserstein(train, synthetic, cfg.metric_threads);
+  score.jsd = metrics::mean_jsd(train, synthetic, cfg.metric_threads);
+  score.diff_corr = metrics::diff_corr(train, synthetic, cfg.metric_threads);
+  metrics::DcrConfig dcr = cfg.dcr;
+  if (dcr.threads == 0) dcr.threads = cfg.metric_threads;  // inherit the cap
+  score.dcr = metrics::mean_dcr(train, synthetic, dcr);
   const double synth_mlef = metrics::mlef_mse(synthetic, test, cfg.mlef);
   score.diff_mlef = metrics::diff_mlef(synth_mlef, train_mlef);
   return score;
@@ -104,10 +115,15 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   for (const auto& key : cfg.model_keys) {
     const std::string name =
         models::GeneratorRegistry::instance().info(key).display_name;
-    tabular::Table sample = train_and_sample(key, cfg, result.train, rows);
+    ModelTiming timing;
+    tabular::Table sample =
+        train_and_sample(key, cfg, result.train, rows, &timing);
+    util::Stopwatch score_watch;
     result.scores.push_back(score_model(name, sample, result.train,
                                         result.test, result.train_mlef,
                                         cfg));
+    timing.score_seconds = score_watch.seconds();
+    result.timings.push_back(std::move(timing));
     if (cfg.verbose) {
       const auto& s = result.scores.back();
       util::log_info(
@@ -117,6 +133,59 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     result.samples.emplace(name, std::move(sample));
   }
   return result;
+}
+
+namespace {
+void append_config_json(util::JsonWriter& w, const ExperimentConfig& cfg) {
+  w.key("config").begin_object();
+  w.kv("window_days", cfg.data.model.days);
+  w.kv("base_jobs_per_day", cfg.data.model.base_jobs_per_day);
+  w.kv("epochs", cfg.budget.epochs);
+  w.kv("synth_rows", cfg.synth_rows);
+  w.kv("seed", cfg.seed);
+  w.key("models").begin_array();
+  for (const auto& key : cfg.model_keys) w.value(key);
+  w.end_array();
+  w.end_object();
+}
+}  // namespace
+
+void append_timing_json(util::JsonWriter& w, const ModelTiming& t) {
+  w.kv("fit_seconds", t.fit_seconds);
+  w.kv("sample_seconds", t.sample_seconds);
+  w.kv("score_seconds", t.score_seconds);
+  w.kv("synth_rows", t.synth_rows);
+  w.kv("rows_per_sec", t.rows_per_sec);
+}
+
+std::string experiment_to_json(const ExperimentConfig& cfg,
+                               const ExperimentResult& result,
+                               double wall_seconds) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("kind", "experiment");
+  append_config_json(w, cfg);
+  w.kv("train_rows", result.train.num_rows());
+  w.kv("test_rows", result.test.num_rows());
+  w.kv("train_mlef", result.train_mlef);
+  w.kv("wall_seconds", wall_seconds);
+  w.key("models").begin_array();
+  for (std::size_t i = 0; i < result.scores.size(); ++i) {
+    const auto& s = result.scores[i];
+    w.begin_object();
+    w.kv("model", s.model);
+    w.kv("wd", s.wd);
+    w.kv("jsd", s.jsd);
+    w.kv("diff_corr", s.diff_corr);
+    w.kv("dcr", s.dcr);
+    w.kv("diff_mlef", s.diff_mlef);
+    if (i < result.timings.size()) append_timing_json(w, result.timings[i]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace surro::eval

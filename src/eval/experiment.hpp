@@ -15,6 +15,7 @@
 #include "panda/filters.hpp"
 #include "panda/generator.hpp"
 #include "tabular/split.hpp"
+#include "util/json.hpp"
 
 namespace surro::eval {
 
@@ -29,6 +30,10 @@ struct ExperimentConfig {
   /// independent either way).
   std::size_t sample_chunk_rows = 4096;
   std::size_t sample_threads = 0;
+  /// Worker cap for the metric hot paths (per-column WD/JSD, association
+  /// matrix; DCR has its own knob in `dcr.threads`). 0 = every pool
+  /// worker, 1 = serial — scores are bitwise identical either way.
+  std::size_t metric_threads = 0;
   metrics::MlefConfig mlef;
   metrics::DcrConfig dcr;
   /// Registry keys of the surrogates to run, in order.
@@ -41,6 +46,18 @@ struct ExperimentConfig {
 /// (small window, light budgets) — used by tests and quick demos.
 [[nodiscard]] ExperimentConfig quick_experiment_config();
 
+/// Wall-clock accounting of one model's train → sample → score pass, the
+/// per-cell payload of the JSON artifacts CI archives.
+struct ModelTiming {
+  std::string model;  // display name, matches ModelScore::model
+  double fit_seconds = 0.0;
+  double sample_seconds = 0.0;
+  double score_seconds = 0.0;
+  std::size_t synth_rows = 0;
+  /// Sampling throughput (synth_rows / sample_seconds).
+  double rows_per_sec = 0.0;
+};
+
 struct ExperimentResult {
   panda::FilterFunnel funnel;
   tabular::Table full;   // merged (train+test) table, paper's Fig. 3(a) view
@@ -48,6 +65,7 @@ struct ExperimentResult {
   tabular::Table test;
   double train_mlef = 0.0;  // MLEF of the real-train-fitted probe
   std::vector<metrics::ModelScore> scores;
+  std::vector<ModelTiming> timings;  // parallel to `scores`
   std::map<std::string, tabular::Table> samples;  // per-model synthetic data
 };
 
@@ -61,10 +79,12 @@ struct PreparedData {
 [[nodiscard]] PreparedData prepare_data(const ExperimentConfig& cfg);
 
 /// Train + sample one generator (by registry key) on prepared data.
+/// `timing`, when given, receives fit/sample wall-clock and throughput.
 [[nodiscard]] tabular::Table train_and_sample(const std::string& model_key,
                                               const ExperimentConfig& cfg,
                                               const tabular::Table& train,
-                                              std::size_t rows);
+                                              std::size_t rows,
+                                              ModelTiming* timing = nullptr);
 
 /// Score one synthetic table against train/test.
 [[nodiscard]] metrics::ModelScore score_model(
@@ -74,5 +94,15 @@ struct PreparedData {
 
 /// The whole Table I pipeline.
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// Machine-readable run artifact: config echo, dataset sizes, per-model
+/// scores and timings (see README "JSON result schema").
+[[nodiscard]] std::string experiment_to_json(const ExperimentConfig& cfg,
+                                             const ExperimentResult& result,
+                                             double wall_seconds = 0.0);
+
+/// Append ModelTiming fields to an open JSON object (shared by the
+/// experiment and scenario-matrix emitters).
+void append_timing_json(util::JsonWriter& w, const ModelTiming& t);
 
 }  // namespace surro::eval

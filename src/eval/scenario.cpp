@@ -1,0 +1,261 @@
+#include "eval/scenario.hpp"
+
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+#include "anomaly/inject.hpp"
+#include "models/generator.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace surro::eval {
+
+namespace {
+
+std::string scenario_id(double days, double frac, std::size_t rows) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "w%g_a%g_r%zu", days, frac, rows);
+  return buf;
+}
+
+/// Resolve the matrix's model set: the axis wins, the base is the default.
+std::vector<std::string> resolve_models(const ExperimentConfig& base,
+                                        const ScenarioAxes& axes) {
+  const auto& keys = axes.model_keys.empty() ? base.model_keys
+                                             : axes.model_keys;
+  if (keys.empty()) {
+    throw std::invalid_argument("scenario matrix: empty model set");
+  }
+  auto& registry = models::GeneratorRegistry::instance();
+  for (const auto& key : keys) {
+    if (!registry.contains(key)) {
+      throw std::invalid_argument("scenario matrix: unknown model '" + key +
+                                  "'");
+    }
+  }
+  return keys;
+}
+
+}  // namespace
+
+std::vector<Scenario> expand_scenarios(const ExperimentConfig& base,
+                                       const ScenarioAxes& axes) {
+  const std::vector<double> windows =
+      axes.window_days.empty() ? std::vector<double>{base.data.model.days}
+                               : axes.window_days;
+  const std::vector<double> fractions =
+      axes.anomaly_fractions.empty() ? std::vector<double>{0.0}
+                                     : axes.anomaly_fractions;
+  const std::vector<std::size_t> rows =
+      axes.synth_rows.empty() ? std::vector<std::size_t>{base.synth_rows}
+                              : axes.synth_rows;
+
+  std::vector<Scenario> out;
+  // Dedup on the value tuple, not the display id (%g rounds to 6
+  // significant digits and could collapse distinct operating points).
+  std::set<std::tuple<double, double, std::size_t>> seen;
+  for (const double w : windows) {
+    if (!(w > 0.0)) {
+      throw std::invalid_argument("scenario matrix: window_days must be > 0");
+    }
+    for (const double a : fractions) {
+      if (a < 0.0 || a >= 1.0) {
+        throw std::invalid_argument(
+            "scenario matrix: anomaly fraction must be in [0, 1)");
+      }
+      for (const std::size_t r : rows) {
+        if (!seen.insert({w, a, r}).second) continue;
+        Scenario s;
+        s.id = scenario_id(w, a, r);
+        s.window_days = w;
+        s.anomaly_fraction = a;
+        s.synth_rows = r;
+        out.push_back(std::move(s));
+      }
+    }
+  }
+  return out;
+}
+
+ScenarioMatrixResult run_scenario_matrix(const ExperimentConfig& base,
+                                         const ScenarioAxes& axes,
+                                         const ScenarioMatrixOptions& opts) {
+  util::Stopwatch total_watch;
+  ScenarioMatrixResult result;
+  result.model_keys = resolve_models(base, axes);
+  const auto scenarios = expand_scenarios(base, axes);
+  auto& registry = models::GeneratorRegistry::instance();
+  auto& pool = util::ThreadPool::global();
+
+  for (const auto& scenario : scenarios) {
+    util::Stopwatch watch;
+    ExperimentConfig cfg = base;
+    cfg.data.model.days = scenario.window_days;
+    cfg.synth_rows = scenario.synth_rows;
+    cfg.model_keys = result.model_keys;
+
+    ScenarioRun run;
+    run.scenario = scenario;
+
+    // The generated collection window is shared by every model in this
+    // scenario: prepare once, then (optionally) corrupt a labeled fraction
+    // of both splits to shift the workload into the abnormal regime.
+    PreparedData data = prepare_data(cfg);
+    if (scenario.anomaly_fraction > 0.0) {
+      anomaly::InjectionConfig icfg;
+      icfg.fraction = scenario.anomaly_fraction;
+      icfg.seed = cfg.seed ^ 0xA001ULL;
+      auto train_inj = anomaly::inject_anomalies(data.train, icfg);
+      icfg.seed = cfg.seed ^ 0xA002ULL;
+      auto test_inj = anomaly::inject_anomalies(data.test, icfg);
+      run.injected_anomalies =
+          train_inj.num_anomalies + test_inj.num_anomalies;
+      data.train = std::move(train_inj.table);
+      data.test = std::move(test_inj.table);
+    }
+    run.train_rows = data.train.num_rows();
+    run.test_rows = data.test.num_rows();
+    run.train_mlef = metrics::mlef_mse(data.train, data.test, cfg.mlef);
+    if (opts.verbose) {
+      util::log_info("scenario %s: %zu train rows, %zu test rows, %zu "
+                     "anomalies",
+                     scenario.id.c_str(), run.train_rows, run.test_rows,
+                     run.injected_anomalies);
+    }
+
+    const std::size_t rows =
+        cfg.synth_rows > 0 ? cfg.synth_rows : run.train_rows;
+    const std::size_t n_models = result.model_keys.size();
+    run.cells.resize(n_models);
+    // Samples must outlive the concurrent scoring tasks.
+    std::vector<tabular::Table> samples(n_models);
+    util::TaskGroup scoring;
+    try {
+      for (std::size_t i = 0; i < n_models; ++i) {
+        const std::string& key = result.model_keys[i];
+        ScenarioCell& cell = run.cells[i];
+        cell.model_key = key;
+        const std::string name = registry.info(key).display_name;
+        samples[i] = train_and_sample(key, cfg, data.train, rows,
+                                      &cell.timing);
+        const auto score_cell = [&cfg, &data, &cell, &run, name,
+                                 sample = &samples[i]] {
+          util::Stopwatch score_watch;
+          cell.score = score_model(name, *sample, data.train, data.test,
+                                   run.train_mlef, cfg);
+          cell.timing.score_seconds = score_watch.seconds();
+        };
+        // Each cell writes only its own slot, so concurrent scoring is
+        // exactly the serial computation reordered — scores are bitwise
+        // identical.
+        if (opts.concurrent_scoring) {
+          pool.submit(scoring, score_cell);
+        } else {
+          score_cell();
+        }
+      }
+    } catch (...) {
+      // In-flight scoring tasks reference this scope (cfg/data/run/samples);
+      // drain them before unwinding. The original exception wins over any
+      // scoring failure.
+      try {
+        pool.wait(scoring);
+      } catch (...) {
+      }
+      throw;
+    }
+    pool.wait(scoring);
+    run.wall_seconds = watch.seconds();
+    if (opts.verbose) {
+      for (const auto& cell : run.cells) {
+        const auto& s = cell.score;
+        util::log_info("scenario %s %s: WD %.3f JSD %.3f diff-CORR %.3f "
+                       "DCR %.3f diff-MLEF %.3f",
+                       scenario.id.c_str(), s.model.c_str(), s.wd, s.jsd,
+                       s.diff_corr, s.dcr, s.diff_mlef);
+      }
+    }
+    result.runs.push_back(std::move(run));
+  }
+  result.wall_seconds = total_watch.seconds();
+  return result;
+}
+
+std::string matrix_to_json(const ExperimentConfig& base,
+                           const ScenarioMatrixResult& result) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("kind", "scenario_matrix");
+  w.key("config").begin_object();
+  w.kv("base_jobs_per_day", base.data.model.base_jobs_per_day);
+  w.kv("epochs", base.budget.epochs);
+  w.kv("seed", base.seed);
+  w.kv("sample_threads", base.sample_threads);
+  w.kv("metric_threads", base.metric_threads);
+  w.end_object();
+  w.key("models").begin_array();
+  for (const auto& key : result.model_keys) w.value(key);
+  w.end_array();
+  w.key("scenarios").begin_array();
+  for (const auto& run : result.runs) {
+    w.begin_object();
+    w.kv("id", run.scenario.id);
+    w.kv("window_days", run.scenario.window_days);
+    w.kv("anomaly_fraction", run.scenario.anomaly_fraction);
+    w.kv("synth_rows", run.scenario.synth_rows);
+    w.kv("train_rows", run.train_rows);
+    w.kv("test_rows", run.test_rows);
+    w.kv("injected_anomalies", run.injected_anomalies);
+    w.kv("train_mlef", run.train_mlef);
+    w.kv("wall_seconds", run.wall_seconds);
+    w.key("cells").begin_array();
+    for (const auto& cell : run.cells) {
+      w.begin_object();
+      w.kv("model_key", cell.model_key);
+      w.kv("model", cell.score.model);
+      w.kv("wd", cell.score.wd);
+      w.kv("jsd", cell.score.jsd);
+      w.kv("diff_corr", cell.score.diff_corr);
+      w.kv("dcr", cell.score.dcr);
+      w.kv("diff_mlef", cell.score.diff_mlef);
+      append_timing_json(w, cell.timing);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("wall_seconds", result.wall_seconds);
+  w.end_object();
+  return w.str();
+}
+
+std::string render_matrix(const ScenarioMatrixResult& result) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-18s %-10s %8s %8s %10s %8s %10s %10s\n", "scenario",
+                "model", "WD v", "JSD v", "dCORR v", "DCR ^", "dMLEF v",
+                "rows/s");
+  out += buf;
+  out += std::string(90, '-');
+  out += '\n';
+  for (const auto& run : result.runs) {
+    for (const auto& cell : run.cells) {
+      std::snprintf(buf, sizeof(buf),
+                    "%-18s %-10s %8.3f %8.3f %10.3f %8.3f %10.3f %10.0f\n",
+                    run.scenario.id.c_str(), cell.score.model.c_str(),
+                    cell.score.wd, cell.score.jsd, cell.score.diff_corr,
+                    cell.score.dcr, cell.score.diff_mlef,
+                    cell.timing.rows_per_sec);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace surro::eval

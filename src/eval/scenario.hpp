@@ -1,0 +1,89 @@
+#pragma once
+// Scenario-matrix evaluation engine: sweep the experiment over a grid of
+// workload regimes instead of the paper's single operating point. Axes
+// (collection-window size, anomaly-injection fraction, synthetic-row
+// scale) expand into deduplicated scenario configs; within one scenario
+// the PanDA window is generated once and shared by every model — each
+// model trains and samples in turn, and scoring fans out concurrently on
+// util::ThreadPool via TaskGroup. Scores are bitwise identical to a
+// serial run: every (scenario, model) cell writes its own slot and the
+// metric internals are thread-count independent.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hpp"
+
+namespace surro::eval {
+
+/// One operating point expanded from ScenarioAxes.
+struct Scenario {
+  std::string id;                 // e.g. "w21_a0.05_r2000"
+  double window_days = 21.0;      // collection-window size
+  double anomaly_fraction = 0.0;  // injected abnormal-row fraction (0 = clean)
+  std::size_t synth_rows = 0;     // rows per model (0 = match train size)
+};
+
+/// Axis values swept by the matrix. An empty axis pins the base config's
+/// value; `model_keys` is the model set every scenario runs (empty = the
+/// base config's model_keys).
+struct ScenarioAxes {
+  std::vector<double> window_days;
+  std::vector<double> anomaly_fractions;
+  std::vector<std::size_t> synth_rows;
+  std::vector<std::string> model_keys;
+};
+
+/// Cartesian expansion (windows × anomalies × rows), duplicates removed
+/// while preserving first-seen order.
+[[nodiscard]] std::vector<Scenario> expand_scenarios(
+    const ExperimentConfig& base, const ScenarioAxes& axes);
+
+/// The per-(scenario, model) cell of the matrix.
+struct ScenarioCell {
+  std::string model_key;
+  metrics::ModelScore score;
+  ModelTiming timing;
+};
+
+/// One scenario's full result: the dataset it ran on plus one cell per
+/// model, in model-set order.
+struct ScenarioRun {
+  Scenario scenario;
+  std::size_t train_rows = 0;
+  std::size_t test_rows = 0;
+  std::size_t injected_anomalies = 0;
+  double train_mlef = 0.0;
+  double wall_seconds = 0.0;
+  std::vector<ScenarioCell> cells;
+};
+
+struct ScenarioMatrixResult {
+  std::vector<std::string> model_keys;  // the resolved model set
+  std::vector<ScenarioRun> runs;        // expansion order
+  double wall_seconds = 0.0;
+};
+
+struct ScenarioMatrixOptions {
+  /// Score the models of a scenario concurrently (TaskGroup fan-out).
+  /// false = score inline after each model; results are identical.
+  bool concurrent_scoring = true;
+  bool verbose = false;
+};
+
+/// Run every scenario × model cell. The base config supplies everything
+/// the axes don't sweep (budgets, seeds, metric/DCR settings, threads).
+[[nodiscard]] ScenarioMatrixResult run_scenario_matrix(
+    const ExperimentConfig& base, const ScenarioAxes& axes,
+    const ScenarioMatrixOptions& opts = {});
+
+/// Machine-readable matrix artifact (see README "JSON result schema"):
+/// every scenario × model cell with scores, wall-clock, and rows/sec.
+[[nodiscard]] std::string matrix_to_json(const ExperimentConfig& base,
+                                         const ScenarioMatrixResult& result);
+
+/// Compact ASCII summary (one line per scenario × model cell).
+[[nodiscard]] std::string render_matrix(const ScenarioMatrixResult& result);
+
+}  // namespace surro::eval

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace surro::knn {
 
 namespace {
@@ -149,6 +151,24 @@ float KdTree::nearest_distance(std::span<const float> point,
                                std::ptrdiff_t exclude) const {
   const auto nn = query(point, 1, exclude);
   return nn.empty() ? 0.0f : std::sqrt(nn.front().dist_sq);
+}
+
+std::vector<float> KdTree::nearest_distances(const linalg::Matrix& queries,
+                                             std::size_t threads,
+                                             std::size_t chunk_rows) const {
+  if (queries.cols() != d_) {
+    throw std::invalid_argument("kdtree: query dimension mismatch");
+  }
+  std::vector<float> out(queries.rows(), 0.0f);
+  util::parallel_for(
+      0, queries.rows(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t q = lo; q < hi; ++q) {
+          out[q] = nearest_distance(queries.row(q));
+        }
+      },
+      std::max<std::size_t>(chunk_rows, 1), threads);
+  return out;
 }
 
 }  // namespace surro::knn

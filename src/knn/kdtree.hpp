@@ -31,6 +31,14 @@ class KdTree {
   [[nodiscard]] float nearest_distance(std::span<const float> point,
                                        std::ptrdiff_t exclude = -1) const;
 
+  /// Nearest-neighbour distance for every row of `queries`, fanned out in
+  /// `chunk_rows`-sized chunks over util::ThreadPool (`threads` 0 = every
+  /// pool worker, 1 = serial). Traversal is read-only and each query writes
+  /// its own slot, so results are bitwise identical for any thread count.
+  [[nodiscard]] std::vector<float> nearest_distances(
+      const linalg::Matrix& queries, std::size_t threads = 0,
+      std::size_t chunk_rows = 64) const;
+
  private:
   struct Node {
     std::size_t begin = 0;

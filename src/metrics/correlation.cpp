@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/mathx.hpp"
+#include "util/thread_pool.hpp"
 
 namespace surro::metrics {
 
@@ -89,7 +90,8 @@ double theils_u(std::span<const std::int32_t> x, std::size_t card_x,
   return (hx - hxy) / hx;
 }
 
-AssociationMatrix association_matrix(const tabular::Table& table) {
+AssociationMatrix association_matrix(const tabular::Table& table,
+                                     std::size_t threads) {
   const auto& schema = table.schema();
   const std::size_t n = schema.num_columns();
   AssociationMatrix out;
@@ -100,28 +102,31 @@ AssociationMatrix association_matrix(const tabular::Table& table) {
     return schema.column(c).kind;
   };
   using tabular::ColumnKind;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      double v = 0.0;
-      if (i == j) {
-        v = 1.0;
-      } else if (kind(i) == ColumnKind::kNumerical &&
-                 kind(j) == ColumnKind::kNumerical) {
-        v = util::pearson(table.numerical(i), table.numerical(j));
-      } else if (kind(i) == ColumnKind::kCategorical &&
-                 kind(j) == ColumnKind::kCategorical) {
-        v = theils_u(table.categorical(i), table.cardinality(i),
-                     table.categorical(j), table.cardinality(j));
-      } else if (kind(i) == ColumnKind::kCategorical) {
-        v = correlation_ratio(table.categorical(i), table.numerical(j),
-                              table.cardinality(i));
-      } else {
-        v = correlation_ratio(table.categorical(j), table.numerical(i),
-                              table.cardinality(j));
-      }
-      out.values[i * n + j] = v;
-    }
-  }
+  util::parallel_for_each(
+      0, n,
+      [&](std::size_t i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          double v = 0.0;
+          if (i == j) {
+            v = 1.0;
+          } else if (kind(i) == ColumnKind::kNumerical &&
+                     kind(j) == ColumnKind::kNumerical) {
+            v = util::pearson(table.numerical(i), table.numerical(j));
+          } else if (kind(i) == ColumnKind::kCategorical &&
+                     kind(j) == ColumnKind::kCategorical) {
+            v = theils_u(table.categorical(i), table.cardinality(i),
+                         table.categorical(j), table.cardinality(j));
+          } else if (kind(i) == ColumnKind::kCategorical) {
+            v = correlation_ratio(table.categorical(i), table.numerical(j),
+                                  table.cardinality(i));
+          } else {
+            v = correlation_ratio(table.categorical(j), table.numerical(i),
+                                  table.cardinality(j));
+          }
+          out.values[i * n + j] = v;
+        }
+      },
+      /*grain=*/1, threads);
   return out;
 }
 
@@ -141,11 +146,13 @@ double diff_corr(const AssociationMatrix& a, const AssociationMatrix& b) {
   return std::sqrt(acc / static_cast<double>(count));
 }
 
-double diff_corr(const tabular::Table& real, const tabular::Table& synthetic) {
+double diff_corr(const tabular::Table& real, const tabular::Table& synthetic,
+                 std::size_t threads) {
   if (!(real.schema() == synthetic.schema())) {
     throw std::invalid_argument("diff_corr: schema mismatch");
   }
-  return diff_corr(association_matrix(real), association_matrix(synthetic));
+  return diff_corr(association_matrix(real, threads),
+                   association_matrix(synthetic, threads));
 }
 
 }  // namespace surro::metrics

@@ -35,13 +35,17 @@ struct AssociationMatrix {
   }
 };
 
+/// Matrix rows fan out over util::ThreadPool (`threads` 0 = every pool
+/// worker, 1 = serial); each cell is computed independently and written to
+/// its own slot, so results are bitwise identical for any thread count.
 [[nodiscard]] AssociationMatrix association_matrix(
-    const tabular::Table& table);
+    const tabular::Table& table, std::size_t threads = 0);
 
 /// RMS of the element-wise difference — the Table I "diff-CORR" column.
 [[nodiscard]] double diff_corr(const AssociationMatrix& a,
                                const AssociationMatrix& b);
 [[nodiscard]] double diff_corr(const tabular::Table& real,
-                               const tabular::Table& synthetic);
+                               const tabular::Table& synthetic,
+                               std::size_t threads = 0);
 
 }  // namespace surro::metrics

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "knn/kdtree.hpp"
+#include "linalg/matrix.hpp"
 #include "preprocess/scalers.hpp"
 #include "util/mathx.hpp"
 #include "util/thread_pool.hpp"
@@ -71,7 +73,47 @@ Flattened flatten(const tabular::Table& t,
   return f;
 }
 
+// Mixed rows embedded into a pure-Euclidean space for the kd-tree: the m
+// scaled numericals followed by per-column one-hot blocks of width
+// cardinality + 1 (the extra slot absorbs labels unseen in training).
+// Each hot entry is 1/√2, so two differing labels contribute
+// 2 · (1/√2)² = 1 to the squared distance — the brute kernel's mismatch
+// cost, up to float rounding.
+linalg::Matrix embed_one_hot(const Flattened& f,
+                             const std::vector<std::size_t>& cat_widths,
+                             std::size_t dims) {
+  const float hot = std::sqrt(0.5f);
+  linalg::Matrix out(f.rows, dims, 0.0f);
+  for (std::size_t r = 0; r < f.rows; ++r) {
+    auto row = out.row(r);
+    for (std::size_t c = 0; c < f.m; ++c) row[c] = f.num[r * f.m + c];
+    std::size_t base = f.m;
+    for (std::size_t c = 0; c < f.k; ++c) {
+      const std::int32_t id = f.cat[r * f.k + c];
+      const std::size_t slot =
+          id < 0 ? cat_widths[c] - 1 : static_cast<std::size_t>(id);
+      row[base + slot] = hot;
+      base += cat_widths[c];
+    }
+  }
+  return out;
+}
+
+std::size_t embedded_dims(const tabular::Table& train) {
+  const auto cat_cols = train.schema().categorical_indices();
+  std::size_t dims = train.schema().numerical_indices().size();
+  for (const std::size_t col : cat_cols) dims += train.cardinality(col) + 1;
+  return dims;
+}
+
 }  // namespace
+
+DcrBackend dcr_backend_for(const tabular::Table& train,
+                           const DcrConfig& cfg) {
+  if (cfg.backend != DcrBackend::kAuto) return cfg.backend;
+  return embedded_dims(train) <= cfg.kdtree_max_dims ? DcrBackend::kKdTree
+                                                     : DcrBackend::kBruteForce;
+}
 
 std::vector<double> dcr_distances(const tabular::Table& train,
                                   const tabular::Table& synthetic,
@@ -109,6 +151,24 @@ std::vector<double> dcr_distances(const tabular::Table& train,
       flatten(synthetic, scalers, num_cols, cat_cols, label_ids, synth_rows);
 
   std::vector<double> out(fs.rows, 0.0);
+
+  if (dcr_backend_for(train, cfg) == DcrBackend::kKdTree) {
+    // Chunked parallel query path: one kd-tree over the embedded training
+    // rows, synthetic rows swept in chunks on the pool.
+    std::vector<std::size_t> cat_widths(cat_cols.size());
+    for (std::size_t c = 0; c < cat_cols.size(); ++c) {
+      cat_widths[c] = train.cardinality(cat_cols[c]) + 1;
+    }
+    const std::size_t dims = embedded_dims(train);
+    const knn::KdTree tree(embed_one_hot(ft, cat_widths, dims));
+    const auto dists = tree.nearest_distances(
+        embed_one_hot(fs, cat_widths, dims), cfg.threads);
+    for (std::size_t q = 0; q < fs.rows; ++q) {
+      out[q] = static_cast<double>(dists[q]);
+    }
+    return out;
+  }
+
   const std::size_t m = ft.m;
   const std::size_t k = ft.k;
   util::parallel_for(
@@ -136,7 +196,7 @@ std::vector<double> dcr_distances(const tabular::Table& train,
           out[q] = std::sqrt(static_cast<double>(best));
         }
       },
-      /*grain=*/8);
+      /*grain=*/8, cfg.threads);
   return out;
 }
 

@@ -17,12 +17,35 @@
 
 namespace surro::metrics {
 
+/// Nearest-neighbour engine behind the sweep. The kd-tree path embeds
+/// categoricals as one-hot blocks scaled by 1/√2 (so a label mismatch
+/// contributes exactly 1 to the squared distance, matching the brute
+/// kernel up to float rounding) and answers queries through
+/// knn::KdTree::nearest_distances. kAuto picks the kd-tree whenever the
+/// embedded dimensionality is small enough for the tree to prune well.
+enum class DcrBackend {
+  kAuto,
+  kBruteForce,
+  kKdTree,
+};
+
 struct DcrConfig {
   /// Cap on rows considered from each side (0 = no cap). Rows are taken by
   /// deterministic stride so results are reproducible.
   std::size_t max_train_rows = 0;
   std::size_t max_synth_rows = 0;
+  DcrBackend backend = DcrBackend::kAuto;
+  /// kAuto only: use the kd-tree when numericals + one-hot categorical
+  /// dims stay at or below this (kd-trees stop pruning in high dims).
+  std::size_t kdtree_max_dims = 16;
+  /// Query fan-out (0 = every pool worker, 1 = serial). For a fixed
+  /// backend the per-query results are bitwise identical for any count.
+  std::size_t threads = 0;
 };
+
+/// The backend kAuto resolves to for a given train table and config.
+[[nodiscard]] DcrBackend dcr_backend_for(const tabular::Table& train,
+                                         const DcrConfig& cfg = {});
 
 /// Per-synthetic-row nearest distances.
 [[nodiscard]] std::vector<double> dcr_distances(

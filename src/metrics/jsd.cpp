@@ -6,6 +6,7 @@
 
 #include "tabular/stats.hpp"
 #include "util/mathx.hpp"
+#include "util/thread_pool.hpp"
 
 namespace surro::metrics {
 
@@ -57,19 +58,23 @@ double column_jsd(const tabular::Table& real, const tabular::Table& synthetic,
 }
 
 std::vector<double> per_feature_jsd(const tabular::Table& real,
-                                    const tabular::Table& synthetic) {
+                                    const tabular::Table& synthetic,
+                                    std::size_t threads) {
   if (!(real.schema() == synthetic.schema())) {
     throw std::invalid_argument("jsd: schema mismatch");
   }
-  std::vector<double> out;
-  for (const std::size_t col : real.schema().categorical_indices()) {
-    out.push_back(column_jsd(real, synthetic, col));
-  }
+  const auto cols = real.schema().categorical_indices();
+  std::vector<double> out(cols.size(), 0.0);
+  util::parallel_for_each(
+      0, cols.size(),
+      [&](std::size_t i) { out[i] = column_jsd(real, synthetic, cols[i]); },
+      /*grain=*/1, threads);
   return out;
 }
 
-double mean_jsd(const tabular::Table& real, const tabular::Table& synthetic) {
-  const auto per = per_feature_jsd(real, synthetic);
+double mean_jsd(const tabular::Table& real, const tabular::Table& synthetic,
+                std::size_t threads) {
+  const auto per = per_feature_jsd(real, synthetic, threads);
   if (per.empty()) return 0.0;
   return util::mean(per);
 }

@@ -22,12 +22,17 @@ namespace surro::metrics {
                                 const tabular::Table& synthetic,
                                 std::size_t column);
 
-/// Per-categorical-column JSD, schema order.
+/// Per-categorical-column JSD, schema order. Columns fan out over
+/// util::ThreadPool (`threads` 0 = every pool worker, 1 = serial); each
+/// column writes its own slot, so results are bitwise identical for any
+/// thread count.
 [[nodiscard]] std::vector<double> per_feature_jsd(
-    const tabular::Table& real, const tabular::Table& synthetic);
+    const tabular::Table& real, const tabular::Table& synthetic,
+    std::size_t threads = 0);
 
 /// Mean of per_feature_jsd — the Table I "JSD" column.
 [[nodiscard]] double mean_jsd(const tabular::Table& real,
-                              const tabular::Table& synthetic);
+                              const tabular::Table& synthetic,
+                              std::size_t threads = 0);
 
 }  // namespace surro::metrics

@@ -37,6 +37,25 @@ std::string scores_to_csv(const std::vector<ModelScore>& rows) {
   return out;
 }
 
+void append_score_json(util::JsonWriter& w, const ModelScore& score) {
+  w.begin_object();
+  w.kv("model", score.model);
+  w.kv("wd", score.wd);
+  w.kv("jsd", score.jsd);
+  w.kv("diff_corr", score.diff_corr);
+  w.kv("dcr", score.dcr);
+  w.kv("diff_mlef", score.diff_mlef);
+  w.end_object();
+}
+
+std::string scores_to_json(const std::vector<ModelScore>& rows) {
+  util::JsonWriter w;
+  w.begin_array();
+  for (const auto& r : rows) append_score_json(w, r);
+  w.end_array();
+  return w.str();
+}
+
 namespace {
 const ModelScore* find(const std::vector<ModelScore>& rows,
                        const std::string& name) {

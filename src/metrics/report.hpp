@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "util/json.hpp"
+
 namespace surro::metrics {
 
 struct ModelScore {
@@ -20,6 +22,14 @@ struct ModelScore {
 
 /// CSV form for downstream plotting.
 [[nodiscard]] std::string scores_to_csv(const std::vector<ModelScore>& rows);
+
+/// JSON array of score objects — the machine-readable form CI archives and
+/// diffs across runs ([{"model":...,"wd":...,...}, ...]).
+[[nodiscard]] std::string scores_to_json(const std::vector<ModelScore>& rows);
+
+/// Append one score as a JSON object to an in-flight writer (shared by
+/// scores_to_json and the experiment/scenario emitters).
+void append_score_json(util::JsonWriter& w, const ModelScore& score);
 
 /// Consistency checks of the paper's qualitative findings against a set of
 /// measured scores; returns human-readable pass/fail lines (used by the

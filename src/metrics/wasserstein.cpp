@@ -6,6 +6,7 @@
 
 #include "preprocess/scalers.hpp"
 #include "util/mathx.hpp"
+#include "util/thread_pool.hpp"
 
 namespace surro::metrics {
 
@@ -42,24 +43,31 @@ double wasserstein1(std::span<const double> x, std::span<const double> y) {
 }
 
 std::vector<double> per_feature_wasserstein(const tabular::Table& real,
-                                            const tabular::Table& synthetic) {
+                                            const tabular::Table& synthetic,
+                                            std::size_t threads) {
   if (!(real.schema() == synthetic.schema())) {
     throw std::invalid_argument("wasserstein: schema mismatch");
   }
-  std::vector<double> out;
-  for (const std::size_t col : real.schema().numerical_indices()) {
-    preprocess::MinMaxScaler scaler;
-    scaler.fit(real.numerical(col));
-    const auto rx = scaler.transform(real.numerical(col));
-    const auto sx = scaler.transform(synthetic.numerical(col));
-    out.push_back(wasserstein1(rx, sx));
-  }
+  const auto cols = real.schema().numerical_indices();
+  std::vector<double> out(cols.size(), 0.0);
+  util::parallel_for_each(
+      0, cols.size(),
+      [&](std::size_t i) {
+        const std::size_t col = cols[i];
+        preprocess::MinMaxScaler scaler;
+        scaler.fit(real.numerical(col));
+        const auto rx = scaler.transform(real.numerical(col));
+        const auto sx = scaler.transform(synthetic.numerical(col));
+        out[i] = wasserstein1(rx, sx);
+      },
+      /*grain=*/1, threads);
   return out;
 }
 
 double mean_wasserstein(const tabular::Table& real,
-                        const tabular::Table& synthetic) {
-  const auto per = per_feature_wasserstein(real, synthetic);
+                        const tabular::Table& synthetic,
+                        std::size_t threads) {
+  const auto per = per_feature_wasserstein(real, synthetic, threads);
   if (per.empty()) return 0.0;
   return util::mean(per);
 }

@@ -21,11 +21,17 @@ namespace surro::metrics {
 
 /// Per-column W1 on min-max-scaled numerical features (scaler fit on
 /// `real`). Returns one value per numerical column, in schema order.
+/// Columns are scored concurrently on util::ThreadPool (`threads` 0 = every
+/// pool worker, 1 = serial); each column is computed independently and
+/// written to its own slot, so results are bitwise identical for any
+/// thread count.
 [[nodiscard]] std::vector<double> per_feature_wasserstein(
-    const tabular::Table& real, const tabular::Table& synthetic);
+    const tabular::Table& real, const tabular::Table& synthetic,
+    std::size_t threads = 0);
 
 /// Mean of per_feature_wasserstein — the Table I "WD" column.
 [[nodiscard]] double mean_wasserstein(const tabular::Table& real,
-                                      const tabular::Table& synthetic);
+                                      const tabular::Table& synthetic,
+                                      std::size_t threads = 0);
 
 }  // namespace surro::metrics

@@ -1,0 +1,159 @@
+#pragma once
+// Minimal JSON emitter for machine-readable result artifacts (benchmark
+// trajectories, scenario-matrix scores) that CI archives and diffs. Writer
+// only — the repo never consumes JSON, it just hands it to tooling. The
+// interface is a flat token stream with nesting checks in the separator
+// logic; numbers are written with enough digits to round-trip exactly, and
+// non-finite doubles degrade to null (JSON has no NaN/Inf).
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace surro::util {
+
+/// Escape for inclusion inside a JSON string literal (quotes not added).
+[[nodiscard]] inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          const char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(ch >> 4) & 0xF];
+          out += hex[ch & 0xF];
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest decimal representation that round-trips the double ("null" for
+/// NaN/Inf, which JSON cannot represent).
+[[nodiscard]] inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+/// Streaming writer: begin/end containers, key() before each object value.
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("scores").begin_array();
+///   w.value(0.25).value(0.5);
+///   w.end_array();
+///   w.end_object();
+///   write_file(w.str());
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(std::string_view k) {
+    separate();
+    out_ += '"';
+    out_ += json_escape(k);
+    out_ += "\":";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    separate();
+    out_ += '"';
+    out_ += json_escape(v);
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v) {
+    separate();
+    out_ += json_number(v);
+    return *this;
+  }
+  /// Any integer type (kept separate from double so values stay exact).
+  template <typename T>
+    requires std::is_integral_v<T> && (!std::is_same_v<T, bool>)
+  JsonWriter& value(T v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    separate();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& null() {
+    separate();
+    out_ += "null";
+    return *this;
+  }
+
+  /// Splice a pre-serialized JSON value (trusted — not validated) as the
+  /// next value; lets emitters nest each other's complete documents.
+  JsonWriter& raw(std::string_view json) {
+    separate();
+    out_ += json;
+    return *this;
+  }
+
+  /// key + scalar in one call: w.kv("rows", 42).
+  template <typename T>
+  JsonWriter& kv(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  /// The document so far (valid JSON once every container is closed).
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  JsonWriter& open(char bracket) {
+    separate();
+    out_ += bracket;
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& close(char bracket) {
+    if (!first_.empty()) first_.pop_back();
+    out_ += bracket;
+    return *this;
+  }
+  /// Emit "," between siblings; keys handle their own ":" separator.
+  void separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) out_ += ',';
+      first_.back() = false;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> first_;  // per open container: no sibling emitted yet
+  bool pending_key_ = false;
+};
+
+}  // namespace surro::util

@@ -121,16 +121,22 @@ ThreadPool& ThreadPool::global() {
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& body,
-                  std::size_t grain) {
+                  std::size_t grain, std::size_t max_threads) {
   if (begin >= end) return;
   auto& pool = ThreadPool::global();
   const std::size_t n = end - begin;
-  const std::size_t workers = pool.size();
+  std::size_t workers = pool.size();
+  if (max_threads > 0) workers = std::min(workers, max_threads);
   if (workers <= 1 || n <= grain) {
     body(begin, end);
     return;
   }
-  const std::size_t chunks = std::min(workers * 4, (n + grain - 1) / grain);
+  // Oversubscribe 4x for load balancing — except under a binding
+  // max_threads cap, where each queued chunk may occupy one pool worker and
+  // the chunk count is therefore the actual concurrency bound.
+  const bool capped = max_threads > 0 && max_threads < pool.size();
+  const std::size_t max_chunks = capped ? workers : workers * 4;
+  const std::size_t chunks = std::min(max_chunks, (n + grain - 1) / grain);
   const std::size_t chunk = (n + chunks - 1) / chunks;
   TaskGroup group;
   for (std::size_t lo = begin; lo < end; lo += chunk) {
@@ -142,13 +148,13 @@ void parallel_for(std::size_t begin, std::size_t end,
 
 void parallel_for_each(std::size_t begin, std::size_t end,
                        const std::function<void(std::size_t)>& body,
-                       std::size_t grain) {
+                       std::size_t grain, std::size_t max_threads) {
   parallel_for(
       begin, end,
       [&body](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) body(i);
       },
-      grain);
+      grain, max_threads);
 }
 
 }  // namespace surro::util

@@ -97,13 +97,17 @@ class ThreadPool {
 /// global pool. Serial when the range is tiny or only one worker exists.
 /// `grain` is the minimum chunk size worth shipping to a worker. Safe to
 /// call from inside pool tasks (the waiting thread helps execute).
+/// `max_threads` caps the fan-out (at most that many chunks are in flight,
+/// so at most that many pool workers run them): 0 = every pool worker,
+/// 1 = run serially in the calling thread. Bodies that write disjoint
+/// per-index outputs produce results bitwise independent of the count.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& body,
-                  std::size_t grain = 1024);
+                  std::size_t grain = 1024, std::size_t max_threads = 0);
 
 /// Per-element convenience wrapper.
 void parallel_for_each(std::size_t begin, std::size_t end,
                        const std::function<void(std::size_t)>& body,
-                       std::size_t grain = 1024);
+                       std::size_t grain = 1024, std::size_t max_threads = 0);
 
 }  // namespace surro::util

@@ -1,0 +1,264 @@
+// util::JsonWriter round-trip sanity: a minimal recursive-descent JSON
+// parser (test-only) re-reads everything the writer emits, so escaping,
+// separators, nesting, and number formatting are all checked end to end.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/report.hpp"
+#include "util/json.hpp"
+
+namespace surro::util {
+namespace {
+
+// ------------------------------------------------------- mini JSON parser --
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    const auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key " + key);
+    return it->second;
+  }
+};
+
+class MiniParser {
+ public:
+  explicit MiniParser(std::string_view text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing garbage");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < s_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null();
+    return number();
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (consume('}')) return v;
+    do {
+      JsonValue key = string_value();
+      expect(':');
+      v.object.emplace(std::move(key.string), value());
+    } while (consume(','));
+    expect('}');
+    return v;
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (consume(']')) return v;
+    do {
+      v.array.push_back(value());
+    } while (consume(','));
+    expect(']');
+    return v;
+  }
+
+  JsonValue string_value() {
+    expect('"');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) throw std::runtime_error("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u");
+            const std::string hex(s_.substr(pos_, 4));
+            pos_ += 4;
+            c = static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+            break;
+          }
+          default: throw std::runtime_error("unknown escape");
+        }
+      }
+      v.string += c;
+    }
+    expect('"');
+    return v;
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (s_.substr(pos_, 4) == "true") {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (s_.substr(pos_, 5) == "false") {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      throw std::runtime_error("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue null() {
+    if (s_.substr(pos_, 4) != "null") throw std::runtime_error("bad literal");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("bad number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(std::string(s_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue parse(const std::string& text) { return MiniParser(text).parse(); }
+
+// ------------------------------------------------------------------- tests --
+
+TEST(JsonEscape, ControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonNumber, RoundTripsExactly) {
+  for (const double v : {0.0, -1.5, 3.141592653589793, 1e-300, 6.02e23,
+                         0.1 + 0.2}) {
+    const double back = std::stod(json_number(v));
+    EXPECT_EQ(back, v) << json_number(v);
+  }
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(INFINITY), "null");
+}
+
+TEST(JsonWriter, NestedDocumentRoundTrips) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", "scenario \"quoted\"\n");
+  w.kv("count", 42);
+  w.kv("ratio", 0.375);
+  w.kv("ok", true);
+  w.key("missing").null();
+  w.key("list").begin_array();
+  w.value(1).value(2.5).value("three");
+  w.begin_object().kv("nested", -7).end_object();
+  w.end_array();
+  w.key("empty_obj").begin_object().end_object();
+  w.key("empty_arr").begin_array().end_array();
+  w.end_object();
+
+  const auto doc = parse(w.str());
+  EXPECT_EQ(doc.at("name").string, "scenario \"quoted\"\n");
+  EXPECT_EQ(doc.at("count").number, 42.0);
+  EXPECT_EQ(doc.at("ratio").number, 0.375);
+  EXPECT_TRUE(doc.at("ok").boolean);
+  EXPECT_EQ(doc.at("missing").kind, JsonValue::Kind::kNull);
+  ASSERT_EQ(doc.at("list").array.size(), 4u);
+  EXPECT_EQ(doc.at("list").array[1].number, 2.5);
+  EXPECT_EQ(doc.at("list").array[3].at("nested").number, -7.0);
+  EXPECT_TRUE(doc.at("empty_obj").object.empty());
+  EXPECT_TRUE(doc.at("empty_arr").array.empty());
+}
+
+TEST(JsonWriter, RawSplicesDocuments) {
+  JsonWriter inner;
+  inner.begin_object().kv("a", 1).end_object();
+  JsonWriter outer;
+  outer.begin_object();
+  outer.kv("first", 0);
+  outer.key("inner").raw(inner.str());
+  outer.kv("last", 2);
+  outer.end_object();
+  const auto doc = parse(outer.str());
+  EXPECT_EQ(doc.at("inner").at("a").number, 1.0);
+  EXPECT_EQ(doc.at("last").number, 2.0);
+}
+
+TEST(ScoresJson, RoundTripsThroughParser) {
+  std::vector<metrics::ModelScore> scores = {
+      {"TVAE", 0.25, 0.1, 0.05, 1.5, -0.25},
+      {"SMOTE", 0.004, 0.001, 0.03, 0.32, 0.08},
+  };
+  const auto doc = parse(metrics::scores_to_json(scores));
+  ASSERT_EQ(doc.array.size(), 2u);
+  EXPECT_EQ(doc.array[0].at("model").string, "TVAE");
+  EXPECT_EQ(doc.array[0].at("wd").number, 0.25);
+  EXPECT_EQ(doc.array[1].at("dcr").number, 0.32);
+  EXPECT_EQ(doc.array[1].at("diff_mlef").number, 0.08);
+}
+
+}  // namespace
+}  // namespace surro::util

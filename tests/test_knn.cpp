@@ -172,5 +172,41 @@ TEST(KdTree, DuplicatePointsHandled) {
   for (const auto& n : nn) EXPECT_NEAR(n.dist_sq, 0.0f, 1e-9f);
 }
 
+TEST(KdTree, BatchDistancesMatchSingleQueries) {
+  util::Rng rng(11);
+  const auto data = random_points(500, 4, rng);
+  const auto queries = random_points(300, 4, rng);
+  const KdTree tree(data);
+  const auto batch = tree.nearest_distances(queries);
+  ASSERT_EQ(batch.size(), queries.rows());
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    EXPECT_EQ(batch[q], tree.nearest_distance(queries.row(q)))
+        << "query " << q;
+  }
+}
+
+TEST(KdTree, BatchDistancesThreadCountInvariant) {
+  util::Rng rng(12);
+  const auto data = random_points(800, 3, rng);
+  const auto queries = random_points(600, 3, rng);
+  const KdTree tree(data);
+  const auto serial = tree.nearest_distances(queries, /*threads=*/1);
+  // Tiny chunks force many tasks; results must not move a bit.
+  const auto parallel =
+      tree.nearest_distances(queries, /*threads=*/0, /*chunk_rows=*/16);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t q = 0; q < serial.size(); ++q) {
+    EXPECT_EQ(serial[q], parallel[q]) << "query " << q;
+  }
+}
+
+TEST(KdTree, BatchDistancesDimensionMismatchThrows) {
+  util::Rng rng(13);
+  const auto data = random_points(10, 3, rng);
+  const KdTree tree(data);
+  const auto queries = random_points(4, 2, rng);
+  EXPECT_THROW((void)tree.nearest_distances(queries), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace surro::knn

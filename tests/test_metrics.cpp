@@ -356,5 +356,131 @@ TEST(Report, MissingModelThrows) {
   EXPECT_THROW(check_paper_shape(incomplete), std::invalid_argument);
 }
 
+TEST(Report, JsonListsEveryModel) {
+  const auto json = scores_to_json(paper_scores());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"model\":\"SMOTE\""), std::string::npos);
+  EXPECT_NE(json.find("\"diff_mlef\":"), std::string::npos);
+}
+
+// ------------------------------------------- parallel-vs-serial equivalence --
+// The metric hot paths fan out over util::ThreadPool; every column / matrix
+// cell / query writes its own slot, so `threads` must never change a bit of
+// the result. These tests pin that contract (the scenario-matrix engine and
+// the CI benchmark trajectories rely on it).
+
+/// Mixed table with several numerical and categorical columns, sized so the
+/// parallel paths actually split work.
+tabular::Table mixed_table(std::size_t n, std::uint64_t seed) {
+  tabular::Schema schema({{"n0", tabular::ColumnKind::kNumerical},
+                          {"c0", tabular::ColumnKind::kCategorical},
+                          {"n1", tabular::ColumnKind::kNumerical},
+                          {"c1", tabular::ColumnKind::kCategorical},
+                          {"n2", tabular::ColumnKind::kNumerical},
+                          {"c2", tabular::ColumnKind::kCategorical}});
+  tabular::Table t(schema);
+  util::Rng rng(seed);
+  const char* c0[] = {"a", "b", "c"};
+  const char* c1[] = {"x", "y"};
+  const char* c2[] = {"p", "q", "r", "s"};
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = t.make_row();
+    row.set(0, rng.normal());
+    row.set(1, std::string(c0[rng.uniform_index(3)]));
+    row.set(2, rng.lognormal(0.0, 1.0));
+    row.set(3, std::string(c1[rng.uniform_index(2)]));
+    row.set(4, rng.uniform() * 100.0);
+    row.set(5, std::string(c2[rng.uniform_index(4)]));
+    t.append_row(row);
+  }
+  return t;
+}
+
+TEST(ParallelEquivalence, WassersteinBitwise) {
+  const auto real = mixed_table(3000, 21);
+  const auto synth = mixed_table(2500, 22);
+  const auto serial = per_feature_wasserstein(real, synth, /*threads=*/1);
+  const auto parallel = per_feature_wasserstein(real, synth, /*threads=*/0);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "column " << i;
+  }
+  EXPECT_EQ(mean_wasserstein(real, synth, 1),
+            mean_wasserstein(real, synth, 4));
+}
+
+TEST(ParallelEquivalence, JsdBitwise) {
+  const auto real = mixed_table(3000, 23);
+  const auto synth = mixed_table(2500, 24);
+  const auto serial = per_feature_jsd(real, synth, /*threads=*/1);
+  const auto parallel = per_feature_jsd(real, synth, /*threads=*/0);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "column " << i;
+  }
+}
+
+TEST(ParallelEquivalence, AssociationMatrixBitwise) {
+  const auto t = mixed_table(2000, 25);
+  const auto serial = association_matrix(t, /*threads=*/1);
+  const auto parallel = association_matrix(t, /*threads=*/0);
+  ASSERT_EQ(serial.values.size(), parallel.values.size());
+  for (std::size_t i = 0; i < serial.values.size(); ++i) {
+    EXPECT_EQ(serial.values[i], parallel.values[i]) << "cell " << i;
+  }
+  EXPECT_EQ(diff_corr(t, mixed_table(2000, 26), 1),
+            diff_corr(t, mixed_table(2000, 26), 3));
+}
+
+TEST(ParallelEquivalence, DcrBitwisePerBackend) {
+  const auto train = mixed_table(1500, 27);
+  const auto synth = mixed_table(800, 28);
+  for (const auto backend : {DcrBackend::kBruteForce, DcrBackend::kKdTree}) {
+    DcrConfig serial_cfg;
+    serial_cfg.backend = backend;
+    serial_cfg.threads = 1;
+    DcrConfig parallel_cfg = serial_cfg;
+    parallel_cfg.threads = 0;
+    const auto serial = dcr_distances(train, synth, serial_cfg);
+    const auto parallel = dcr_distances(train, synth, parallel_cfg);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t q = 0; q < serial.size(); ++q) {
+      EXPECT_EQ(serial[q], parallel[q]) << "query " << q;
+    }
+  }
+}
+
+TEST(Dcr, KdTreeAgreesWithBruteForce) {
+  const auto train = mixed_table(1200, 29);
+  const auto synth = mixed_table(700, 30);
+  DcrConfig brute;
+  brute.backend = DcrBackend::kBruteForce;
+  DcrConfig kd;
+  kd.backend = DcrBackend::kKdTree;
+  const auto db = dcr_distances(train, synth, brute);
+  const auto dk = dcr_distances(train, synth, kd);
+  ASSERT_EQ(db.size(), dk.size());
+  for (std::size_t q = 0; q < db.size(); ++q) {
+    // Same metric, different accumulation (one-hot embedding vs. code
+    // compare) — agree to float precision.
+    EXPECT_NEAR(db[q], dk[q], 1e-4) << "query " << q;
+  }
+}
+
+TEST(Dcr, AutoBackendFollowsDimensionality) {
+  // 3 numericals + one-hot widths (3+1)+(2+1)+(4+1) = 15 dims <= 16.
+  const auto low_card = mixed_table(100, 31);
+  EXPECT_EQ(dcr_backend_for(low_card), DcrBackend::kKdTree);
+
+  DcrConfig tight;
+  tight.kdtree_max_dims = 8;
+  EXPECT_EQ(dcr_backend_for(low_card, tight), DcrBackend::kBruteForce);
+
+  DcrConfig forced;
+  forced.backend = DcrBackend::kBruteForce;
+  EXPECT_EQ(dcr_backend_for(low_card, forced), DcrBackend::kBruteForce);
+}
+
 }  // namespace
 }  // namespace surro::metrics

@@ -1,0 +1,183 @@
+// Scenario-matrix engine: axis expansion (count + dedup), shared-window
+// runs with anomaly injection, concurrent-vs-serial scoring equivalence,
+// and the JSON artifact covering every scenario × model cell.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/scenario.hpp"
+
+namespace surro::eval {
+namespace {
+
+/// Base config small enough that a matrix of scenarios stays in test-suite
+/// budget (mirrors test_integration's tiny profile).
+ExperimentConfig tiny_config() {
+  auto cfg = quick_experiment_config();
+  cfg.data.model.days = 8.0;
+  cfg.data.model.base_jobs_per_day = 150.0;
+  cfg.data.model.campaigns_per_day = 0.8;
+  cfg.data.extra_tier2_sites = 12;
+  cfg.budget.epochs = 4;
+  cfg.synth_rows = 600;
+  cfg.dcr.max_train_rows = 1200;
+  cfg.dcr.max_synth_rows = 500;
+  cfg.mlef.boosting.iterations = 25;
+  cfg.mlef.boosting.tree.max_depth = 5;
+  return cfg;
+}
+
+// -------------------------------------------------------------- expansion --
+
+TEST(ExpandScenarios, CartesianCount) {
+  ScenarioAxes axes;
+  axes.window_days = {10.0, 21.0};
+  axes.anomaly_fractions = {0.0, 0.02, 0.05};
+  axes.synth_rows = {500, 1000};
+  const auto scenarios = expand_scenarios(tiny_config(), axes);
+  EXPECT_EQ(scenarios.size(), 2u * 3u * 2u);
+  // Expansion order: windows outermost, rows innermost.
+  EXPECT_EQ(scenarios.front().id, "w10_a0_r500");
+  EXPECT_EQ(scenarios.back().id, "w21_a0.05_r1000");
+}
+
+TEST(ExpandScenarios, DeduplicatesRepeatedValues) {
+  ScenarioAxes axes;
+  axes.window_days = {10.0, 10.0, 21.0};
+  axes.anomaly_fractions = {0.0, 0.05, 0.0};
+  axes.synth_rows = {500};
+  const auto scenarios = expand_scenarios(tiny_config(), axes);
+  // 3 × 3 × 1 = 9 raw combos collapse to 2 windows × 2 fractions.
+  EXPECT_EQ(scenarios.size(), 4u);
+}
+
+TEST(ExpandScenarios, EmptyAxesPinBaseConfig) {
+  const auto base = tiny_config();
+  const auto scenarios = expand_scenarios(base, ScenarioAxes{});
+  ASSERT_EQ(scenarios.size(), 1u);
+  EXPECT_EQ(scenarios[0].window_days, base.data.model.days);
+  EXPECT_EQ(scenarios[0].anomaly_fraction, 0.0);
+  EXPECT_EQ(scenarios[0].synth_rows, base.synth_rows);
+}
+
+TEST(ExpandScenarios, RejectsBadAxisValues) {
+  ScenarioAxes axes;
+  axes.window_days = {-1.0};
+  EXPECT_THROW((void)expand_scenarios(tiny_config(), axes),
+               std::invalid_argument);
+  axes.window_days = {10.0};
+  axes.anomaly_fractions = {1.5};
+  EXPECT_THROW((void)expand_scenarios(tiny_config(), axes),
+               std::invalid_argument);
+}
+
+TEST(RunScenarioMatrix, RejectsUnknownModel) {
+  ScenarioAxes axes;
+  axes.model_keys = {"no-such-model"};
+  EXPECT_THROW((void)run_scenario_matrix(tiny_config(), axes, {}),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- full runs --
+
+TEST(RunScenarioMatrix, CoversEveryCellAndInjectsAnomalies) {
+  ScenarioAxes axes;
+  axes.window_days = {6.0, 8.0};
+  axes.anomaly_fractions = {0.0, 0.05};
+  axes.model_keys = {"smote"};
+  ScenarioMatrixOptions opts;
+  const auto result = run_scenario_matrix(tiny_config(), axes, opts);
+
+  ASSERT_EQ(result.runs.size(), 4u);
+  ASSERT_EQ(result.model_keys, axes.model_keys);
+  for (const auto& run : result.runs) {
+    EXPECT_GT(run.train_rows, 100u);
+    EXPECT_GT(run.test_rows, 20u);
+    if (run.scenario.anomaly_fraction > 0.0) {
+      EXPECT_GT(run.injected_anomalies, 0u);
+    } else {
+      EXPECT_EQ(run.injected_anomalies, 0u);
+    }
+    ASSERT_EQ(run.cells.size(), 1u);
+    const auto& cell = run.cells.front();
+    EXPECT_EQ(cell.model_key, "smote");
+    EXPECT_EQ(cell.score.model, "SMOTE");
+    EXPECT_TRUE(std::isfinite(cell.score.wd));
+    EXPECT_TRUE(std::isfinite(cell.score.dcr));
+    EXPECT_GT(cell.timing.rows_per_sec, 0.0);
+    EXPECT_EQ(cell.timing.synth_rows, 600u);
+  }
+
+  // The JSON artifact names every scenario × model cell.
+  const auto json = matrix_to_json(tiny_config(), result);
+  EXPECT_NE(json.find("\"kind\":\"scenario_matrix\""), std::string::npos);
+  for (const auto& run : result.runs) {
+    EXPECT_NE(json.find("\"id\":\"" + run.scenario.id + "\""),
+              std::string::npos);
+  }
+  EXPECT_NE(json.find("\"model_key\":\"smote\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows_per_sec\":"), std::string::npos);
+}
+
+TEST(RunScenarioMatrix, ConcurrentScoringMatchesSerialBitwise) {
+  ScenarioAxes axes;
+  axes.window_days = {6.0};
+  axes.synth_rows = {400, 700};
+  axes.model_keys = {"smote"};
+
+  ScenarioMatrixOptions serial;
+  serial.concurrent_scoring = false;
+  ScenarioMatrixOptions concurrent;
+  concurrent.concurrent_scoring = true;
+
+  auto base = tiny_config();
+  base.metric_threads = 1;  // serial metric internals on both sides
+  const auto a = run_scenario_matrix(base, axes, serial);
+  const auto b = run_scenario_matrix(base, axes, concurrent);
+
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t s = 0; s < a.runs.size(); ++s) {
+    ASSERT_EQ(a.runs[s].cells.size(), b.runs[s].cells.size());
+    for (std::size_t c = 0; c < a.runs[s].cells.size(); ++c) {
+      const auto& sa = a.runs[s].cells[c].score;
+      const auto& sb = b.runs[s].cells[c].score;
+      EXPECT_EQ(sa.wd, sb.wd);
+      EXPECT_EQ(sa.jsd, sb.jsd);
+      EXPECT_EQ(sa.diff_corr, sb.diff_corr);
+      EXPECT_EQ(sa.dcr, sb.dcr);
+      EXPECT_EQ(sa.diff_mlef, sb.diff_mlef);
+    }
+  }
+}
+
+// The acceptance contract: threaded metric scoring is bitwise identical to
+// serial for every surrogate model's synthetic output.
+TEST(ScoreModel, ParallelBitwiseIdenticalForAllModels) {
+  auto cfg = tiny_config();
+  const auto data = prepare_data(cfg);
+  const double train_mlef =
+      metrics::mlef_mse(data.train, data.test, cfg.mlef);
+
+  for (const std::string key : {"tvae", "ctabgan", "smote", "tabddpm"}) {
+    const auto sample = train_and_sample(key, cfg, data.train, 500);
+
+    auto serial_cfg = cfg;
+    serial_cfg.metric_threads = 1;
+    auto parallel_cfg = cfg;
+    parallel_cfg.metric_threads = 0;
+
+    const auto serial = score_model(key, sample, data.train, data.test,
+                                    train_mlef, serial_cfg);
+    const auto parallel = score_model(key, sample, data.train, data.test,
+                                      train_mlef, parallel_cfg);
+    EXPECT_EQ(serial.wd, parallel.wd) << key;
+    EXPECT_EQ(serial.jsd, parallel.jsd) << key;
+    EXPECT_EQ(serial.diff_corr, parallel.diff_corr) << key;
+    EXPECT_EQ(serial.dcr, parallel.dcr) << key;
+    EXPECT_EQ(serial.diff_mlef, parallel.diff_mlef) << key;
+  }
+}
+
+}  // namespace
+}  // namespace surro::eval

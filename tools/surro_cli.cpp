@@ -11,21 +11,28 @@
 //                          --threads 8 --out synth.csv
 //   surro_cli evaluate     --real jobs.csv --synth synth.csv
 //   surro_cli simulate     --data jobs.csv --policy hybrid
+//   surro_cli matrix       --axes "days=10,21;anomaly=0,0.05;rows=1000"
+//                          --json-out matrix.json --threads 4 --epochs 12
 //
 // Tables are CSV files with the paper's 9-column schema (see
 // panda::job_table_schema). Models are addressed by registry key; `models`
 // lists everything that self-registered. `save-model` trains once and
 // persists the fitted state; `sample-model` reloads it and synthesizes —
 // chunked, parallel (--threads), and bitwise-identical for any thread
-// count.
+// count. `matrix` expands the --axes grid into scenarios (collection-window
+// days × anomaly fraction × synthetic-row scale × model set), evaluates
+// every scenario × model cell with concurrent scoring, and writes the JSON
+// artifact CI archives.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
 
 #include "core/surro.hpp"
+#include "eval/scenario.hpp"
 #include "util/logging.hpp"
 #include "util/stringx.hpp"
 
@@ -99,7 +106,11 @@ int usage() {
       "  sample-model --model-file FILE --rows N --seed S --threads T\n"
       "               --chunk-rows C --out FILE\n"
       "  evaluate     --real FILE --synth FILE\n"
-      "  simulate     --data FILE --policy {random|locality|least|hybrid}\n",
+      "  simulate     --data FILE --policy {random|locality|least|hybrid}\n"
+      "  matrix       --axes \"days=D1,D2;anomaly=F1,F2;rows=N1,N2;"
+      "models=K1,K2\"\n"
+      "               --json-out FILE --threads T --epochs E --seed S\n"
+      "               [--serial-score] [--verbose]\n",
       keys.c_str(), keys.c_str());
   return 2;
 }
@@ -245,6 +256,85 @@ int cmd_evaluate(const Args& args) {
   return 0;
 }
 
+/// Parse the --axes grid: ';'-separated axes, each "name=v1,v2,...".
+/// Axis names: days (collection-window size), anomaly (injected fraction),
+/// rows (synthetic rows per model), models (registry keys).
+eval::ScenarioAxes parse_axes(const std::string& spec) {
+  eval::ScenarioAxes axes;
+  if (spec.empty()) return axes;
+  for (const auto axis : util::split(spec, ';')) {
+    const auto trimmed = util::trim(axis);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("bad axis '" + std::string(trimmed) +
+                                  "' (want name=v1,v2,...)");
+    }
+    const auto name = util::trim(trimmed.substr(0, eq));
+    for (const auto raw : util::split(trimmed.substr(eq + 1), ',')) {
+      const auto value = util::trim(raw);
+      if (value.empty()) continue;
+      double num = 0.0;
+      if (name != "models" &&
+          (!util::parse_double(value, num) || num < 0.0)) {
+        throw std::invalid_argument("bad value '" + std::string(value) +
+                                    "' for axis '" + std::string(name) + "'");
+      }
+      if (name == "days") {
+        axes.window_days.push_back(num);
+      } else if (name == "anomaly") {
+        axes.anomaly_fractions.push_back(num);
+      } else if (name == "rows") {
+        axes.synth_rows.push_back(static_cast<std::size_t>(num));
+      } else if (name == "models") {
+        axes.model_keys.emplace_back(value);
+      } else {
+        throw std::invalid_argument(
+            "unknown axis '" + std::string(name) +
+            "' (have: days, anomaly, rows, models)");
+      }
+    }
+  }
+  return axes;
+}
+
+int cmd_matrix(const Args& args) {
+  // Base operating point: the quick experiment profile (the CI smoke
+  // config), with the load-bearing knobs overridable from the command line.
+  auto cfg = eval::quick_experiment_config();
+  cfg.budget.epochs =
+      static_cast<std::size_t>(args.num("epochs",
+                                        static_cast<double>(cfg.budget.epochs)));
+  cfg.seed = static_cast<std::uint64_t>(args.num("seed", 42.0));
+  const auto threads =
+      static_cast<std::size_t>(args.num("threads", 0.0));
+  cfg.sample_threads = threads;
+  cfg.metric_threads = threads;
+  cfg.verbose = args.flag("verbose");
+
+  const auto axes = parse_axes(args.get("axes"));
+  for (const auto& key : axes.model_keys) (void)model_info_or_throw(key);
+
+  eval::ScenarioMatrixOptions opts;
+  opts.concurrent_scoring = !args.flag("serial-score");
+  opts.verbose = cfg.verbose;
+
+  const auto result = eval::run_scenario_matrix(cfg, axes, opts);
+  std::printf("matrix: %zu scenarios x %zu models\n", result.runs.size(),
+              result.model_keys.size());
+  std::printf("%s", eval::render_matrix(result).c_str());
+  std::printf("total wall-clock: %.1fs\n", result.wall_seconds);
+
+  const std::string out = args.get("json-out", "matrix_results.json");
+  std::ofstream file(out, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("cannot write " + out);
+  }
+  file << eval::matrix_to_json(cfg, result) << '\n';
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
 int cmd_simulate(const Args& args) {
   const auto table = tabular::read_csv(panda::job_table_schema(),
                                        args.get("data", "jobs.csv"));
@@ -293,6 +383,7 @@ int main(int argc, char** argv) {
     if (cmd == "sample-model") return cmd_sample_model(args);
     if (cmd == "evaluate") return cmd_evaluate(args);
     if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "matrix") return cmd_matrix(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
