@@ -21,6 +21,19 @@ void SurrogatePipeline::fit(const models::FitOptions& opts) {
   has_data_ = true;
 }
 
+void SurrogatePipeline::refresh(const tabular::Table& delta,
+                                const models::RefreshOptions& opts) {
+  if (!fitted_) throw std::logic_error("pipeline: refresh before fit");
+  if (!model_->warm_startable()) {
+    throw std::logic_error("pipeline: model has no retained training state");
+  }
+  model_->warm_fit(delta, opts);
+  if (has_data_ && delta.num_rows() > 0) {
+    train_.append_table(delta);
+    train_mlef_.reset();  // the training distribution moved
+  }
+}
+
 tabular::Table SurrogatePipeline::sample(std::size_t rows,
                                          std::uint64_t seed) {
   models::SampleRequest request;

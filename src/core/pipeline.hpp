@@ -28,6 +28,10 @@ struct PipelineConfig {
   std::string model = "tabddpm";
 };
 
+/// The one-model façade over the experiment harness: simulate → filter →
+/// train → sample → score in three lines, with persistence and warm
+/// refresh for serving scenarios. See the header comment for the canonical
+/// usage snippet.
 class SurrogatePipeline {
  public:
   explicit SurrogatePipeline(PipelineConfig cfg = {});
@@ -37,6 +41,15 @@ class SurrogatePipeline {
   /// progress/cancellation hooks to the model.
   void fit(const models::FitOptions& opts = {});
   [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+  /// Warm-refresh the fitted surrogate on newly collected rows (the
+  /// streaming workload, src/stream/): the model resumes from its retained
+  /// weights and optimizer state instead of refitting. The delta is also
+  /// appended to this pipeline's training table so later evaluate() calls
+  /// score against everything the model has absorbed. Requires a fitted,
+  /// warm-startable model (see models::TabularGenerator::warm_startable).
+  void refresh(const tabular::Table& delta,
+               const models::RefreshOptions& opts = {});
 
   /// Synthetic job records with the training schema and vocabularies.
   [[nodiscard]] tabular::Table sample(std::size_t rows,
@@ -54,11 +67,14 @@ class SurrogatePipeline {
   void save_model(std::ostream& os) const;
   void load_model(std::istream& is);
 
+  /// The 80/20 partitions of the simulated window (require a prior fit()).
   [[nodiscard]] const tabular::Table& train_table() const;
   [[nodiscard]] const tabular::Table& test_table() const;
+  /// Per-stage counts of the Fig. 3(b) filter funnel.
   [[nodiscard]] const panda::FilterFunnel& funnel() const noexcept {
     return funnel_;
   }
+  /// The underlying surrogate (throws before fit()/load_model()).
   [[nodiscard]] models::TabularGenerator& model();
 
  private:

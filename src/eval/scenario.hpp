@@ -19,10 +19,10 @@ namespace surro::eval {
 
 /// One operating point expanded from ScenarioAxes.
 struct Scenario {
-  std::string id;                 // e.g. "w21_a0.05_r2000"
-  double window_days = 21.0;      // collection-window size
-  double anomaly_fraction = 0.0;  // injected abnormal-row fraction (0 = clean)
-  std::size_t synth_rows = 0;     // rows per model (0 = match train size)
+  std::string id;                 ///< e.g. "w21_a0.05_r2000"
+  double window_days = 21.0;      ///< collection-window size
+  double anomaly_fraction = 0.0;  ///< injected abnormal fraction (0 = clean)
+  std::size_t synth_rows = 0;     ///< rows per model (0 = match train size)
 };
 
 /// Axis values swept by the matrix. An empty axis pins the base config's
@@ -42,9 +42,9 @@ struct ScenarioAxes {
 
 /// The per-(scenario, model) cell of the matrix.
 struct ScenarioCell {
-  std::string model_key;
-  metrics::ModelScore score;
-  ModelTiming timing;
+  std::string model_key;      ///< registry key of the scored model
+  metrics::ModelScore score;  ///< the five Table I metrics
+  ModelTiming timing;         ///< fit/sample/score wall-clock + rows/sec
 };
 
 /// One scenario's full result: the dataset it ran on plus one cell per

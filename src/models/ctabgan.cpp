@@ -96,6 +96,40 @@ void CtabganPlus::generator_backward(const linalg::Matrix& grad_soft) {
   gen_.backward(head_grad_);
 }
 
+void CtabganPlus::index_training_rows(const tabular::Table& table,
+                                      bool accumulate) {
+  const auto& blocks = encoder_.blocks();
+  // Validate every block before mutating any indexing state: a mid-loop
+  // throw must not leave a fitted model with half-reset frequency tables
+  // (draw_conditions over an empty table is undefined).
+  for (const auto& block : blocks) {
+    for (const auto code : table.categorical(block.column)) {
+      if (code < 0 ||
+          static_cast<std::size_t>(code) >= block.cardinality) {
+        throw std::invalid_argument(
+            "ctabgan: row code outside the fitted vocabulary");
+      }
+    }
+  }
+  rows_by_category_.assign(blocks.size(), {});
+  if (!accumulate) category_counts_.assign(blocks.size(), {});
+  category_log_freq_.assign(blocks.size(), {});
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const auto codes = table.categorical(blocks[bi].column);
+    rows_by_category_[bi].assign(blocks[bi].cardinality, {});
+    if (!accumulate) category_counts_[bi].assign(blocks[bi].cardinality, 0.0);
+    for (std::size_t r = 0; r < codes.size(); ++r) {
+      const auto code = static_cast<std::size_t>(codes[r]);
+      rows_by_category_[bi][code].push_back(r);
+      category_counts_[bi][code] += 1.0;
+    }
+    category_log_freq_[bi].assign(blocks[bi].cardinality, 0.0);
+    for (std::size_t c = 0; c < blocks[bi].cardinality; ++c) {
+      category_log_freq_[bi][c] = std::log1p(category_counts_[bi][c]);
+    }
+  }
+}
+
 void CtabganPlus::fit(const tabular::Table& train, const FitOptions& opts) {
   if (fitted_) throw std::logic_error("ctabgan: fit called twice");
   encoder_.fit(train, cfg_.num_quantiles);
@@ -111,21 +145,7 @@ void CtabganPlus::fit(const tabular::Table& train, const FitOptions& opts) {
   disc_ = nn::make_mlp(width + cond_width_, cfg_.disc_hidden, 1,
                        nn::Activation::kLeakyReLU, rng_);
 
-  // Training-by-sampling tables.
-  rows_by_category_.assign(blocks.size(), {});
-  category_log_freq_.assign(blocks.size(), {});
-  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
-    const auto codes = train.categorical(blocks[bi].column);
-    rows_by_category_[bi].assign(blocks[bi].cardinality, {});
-    for (std::size_t r = 0; r < codes.size(); ++r) {
-      rows_by_category_[bi][static_cast<std::size_t>(codes[r])].push_back(r);
-    }
-    category_log_freq_[bi].assign(blocks[bi].cardinality, 0.0);
-    for (std::size_t c = 0; c < blocks[bi].cardinality; ++c) {
-      category_log_freq_[bi][c] =
-          std::log1p(static_cast<double>(rows_by_category_[bi][c].size()));
-    }
-  }
+  index_training_rows(train, /*accumulate=*/false);
 
   const linalg::Matrix data = encoder_.encode(train);
   const std::size_t n = data.rows();
@@ -133,11 +153,47 @@ void CtabganPlus::fit(const tabular::Table& train, const FitOptions& opts) {
   const std::size_t steps_per_epoch = (n + batch - 1) / batch;
   const std::size_t total_steps = cfg_.budget.epochs * steps_per_epoch;
 
-  nn::Adam g_opt(cfg_.budget.learning_rate, 0.5f, 0.9f);
-  g_opt.add_params(gen_.params());
-  nn::Adam d_opt(cfg_.budget.learning_rate, 0.5f, 0.9f);
-  d_opt.add_params(disc_.params());
+  g_opt_ = std::make_unique<nn::Adam>(cfg_.budget.learning_rate, 0.5f, 0.9f);
+  g_opt_->add_params(gen_.params());
+  d_opt_ = std::make_unique<nn::Adam>(cfg_.budget.learning_rate, 0.5f, 0.9f);
+  d_opt_->add_params(disc_.params());
+  opt_steps_ = 0;
   const nn::CosineSchedule schedule(cfg_.budget.learning_rate, total_steps);
+  train_steps(data, total_steps, steps_per_epoch, schedule, opts);
+  fitted_ = true;
+}
+
+void CtabganPlus::warm_fit(const tabular::Table& delta,
+                           const RefreshOptions& opts) {
+  if (!fitted_) throw std::logic_error("ctabgan: warm_fit before fit");
+  if (!warm_startable()) {
+    throw std::logic_error("ctabgan: training state not retained");
+  }
+  if (delta.num_rows() == 0) return;
+  // Re-point the real-batch pools at the delta (the rows being absorbed)
+  // while the cumulative counts keep the sampling distribution anchored on
+  // everything seen so far.
+  index_training_rows(delta, /*accumulate=*/true);
+  const linalg::Matrix data = encoder_.encode(delta);
+  const std::size_t n = data.rows();
+  const std::size_t batch = std::min<std::size_t>(cfg_.budget.batch_size, n);
+  const std::size_t steps_per_epoch = (n + batch - 1) / batch;
+  const std::size_t total_steps =
+      opts.resolve_epochs(cfg_.budget.epochs) * steps_per_epoch;
+  const nn::ConstantSchedule schedule(cfg_.budget.learning_rate *
+                                      opts.learning_rate_scale);
+  train_steps(data, total_steps, steps_per_epoch, schedule, opts.fit);
+}
+
+void CtabganPlus::train_steps(const linalg::Matrix& data,
+                              std::size_t total_steps,
+                              std::size_t steps_per_epoch,
+                              const nn::LrSchedule& schedule,
+                              const FitOptions& opts) {
+  const std::size_t width = encoder_.encoded_width();
+  const std::size_t n = data.rows();
+  const std::size_t batch = std::min<std::size_t>(cfg_.budget.batch_size, n);
+  const std::size_t total_epochs = total_steps / steps_per_epoch;
 
   std::vector<Condition> conds;
   linalg::Matrix cond_mat;
@@ -154,9 +210,9 @@ void CtabganPlus::fit(const tabular::Table& train, const FitOptions& opts) {
     if (step % steps_per_epoch == 0 && opts.cancelled()) {
       throw FitCancelled(name());
     }
-    const float lr = schedule.at(step);
-    g_opt.set_learning_rate(lr);
-    d_opt.set_learning_rate(lr);
+    const float lr = schedule.at(opt_steps_++);
+    g_opt_->set_learning_rate(lr);
+    d_opt_->set_learning_rate(lr);
 
     for (std::size_t d_iter = 0; d_iter < cfg_.disc_steps_per_gen; ++d_iter) {
       // --- Discriminator step -------------------------------------------
@@ -196,8 +252,8 @@ void CtabganPlus::fit(const tabular::Table& train, const FitOptions& opts) {
       disc_.backward(grad_fake);
       disc_.forward(real_cond, true);
       disc_.backward(grad_real);
-      d_opt.clip_grad_norm(cfg_.grad_clip);
-      d_opt.step();
+      d_opt_->clip_grad_norm(cfg_.grad_clip);
+      d_opt_->step();
     }
 
     // --- Generator step ---------------------------------------------------
@@ -234,8 +290,8 @@ void CtabganPlus::fit(const tabular::Table& train, const FitOptions& opts) {
           cfg_.cond_loss_weight * inv_batch / p_target;
     }
     generator_backward(grad_gen_head);
-    g_opt.clip_grad_norm(cfg_.grad_clip);
-    g_opt.step();
+    g_opt_->clip_grad_norm(cfg_.grad_clip);
+    g_opt_->step();
     // The generator pass accumulated gradients into D as a side effect.
     disc_.zero_grad();
     last_g_ = g_loss + cfg_.cond_loss_weight * cond_ce;
@@ -247,11 +303,10 @@ void CtabganPlus::fit(const tabular::Table& train, const FitOptions& opts) {
                      static_cast<double>(last_g_));
     }
     if (opts.on_progress && (step + 1) % steps_per_epoch == 0) {
-      opts.on_progress({(step + 1) / steps_per_epoch, cfg_.budget.epochs,
+      opts.on_progress({(step + 1) / steps_per_epoch, total_epochs,
                         last_g_ + last_d_});
     }
   }
-  fitted_ = true;
 }
 
 tabular::Table CtabganPlus::sample_chunk(std::size_t n, std::uint64_t seed) {
@@ -279,10 +334,13 @@ tabular::Table CtabganPlus::sample_chunk(std::size_t n, std::uint64_t seed) {
   return out;
 }
 
-void CtabganPlus::save(std::ostream& os) const {
+void CtabganPlus::save(std::ostream& os) const { save_impl(os, true); }
+
+void CtabganPlus::save_impl(std::ostream& os,
+                            bool include_train_state) const {
   if (!fitted_) throw std::logic_error("ctabgan: save before fit");
   util::io::write_tag(os, "CTGN");
-  util::io::write_u32(os, 1);  // payload version
+  util::io::write_u32(os, 2);  // payload version
   util::io::write_u64(os, cfg_.noise_dim);
   util::io::write_f32(os, cfg_.gumbel_tau);
   util::io::write_u64(os, cond_width_);
@@ -294,13 +352,34 @@ void CtabganPlus::save(std::ostream& os) const {
   for (const auto& freqs : category_log_freq_) {
     util::io::write_vec_f64(os, freqs);
   }
+  // v2: optional training state so a reloaded model can warm_fit — the
+  // discriminator, both optimizers, cumulative category counts, and the
+  // training RNG.
+  const bool train_state = include_train_state && g_opt_ != nullptr;
+  util::io::write_u32(os, train_state ? 1 : 0);
+  if (train_state) {
+    util::io::write_f32(os, cfg_.budget.learning_rate);
+    util::io::write_u64(os, cfg_.budget.epochs);
+    util::io::write_u64(os, cfg_.budget.batch_size);
+    nn::save_mlp(os, disc_);
+    g_opt_->save(os);
+    d_opt_->save(os);
+    util::io::write_u64(os, opt_steps_);
+    util::io::write_u64(os, category_counts_.size());
+    for (const auto& counts : category_counts_) {
+      util::io::write_vec_f64(os, counts);
+    }
+    rng_.save(os);
+  }
 }
 
 void CtabganPlus::load(std::istream& is) {
   if (fitted_) throw std::logic_error("ctabgan: load into fitted model");
   util::io::expect_tag(is, "CTGN");
   const std::uint32_t version = util::io::read_u32(is);
-  if (version != 1) throw std::runtime_error("ctabgan: unsupported payload");
+  if (version != 1 && version != 2) {
+    throw std::runtime_error("ctabgan: unsupported payload");
+  }
   cfg_.noise_dim = static_cast<std::size_t>(util::io::read_u64(is));
   cfg_.gumbel_tau = util::io::read_f32(is);
   cond_width_ = static_cast<std::size_t>(util::io::read_u64(is));
@@ -308,12 +387,32 @@ void CtabganPlus::load(std::istream& is) {
   gen_ = nn::load_mlp(is);
   category_log_freq_.resize(util::io::read_count(is));
   for (auto& freqs : category_log_freq_) freqs = util::io::read_vec_f64(is);
+  if (version >= 2 && util::io::read_u32(is) != 0) {
+    cfg_.budget.learning_rate = util::io::read_f32(is);
+    cfg_.budget.epochs = static_cast<std::size_t>(util::io::read_u64(is));
+    cfg_.budget.batch_size = static_cast<std::size_t>(util::io::read_u64(is));
+    disc_ = nn::load_mlp(is);
+    g_opt_ = std::make_unique<nn::Adam>(cfg_.budget.learning_rate, 0.5f,
+                                        0.9f);
+    g_opt_->add_params(gen_.params());
+    d_opt_ = std::make_unique<nn::Adam>(cfg_.budget.learning_rate, 0.5f,
+                                        0.9f);
+    d_opt_->add_params(disc_.params());
+    g_opt_->load(is);
+    d_opt_->load(is);
+    opt_steps_ = static_cast<std::size_t>(util::io::read_u64(is));
+    category_counts_.resize(util::io::read_count(is));
+    for (auto& counts : category_counts_) {
+      counts = util::io::read_vec_f64(is);
+    }
+    rng_.load(is);
+  }
   fitted_ = true;
 }
 
 std::unique_ptr<TabularGenerator> CtabganPlus::clone() const {
   std::stringstream buffer;
-  save(buffer);
+  save_impl(buffer, /*include_train_state=*/false);
   auto copy = std::make_unique<CtabganPlus>(cfg_);
   copy->load(buffer);
   return copy;

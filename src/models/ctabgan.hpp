@@ -43,6 +43,12 @@ class CtabganPlus final : public TabularGenerator {
 
   using TabularGenerator::fit;
   void fit(const tabular::Table& train, const FitOptions& opts) override;
+  using TabularGenerator::warm_fit;
+  void warm_fit(const tabular::Table& delta,
+                const RefreshOptions& opts) override;
+  [[nodiscard]] bool warm_startable() const noexcept override {
+    return fitted_ && g_opt_ != nullptr;
+  }
   [[nodiscard]] bool fitted() const noexcept override { return fitted_; }
   [[nodiscard]] tabular::Table sample_chunk(std::size_t n,
                                             std::uint64_t seed) override;
@@ -75,6 +81,23 @@ class CtabganPlus final : public TabularGenerator {
   /// Backward through the Gumbel-softmax heads into the generator body.
   void generator_backward(const linalg::Matrix& grad_soft);
 
+  /// (Re)build the per-category row pools from `table` and fold its
+  /// category counts into the cumulative totals (reset first when
+  /// `accumulate` is false). The sampling-time condition distribution
+  /// (category_log_freq_) follows the cumulative counts, so a warm refresh
+  /// shifts it toward the stream's current mix instead of forgetting
+  /// history.
+  void index_training_rows(const tabular::Table& table, bool accumulate);
+
+  /// Run `total_steps` adversarial steps against encoded rows `data` with
+  /// the retained optimizers. Shared by cold fit and warm refresh.
+  void train_steps(const linalg::Matrix& data, std::size_t total_steps,
+                   std::size_t steps_per_epoch, const nn::LrSchedule& schedule,
+                   const FitOptions& opts);
+  /// save() with or without the training-only state (discriminator,
+  /// optimizer moments, counts, RNG): clone() drops it.
+  void save_impl(std::ostream& os, bool include_train_state) const;
+
   CtabganConfig cfg_;
   bool fitted_ = false;
   preprocess::MixedEncoder encoder_;
@@ -83,9 +106,15 @@ class CtabganPlus final : public TabularGenerator {
   nn::Mlp disc_;
   std::size_t cond_width_ = 0;
   // Training-by-sampling state: per block, per category, matching row ids
-  // and log-frequency weights.
+  // (into the table last indexed), cumulative category counts, and the
+  // log-frequency weights derived from them.
   std::vector<std::vector<std::vector<std::size_t>>> rows_by_category_;
+  std::vector<std::vector<double>> category_counts_;
   std::vector<std::vector<double>> category_log_freq_;
+  // Training state retained for warm_fit (absent after a state-less load).
+  std::unique_ptr<nn::Adam> g_opt_;
+  std::unique_ptr<nn::Adam> d_opt_;
+  std::size_t opt_steps_ = 0;
   // Head caches for backward.
   linalg::Matrix head_out_;
   linalg::Matrix head_grad_;

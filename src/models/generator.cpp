@@ -26,6 +26,11 @@ std::uint64_t derive_chunk_seed(std::uint64_t seed,
 
 // ------------------------------------------------------- TabularGenerator --
 
+void TabularGenerator::warm_fit(const tabular::Table& /*delta*/,
+                                const RefreshOptions& /*opts*/) {
+  throw std::logic_error(name() + ": warm_fit not supported");
+}
+
 void TabularGenerator::sample_into(tabular::Table& out,
                                    const SampleRequest& request) {
   if (!fitted()) {

@@ -38,10 +38,10 @@ namespace surro::models {
 /// Training-scale preset shared by the neural models so experiment harnesses
 /// can trade fidelity for wall-clock uniformly.
 struct TrainBudget {
-  std::size_t epochs = 60;
-  std::size_t batch_size = 256;
-  float learning_rate = 2e-4f;  // paper Sec. V-A
-  std::size_t log_every_epochs = 0;  // 0: silent
+  std::size_t epochs = 60;            ///< full passes over the training set
+  std::size_t batch_size = 256;       ///< rows per gradient step
+  float learning_rate = 2e-4f;        ///< base LR (paper Sec. V-A)
+  std::size_t log_every_epochs = 0;   ///< progress log cadence (0 = silent)
 };
 
 /// Snapshot handed to FitOptions::on_progress after every training epoch.
@@ -71,6 +71,28 @@ struct FitOptions {
   }
 };
 
+/// How a fitted model absorbs a batch of newly collected rows (the
+/// streaming collection-window workload, src/stream/). Warm refresh
+/// continues training from the retained state — frozen encoder
+/// vocabularies, current weights, saved optimizer moments — instead of
+/// rebuilding from scratch, so it costs a fraction of a cold fit.
+struct RefreshOptions {
+  /// Gradient epochs over the delta (0 = auto: max(1, budget.epochs / 4)).
+  /// Ignored by non-gradient models (SMOTE).
+  std::size_t epochs = 0;
+  /// Warm learning rate = budget.learning_rate × this scale, held flat (no
+  /// cosine restart): refreshes are a continuation, not a new run.
+  float learning_rate_scale = 0.5f;
+  /// Progress/cancellation hooks, forwarded like fit().
+  FitOptions fit;
+
+  /// The epoch count a model with `budget_epochs` cold epochs should run.
+  [[nodiscard]] std::size_t resolve_epochs(std::size_t budget_epochs) const {
+    if (epochs > 0) return epochs;
+    return budget_epochs >= 4 ? budget_epochs / 4 : std::size_t{1};
+  }
+};
+
 /// A sampling job: how many rows, from which seed, in what chunk grain, on
 /// how many threads. Determinism contract: the synthetic table depends on
 /// (rows, seed, chunk_rows) only — `threads` is purely a scheduling choice.
@@ -91,6 +113,12 @@ struct SampleRequest {
 [[nodiscard]] std::uint64_t derive_chunk_seed(std::uint64_t seed,
                                               std::uint64_t chunk_index);
 
+/// The common interface of every surrogate model (paper Sec. IV-A): learn
+/// a mixed-type Table's joint distribution (fit / warm_fit), synthesize
+/// schema-identical rows (sample_into — chunked, parallel, bitwise
+/// thread-count independent), and persist/restore fitted state
+/// (save/load). Concrete models register with GeneratorRegistry and are
+/// addressed by string key.
 class TabularGenerator {
  public:
   virtual ~TabularGenerator() = default;
@@ -99,7 +127,27 @@ class TabularGenerator {
   virtual void fit(const tabular::Table& train, const FitOptions& opts) = 0;
   void fit(const tabular::Table& train) { fit(train, FitOptions{}); }
 
+  /// True once fit() (or load()) completed and the model can sample.
   [[nodiscard]] virtual bool fitted() const noexcept = 0;
+
+  /// Incrementally absorb `delta` — rows that arrived since the last
+  /// fit/warm_fit — into the fitted state (the streaming collection-window
+  /// workload). The delta must share the training table's schema and
+  /// vocabularies (true for any window cut from the same source table);
+  /// encoder transforms and vocabularies stay frozen at cold-fit state.
+  /// Gradient models resume from their retained optimizer moments at a
+  /// reduced flat learning rate; SMOTE appends to its neighbour index.
+  /// Throws std::logic_error when unfitted or when the training state was
+  /// not retained (see warm_startable()).
+  virtual void warm_fit(const tabular::Table& delta,
+                        const RefreshOptions& opts);
+  void warm_fit(const tabular::Table& delta) { warm_fit(delta, {}); }
+
+  /// True when this instance can warm_fit right now: it is fitted and its
+  /// training-time state (optimizer moments, training RNG, auxiliary nets)
+  /// is present. Models restored from archives saved with training state
+  /// keep it; pre-v2 archives load as sample-only models.
+  [[nodiscard]] virtual bool warm_startable() const noexcept { return false; }
 
   /// Registry key ("tabddpm") and human-facing name ("TabDDPM").
   [[nodiscard]] virtual std::string key() const = 0;
@@ -118,8 +166,10 @@ class TabularGenerator {
   virtual void save(std::ostream& os) const = 0;
   virtual void load(std::istream& is) = 0;
 
-  /// Deep copy of the fitted state (used for per-worker replicas during
-  /// parallel sampling; implemented via save/load round-trip).
+  /// Deep copy of the fitted *sampling* state (used for per-worker replicas
+  /// during parallel sampling; implemented via save/load round-trip).
+  /// Training-only state (optimizer moments, training RNG) is not copied —
+  /// replicas sample, they never train.
   [[nodiscard]] virtual std::unique_ptr<TabularGenerator> clone() const = 0;
 
   /// True when sample_chunk() only reads shared state, letting sample_into

@@ -1,5 +1,6 @@
 #include "models/smote.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -39,9 +40,89 @@ void Smote::fit(const tabular::Table& train, const FitOptions& opts) {
   }
 
   tree_ = std::make_unique<knn::KdTree>(numerical_);
+  indexed_rows_ = numerical_.rows();
   fitted_ = true;
   // SMOTE "trains" in a single pass; report it as one completed epoch.
   if (opts.on_progress) opts.on_progress({1, 1, 0.0f});
+}
+
+void Smote::warm_fit(const tabular::Table& delta,
+                     const RefreshOptions& /*opts*/) {
+  if (!fitted_) throw std::logic_error("smote: warm_fit before fit");
+  const std::size_t d = delta.num_rows();
+  if (d == 0) return;
+
+  // Validate the whole delta before mutating anything: a rejected refresh
+  // must leave the fitted state exactly as it was (numerical_ and
+  // cat_codes_ row counts must never diverge).
+  for (std::size_t bi = 0; bi < cat_codes_.size(); ++bi) {
+    const auto cardinality =
+        static_cast<std::int32_t>(encoder_.blocks()[bi].cardinality);
+    for (const std::int32_t code :
+         delta.categorical(encoder_.blocks()[bi].column)) {
+      if (code < 0 || code >= cardinality) {
+        throw std::invalid_argument(
+            "smote: delta code outside the fitted vocabulary");
+      }
+    }
+  }
+
+  // Transform the delta through the frozen fit-time quantile maps and grow
+  // the numerical slice (the matrix is dense row-major, so growing is one
+  // copy — still O(n) instead of the O(n log n) transform refit).
+  const auto& num_cols = encoder_.numerical_columns();
+  const std::size_t old_n = numerical_.rows();
+  linalg::Matrix grown(old_n + d, num_cols.size());
+  std::copy_n(numerical_.data(), numerical_.size(), grown.data());
+  for (std::size_t k = 0; k < num_cols.size(); ++k) {
+    const auto col = delta.numerical(num_cols[k]);
+    const auto& qt = encoder_.transformer(k);
+    for (std::size_t r = 0; r < d; ++r) {
+      grown(old_n + r, k) = static_cast<float>(qt.transform_one(col[r]));
+    }
+  }
+  numerical_ = std::move(grown);
+
+  for (std::size_t bi = 0; bi < cat_codes_.size(); ++bi) {
+    const auto codes = delta.categorical(encoder_.blocks()[bi].column);
+    cat_codes_[bi].insert(cat_codes_[bi].end(), codes.begin(), codes.end());
+  }
+
+  // Consolidate once the brute-force tail would dominate query time.
+  if (numerical_.rows() - indexed_rows_ > indexed_rows_) {
+    tree_ = std::make_unique<knn::KdTree>(numerical_);
+    indexed_rows_ = numerical_.rows();
+  }
+}
+
+std::vector<knn::Neighbor> Smote::neighbors_of(std::size_t base) const {
+  auto neighbors = tree_->query(
+      numerical_.row(base), cfg_.k_neighbors,
+      base < indexed_rows_ ? static_cast<std::ptrdiff_t>(base) : -1);
+  const std::size_t n = numerical_.rows();
+  if (indexed_rows_ < n) {
+    const auto point = numerical_.row(base);
+    const std::size_t m = numerical_.cols();
+    for (std::size_t r = indexed_rows_; r < n; ++r) {
+      if (r == base) continue;
+      const auto row = numerical_.row(r);
+      float dist_sq = 0.0f;
+      for (std::size_t k = 0; k < m; ++k) {
+        const float diff = point[k] - row[k];
+        dist_sq += diff * diff;
+      }
+      neighbors.push_back({r, dist_sq});
+    }
+    std::sort(neighbors.begin(), neighbors.end(),
+              [](const knn::Neighbor& a, const knn::Neighbor& b) {
+                return a.dist_sq != b.dist_sq ? a.dist_sq < b.dist_sq
+                                              : a.index < b.index;
+              });
+    if (neighbors.size() > cfg_.k_neighbors) {
+      neighbors.resize(cfg_.k_neighbors);
+    }
+  }
+  return neighbors;
 }
 
 tabular::Table Smote::sample_chunk(std::size_t n, std::uint64_t seed) {
@@ -56,9 +137,7 @@ tabular::Table Smote::sample_chunk(std::size_t n, std::uint64_t seed) {
 
   for (std::size_t s = 0; s < n; ++s) {
     const auto base = static_cast<std::size_t>(rng.uniform_index(train_n));
-    const auto neighbors = tree_->query(numerical_.row(base),
-                                        cfg_.k_neighbors,
-                                        static_cast<std::ptrdiff_t>(base));
+    const auto neighbors = neighbors_of(base);
     const std::size_t other =
         neighbors.empty()
             ? base
@@ -124,8 +203,10 @@ void Smote::load(std::istream& is) {
     }
   }
   // The k-d tree is a pure function of the numerical slice — rebuild it
-  // instead of shipping its internals.
+  // instead of shipping its internals (any warm-appended tail consolidates
+  // into the tree here as a side effect).
   tree_ = std::make_unique<knn::KdTree>(numerical_);
+  indexed_rows_ = numerical_.rows();
   fitted_ = true;
 }
 

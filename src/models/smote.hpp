@@ -29,6 +29,16 @@ class Smote final : public TabularGenerator {
 
   using TabularGenerator::fit;
   void fit(const tabular::Table& train, const FitOptions& opts) override;
+  /// Streaming append: delta rows are transformed through the *frozen*
+  /// quantile transforms and joined to the neighbour index as a brute-force
+  /// tail; the k-d tree is only rebuilt once the tail outgrows the indexed
+  /// base (amortized O(delta) per refresh instead of an O(n log n) refit).
+  using TabularGenerator::warm_fit;
+  void warm_fit(const tabular::Table& delta,
+                const RefreshOptions& opts) override;
+  [[nodiscard]] bool warm_startable() const noexcept override {
+    return fitted_;
+  }
   [[nodiscard]] bool fitted() const noexcept override { return fitted_; }
   [[nodiscard]] tabular::Table sample_chunk(std::size_t n,
                                             std::uint64_t seed) override;
@@ -48,12 +58,19 @@ class Smote final : public TabularGenerator {
   [[nodiscard]] const SmoteConfig& config() const noexcept { return cfg_; }
 
  private:
+  /// Exact k-NN of row `base` over all rows: k-d tree over the indexed
+  /// prefix [0, indexed_rows_) merged with a linear scan of the appended
+  /// tail [indexed_rows_, n). Ascending by (distance, index).
+  [[nodiscard]] std::vector<knn::Neighbor> neighbors_of(
+      std::size_t base) const;
+
   SmoteConfig cfg_;
   bool fitted_ = false;
   preprocess::MixedEncoder encoder_;
   linalg::Matrix numerical_;   // (n, m) transformed numerical slice
   std::vector<std::vector<std::int32_t>> cat_codes_;  // per block, per row
-  std::unique_ptr<knn::KdTree> tree_;
+  std::unique_ptr<knn::KdTree> tree_;  // covers rows [0, indexed_rows_)
+  std::size_t indexed_rows_ = 0;
 };
 
 }  // namespace surro::models

@@ -59,10 +59,7 @@ void TabDdpm::fit(const tabular::Table& train, const FitOptions& opts) {
   if (fitted_) throw std::logic_error("tabddpm: fit called twice");
   encoder_.fit(train, cfg_.num_quantiles);
   const std::size_t width = encoder_.encoded_width();
-  const std::size_t m = encoder_.num_numerical();
-  const std::size_t t_dim = cfg_.time_embed_dim;
-  const std::size_t in_dim = width + t_dim;
-  const std::size_t T = cfg_.timesteps;
+  const std::size_t in_dim = width + cfg_.time_embed_dim;
 
   build_schedule();
 
@@ -74,10 +71,39 @@ void TabDdpm::fit(const tabular::Table& train, const FitOptions& opts) {
   const std::size_t batch = std::min<std::size_t>(cfg_.budget.batch_size, n);
   const std::size_t steps_per_epoch = (n + batch - 1) / batch;
 
-  nn::AdamW opt(cfg_.budget.learning_rate, /*weight_decay=*/1e-4f);
-  opt.add_params(net_.params());
+  opt_ = std::make_unique<nn::AdamW>(cfg_.budget.learning_rate,
+                                     /*weight_decay=*/1e-4f);
+  opt_->add_params(net_.params());
+  opt_steps_ = 0;
   const nn::CosineSchedule schedule(cfg_.budget.learning_rate,
                                     cfg_.budget.epochs * steps_per_epoch);
+  train_epochs(data, cfg_.budget.epochs, schedule, opts);
+  fitted_ = true;
+}
+
+void TabDdpm::warm_fit(const tabular::Table& delta,
+                       const RefreshOptions& opts) {
+  if (!fitted_) throw std::logic_error("tabddpm: warm_fit before fit");
+  if (!warm_startable()) {
+    throw std::logic_error("tabddpm: training state not retained");
+  }
+  if (delta.num_rows() == 0) return;
+  const linalg::Matrix data = encoder_.encode(delta);
+  const nn::ConstantSchedule schedule(cfg_.budget.learning_rate *
+                                      opts.learning_rate_scale);
+  train_epochs(data, opts.resolve_epochs(cfg_.budget.epochs), schedule,
+               opts.fit);
+}
+
+void TabDdpm::train_epochs(const linalg::Matrix& data, std::size_t epochs,
+                           const nn::LrSchedule& schedule,
+                           const FitOptions& opts) {
+  const std::size_t width = encoder_.encoded_width();
+  const std::size_t m = encoder_.num_numerical();
+  const std::size_t in_dim = width + cfg_.time_embed_dim;
+  const std::size_t T = cfg_.timesteps;
+  const std::size_t n = data.rows();
+  const std::size_t batch = std::min<std::size_t>(cfg_.budget.batch_size, n);
 
   linalg::Matrix x0;
   linalg::Matrix input;
@@ -85,8 +111,7 @@ void TabDdpm::fit(const tabular::Table& train, const FitOptions& opts) {
   linalg::Matrix grad;
   std::vector<std::size_t> ts(batch);
 
-  std::size_t step = 0;
-  for (std::size_t epoch = 0; epoch < cfg_.budget.epochs; ++epoch) {
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
     if (opts.cancelled()) throw FitCancelled(name());
     const auto perm = rng_.permutation(n);
     double epoch_loss = 0.0;
@@ -158,9 +183,9 @@ void TabDdpm::fit(const tabular::Table& train, const FitOptions& opts) {
       }
 
       net_.backward(grad);
-      opt.clip_grad_norm(cfg_.grad_clip);
-      opt.set_learning_rate(schedule.at(step++));
-      opt.step();
+      opt_->clip_grad_norm(cfg_.grad_clip);
+      opt_->set_learning_rate(schedule.at(opt_steps_++));
+      opt_->step();
       epoch_loss += loss;
       ++batches;
     }
@@ -168,15 +193,13 @@ void TabDdpm::fit(const tabular::Table& train, const FitOptions& opts) {
         static_cast<float>(epoch_loss / static_cast<double>(batches));
     if (cfg_.budget.log_every_epochs > 0 &&
         (epoch + 1) % cfg_.budget.log_every_epochs == 0) {
-      util::log_info("tabddpm: epoch %zu/%zu loss %.4f", epoch + 1,
-                     cfg_.budget.epochs,
+      util::log_info("tabddpm: epoch %zu/%zu loss %.4f", epoch + 1, epochs,
                      static_cast<double>(last_epoch_loss_));
     }
     if (opts.on_progress) {
-      opts.on_progress({epoch + 1, cfg_.budget.epochs, last_epoch_loss_});
+      opts.on_progress({epoch + 1, epochs, last_epoch_loss_});
     }
   }
-  fitted_ = true;
 }
 
 tabular::Table TabDdpm::sample_chunk(std::size_t n, std::uint64_t seed) {
@@ -376,32 +399,59 @@ std::vector<double> TabDdpm::anomaly_scores(const tabular::Table& rows,
   return scores;
 }
 
-void TabDdpm::save(std::ostream& os) const {
+void TabDdpm::save(std::ostream& os) const { save_impl(os, true); }
+
+void TabDdpm::save_impl(std::ostream& os, bool include_train_state) const {
   if (!fitted_) throw std::logic_error("tabddpm: save before fit");
   util::io::write_tag(os, "DDPM");
-  util::io::write_u32(os, 1);  // payload version
+  util::io::write_u32(os, 2);  // payload version
   util::io::write_u64(os, cfg_.timesteps);
   util::io::write_u64(os, cfg_.time_embed_dim);
   encoder_.save(os);
   nn::save_mlp(os, net_);
+  // v2: optional training state so a reloaded model can warm_fit.
+  const bool train_state = include_train_state && opt_ != nullptr;
+  util::io::write_u32(os, train_state ? 1 : 0);
+  if (train_state) {
+    // Fit-time budget: warm_fit derives its epoch count and LR from it.
+    util::io::write_f32(os, cfg_.budget.learning_rate);
+    util::io::write_u64(os, cfg_.budget.epochs);
+    util::io::write_u64(os, cfg_.budget.batch_size);
+    opt_->save(os);
+    util::io::write_u64(os, opt_steps_);
+    rng_.save(os);
+  }
 }
 
 void TabDdpm::load(std::istream& is) {
   if (fitted_) throw std::logic_error("tabddpm: load into fitted model");
   util::io::expect_tag(is, "DDPM");
   const std::uint32_t version = util::io::read_u32(is);
-  if (version != 1) throw std::runtime_error("tabddpm: unsupported payload");
+  if (version != 1 && version != 2) {
+    throw std::runtime_error("tabddpm: unsupported payload");
+  }
   cfg_.timesteps = static_cast<std::size_t>(util::io::read_u64(is));
   cfg_.time_embed_dim = static_cast<std::size_t>(util::io::read_u64(is));
   encoder_.load(is);
   net_ = nn::load_mlp(is);
+  if (version >= 2 && util::io::read_u32(is) != 0) {
+    cfg_.budget.learning_rate = util::io::read_f32(is);
+    cfg_.budget.epochs = static_cast<std::size_t>(util::io::read_u64(is));
+    cfg_.budget.batch_size = static_cast<std::size_t>(util::io::read_u64(is));
+    opt_ = std::make_unique<nn::AdamW>(cfg_.budget.learning_rate,
+                                       /*weight_decay=*/1e-4f);
+    opt_->add_params(net_.params());
+    opt_->load(is);
+    opt_steps_ = static_cast<std::size_t>(util::io::read_u64(is));
+    rng_.load(is);
+  }
   build_schedule();
   fitted_ = true;
 }
 
 std::unique_ptr<TabularGenerator> TabDdpm::clone() const {
   std::stringstream buffer;
-  save(buffer);
+  save_impl(buffer, /*include_train_state=*/false);
   auto copy = std::make_unique<TabDdpm>(cfg_);
   copy->load(buffer);
   return copy;

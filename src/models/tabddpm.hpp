@@ -41,6 +41,12 @@ class TabDdpm final : public TabularGenerator {
 
   using TabularGenerator::fit;
   void fit(const tabular::Table& train, const FitOptions& opts) override;
+  using TabularGenerator::warm_fit;
+  void warm_fit(const tabular::Table& delta,
+                const RefreshOptions& opts) override;
+  [[nodiscard]] bool warm_startable() const noexcept override {
+    return fitted_ && opt_ != nullptr;
+  }
   [[nodiscard]] bool fitted() const noexcept override { return fitted_; }
   [[nodiscard]] tabular::Table sample_chunk(std::size_t n,
                                             std::uint64_t seed) override;
@@ -77,6 +83,15 @@ class TabDdpm final : public TabularGenerator {
   /// pure function of the config, shared by fit() and load().
   void build_schedule();
 
+  /// Run `epochs` denoising epochs over encoded rows, advancing the shared
+  /// optimizer clock (opt_steps_). Shared by cold fit (cosine LR schedule)
+  /// and warm refresh (flat reduced LR).
+  void train_epochs(const linalg::Matrix& data, std::size_t epochs,
+                    const nn::LrSchedule& schedule, const FitOptions& opts);
+  /// save() with or without the training-only state (optimizer moments,
+  /// RNG): clone() drops it — sampling replicas never train.
+  void save_impl(std::ostream& os, bool include_train_state) const;
+
   TabDdpmConfig cfg_;
   bool fitted_ = false;
   preprocess::MixedEncoder encoder_;
@@ -85,6 +100,9 @@ class TabDdpm final : public TabularGenerator {
   std::vector<double> betas_;
   std::vector<double> alphas_;
   std::vector<double> alpha_bar_;
+  // Training state retained for warm_fit (absent after a state-less load).
+  std::unique_ptr<nn::AdamW> opt_;
+  std::size_t opt_steps_ = 0;
   float last_epoch_loss_ = 0.0f;
 };
 

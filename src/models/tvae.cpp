@@ -30,11 +30,36 @@ void Tvae::fit(const tabular::Table& train, const FitOptions& opts) {
       std::min<std::size_t>(cfg_.budget.batch_size, n);
   const std::size_t steps_per_epoch = (n + batch - 1) / batch;
 
-  nn::Adam opt(cfg_.budget.learning_rate);
-  opt.add_params(encoder_.params());
-  opt.add_params(decoder_.params());
+  opt_ = std::make_unique<nn::Adam>(cfg_.budget.learning_rate);
+  opt_->add_params(encoder_.params());
+  opt_->add_params(decoder_.params());
+  opt_steps_ = 0;
   const nn::CosineSchedule schedule(cfg_.budget.learning_rate,
                                     cfg_.budget.epochs * steps_per_epoch);
+  train_epochs(data, cfg_.budget.epochs, schedule, opts);
+  fitted_ = true;
+}
+
+void Tvae::warm_fit(const tabular::Table& delta, const RefreshOptions& opts) {
+  if (!fitted_) throw std::logic_error("tvae: warm_fit before fit");
+  if (!warm_startable()) {
+    throw std::logic_error("tvae: training state not retained");
+  }
+  if (delta.num_rows() == 0) return;
+  const linalg::Matrix data = encoder_map_.encode(delta);
+  const nn::ConstantSchedule schedule(cfg_.budget.learning_rate *
+                                      opts.learning_rate_scale);
+  train_epochs(data, opts.resolve_epochs(cfg_.budget.epochs), schedule,
+               opts.fit);
+}
+
+void Tvae::train_epochs(const linalg::Matrix& data, std::size_t epochs,
+                        const nn::LrSchedule& schedule,
+                        const FitOptions& opts) {
+  const std::size_t latent = cfg_.latent_dim;
+  const std::size_t n = data.rows();
+  const std::size_t batch =
+      std::min<std::size_t>(cfg_.budget.batch_size, n);
 
   linalg::Matrix xb;
   linalg::Matrix mu(batch, latent);
@@ -46,8 +71,7 @@ void Tvae::fit(const tabular::Table& train, const FitOptions& opts) {
   linalg::Matrix grad_lv_kl;
   linalg::Matrix grad_h;
 
-  std::size_t step = 0;
-  for (std::size_t epoch = 0; epoch < cfg_.budget.epochs; ++epoch) {
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
     if (opts.cancelled()) throw FitCancelled(name());
     const auto perm = rng_.permutation(n);
     double epoch_loss = 0.0;
@@ -105,9 +129,9 @@ void Tvae::fit(const tabular::Table& train, const FitOptions& opts) {
       }
       encoder_.backward(grad_h);
 
-      opt.clip_grad_norm(cfg_.grad_clip);
-      opt.set_learning_rate(schedule.at(step++));
-      opt.step();
+      opt_->clip_grad_norm(cfg_.grad_clip);
+      opt_->set_learning_rate(schedule.at(opt_steps_++));
+      opt_->step();
 
       epoch_loss += recon + cfg_.kl_weight * kl;
       ++epoch_batches;
@@ -116,15 +140,13 @@ void Tvae::fit(const tabular::Table& train, const FitOptions& opts) {
         static_cast<float>(epoch_loss / static_cast<double>(epoch_batches));
     if (cfg_.budget.log_every_epochs > 0 &&
         (epoch + 1) % cfg_.budget.log_every_epochs == 0) {
-      util::log_info("tvae: epoch %zu/%zu loss %.4f", epoch + 1,
-                     cfg_.budget.epochs,
+      util::log_info("tvae: epoch %zu/%zu loss %.4f", epoch + 1, epochs,
                      static_cast<double>(last_epoch_loss_));
     }
     if (opts.on_progress) {
-      opts.on_progress({epoch + 1, cfg_.budget.epochs, last_epoch_loss_});
+      opts.on_progress({epoch + 1, epochs, last_epoch_loss_});
     }
   }
-  fitted_ = true;
 }
 
 tabular::Table Tvae::sample_chunk(std::size_t n, std::uint64_t seed) {
@@ -149,23 +171,53 @@ tabular::Table Tvae::sample_chunk(std::size_t n, std::uint64_t seed) {
   return out;
 }
 
-void Tvae::save(std::ostream& os) const {
+void Tvae::save(std::ostream& os) const { save_impl(os, true); }
+
+void Tvae::save_impl(std::ostream& os, bool include_train_state) const {
   if (!fitted_) throw std::logic_error("tvae: save before fit");
   util::io::write_tag(os, "TVAE");
-  util::io::write_u32(os, 1);  // payload version
+  util::io::write_u32(os, 2);  // payload version
   util::io::write_u64(os, cfg_.latent_dim);
   encoder_map_.save(os);
   nn::save_mlp(os, decoder_);
+  // v2: optional training state so a reloaded model can warm_fit — the
+  // encoder net, the optimizer moments + step clock, and the training RNG.
+  const bool train_state = include_train_state && opt_ != nullptr;
+  util::io::write_u32(os, train_state ? 1 : 0);
+  if (train_state) {
+    // Fit-time budget: warm_fit derives its epoch count and LR from it.
+    util::io::write_f32(os, cfg_.budget.learning_rate);
+    util::io::write_u64(os, cfg_.budget.epochs);
+    util::io::write_u64(os, cfg_.budget.batch_size);
+    nn::save_mlp(os, encoder_);
+    opt_->save(os);
+    util::io::write_u64(os, opt_steps_);
+    rng_.save(os);
+  }
 }
 
 void Tvae::load(std::istream& is) {
   if (fitted_) throw std::logic_error("tvae: load into fitted model");
   util::io::expect_tag(is, "TVAE");
   const std::uint32_t version = util::io::read_u32(is);
-  if (version != 1) throw std::runtime_error("tvae: unsupported payload");
+  if (version != 1 && version != 2) {
+    throw std::runtime_error("tvae: unsupported payload");
+  }
   cfg_.latent_dim = static_cast<std::size_t>(util::io::read_u64(is));
   encoder_map_.load(is);
   decoder_ = nn::load_mlp(is);
+  if (version >= 2 && util::io::read_u32(is) != 0) {
+    cfg_.budget.learning_rate = util::io::read_f32(is);
+    cfg_.budget.epochs = static_cast<std::size_t>(util::io::read_u64(is));
+    cfg_.budget.batch_size = static_cast<std::size_t>(util::io::read_u64(is));
+    encoder_ = nn::load_mlp(is);
+    opt_ = std::make_unique<nn::Adam>(cfg_.budget.learning_rate);
+    opt_->add_params(encoder_.params());  // fit-time registration order
+    opt_->add_params(decoder_.params());
+    opt_->load(is);
+    opt_steps_ = static_cast<std::size_t>(util::io::read_u64(is));
+    rng_.load(is);
+  }
   fitted_ = true;
 }
 
@@ -185,7 +237,7 @@ const RegisterGenerator kRegisterTvae{{
 
 std::unique_ptr<TabularGenerator> Tvae::clone() const {
   std::stringstream buffer;
-  save(buffer);
+  save_impl(buffer, /*include_train_state=*/false);
   auto copy = std::make_unique<Tvae>(cfg_);
   copy->load(buffer);
   return copy;

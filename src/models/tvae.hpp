@@ -29,6 +29,12 @@ class Tvae final : public TabularGenerator {
 
   using TabularGenerator::fit;
   void fit(const tabular::Table& train, const FitOptions& opts) override;
+  using TabularGenerator::warm_fit;
+  void warm_fit(const tabular::Table& delta,
+                const RefreshOptions& opts) override;
+  [[nodiscard]] bool warm_startable() const noexcept override {
+    return fitted_ && opt_ != nullptr;
+  }
   [[nodiscard]] bool fitted() const noexcept override { return fitted_; }
   [[nodiscard]] tabular::Table sample_chunk(std::size_t n,
                                             std::uint64_t seed) override;
@@ -45,12 +51,24 @@ class Tvae final : public TabularGenerator {
   }
 
  private:
+  /// Run `epochs` training epochs over encoded rows, advancing the shared
+  /// optimizer clock (opt_steps_). Shared by cold fit (cosine schedule) and
+  /// warm refresh (flat reduced LR).
+  void train_epochs(const linalg::Matrix& data, std::size_t epochs,
+                    const nn::LrSchedule& schedule, const FitOptions& opts);
+  /// save() with or without the training-only state (encoder net, optimizer
+  /// moments, RNG): clone() drops it — sampling replicas never train.
+  void save_impl(std::ostream& os, bool include_train_state) const;
+
   TvaeConfig cfg_;
   bool fitted_ = false;
   preprocess::MixedEncoder encoder_map_;
   util::Rng rng_;
   nn::Mlp encoder_;  // width -> ... -> 2·latent (mu | logvar)
   nn::Mlp decoder_;  // latent -> ... -> width
+  // Training state retained for warm_fit (absent after a state-less load).
+  std::unique_ptr<nn::Adam> opt_;
+  std::size_t opt_steps_ = 0;
   float last_epoch_loss_ = 0.0f;
 };
 

@@ -1,8 +1,40 @@
 #include "nn/optimizer.hpp"
 
 #include <cmath>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
 
 namespace surro::nn {
+
+namespace {
+
+/// Moment buffers are lazily allocated by step(); an optimizer saved before
+/// its first step writes an empty buffer list, and load() mirrors that by
+/// leaving the lazy path to allocate on the next step.
+void save_moments(std::ostream& os, const std::vector<linalg::Matrix>& ms) {
+  util::io::write_u64(os, ms.size());
+  for (const auto& m : ms) linalg::save_matrix(os, m);
+}
+
+void load_moments(std::istream& is, std::vector<linalg::Matrix>& ms,
+                  const std::vector<Param*>& params) {
+  const std::size_t n = util::io::read_count(is);
+  if (n != 0 && n != params.size()) {
+    throw std::runtime_error("optimizer: moment count mismatch");
+  }
+  ms.clear();
+  ms.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    ms.push_back(linalg::load_matrix(is));
+    if (ms.back().rows() != params[k]->value.rows() ||
+        ms.back().cols() != params[k]->value.cols()) {
+      throw std::runtime_error("optimizer: moment shape mismatch");
+    }
+  }
+}
+
+}  // namespace
 
 void Optimizer::add_params(const std::vector<Param*>& params) {
   params_.insert(params_.end(), params.begin(), params.end());
@@ -47,6 +79,16 @@ void Sgd::step() {
   }
 }
 
+void Sgd::save(std::ostream& os) const {
+  util::io::write_tag(os, "OSGD");
+  save_moments(os, velocity_);
+}
+
+void Sgd::load(std::istream& is) {
+  util::io::expect_tag(is, "OSGD");
+  load_moments(is, velocity_, params_);
+}
+
 Adam::Adam(float lr, float beta1, float beta2, float eps)
     : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
 
@@ -77,6 +119,23 @@ void Adam::step() {
       w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
     p.zero_grad();
+  }
+}
+
+void Adam::save(std::ostream& os) const {
+  util::io::write_tag(os, "OADM");
+  util::io::write_u64(os, t_);
+  save_moments(os, m_);
+  save_moments(os, v_);
+}
+
+void Adam::load(std::istream& is) {
+  util::io::expect_tag(is, "OADM");
+  t_ = static_cast<std::size_t>(util::io::read_u64(is));
+  load_moments(is, m_, params_);
+  load_moments(is, v_, params_);
+  if (m_.size() != v_.size()) {
+    throw std::runtime_error("adam: first/second moment count mismatch");
   }
 }
 

@@ -3,7 +3,13 @@
 // step() applies the update and zeroes gradients. Adam/AdamW keep per-param
 // moment buffers keyed by registration order, so the Param set must stay
 // stable across steps (true for all our fixed-architecture models).
+//
+// Optimizer state (moment buffers, step counter) is persistable via
+// save()/load(): a checkpointed model can resume training mid-stream
+// (TabularGenerator::warm_fit) with the exact moments it stopped with,
+// instead of cold Adam moments that would blow up the first updates.
 
+#include <iosfwd>
 #include <vector>
 
 #include "nn/layers.hpp"
@@ -27,6 +33,13 @@ class Optimizer {
   /// `max_norm` (no-op when <= 0). Call before step().
   void clip_grad_norm(float max_norm);
 
+  /// Persist / restore the optimizer's internal state (moment buffers and
+  /// step counter; hyper-parameters and the Param registration stay with
+  /// the owner). load() requires the same params to be registered, in the
+  /// same order, as when the state was saved.
+  virtual void save(std::ostream& os) const = 0;
+  virtual void load(std::istream& is) = 0;
+
  protected:
   explicit Optimizer(float lr) : lr_(lr) {}
   std::vector<Param*> params_;
@@ -37,6 +50,8 @@ class Sgd final : public Optimizer {
  public:
   explicit Sgd(float lr, float momentum = 0.0f);
   void step() override;
+  void save(std::ostream& os) const override;
+  void load(std::istream& is) override;
 
  private:
   float momentum_;
@@ -48,6 +63,11 @@ class Adam : public Optimizer {
   explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
                 float eps = 1e-8f);
   void step() override;
+  void save(std::ostream& os) const override;
+  void load(std::istream& is) override;
+
+  /// Completed update steps (bias-correction clock; diagnostics/tests).
+  [[nodiscard]] std::size_t steps() const noexcept { return t_; }
 
  protected:
   /// Weight decay hook (AdamW overrides; plain Adam applies none).

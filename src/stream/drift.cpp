@@ -1,0 +1,169 @@
+#include "stream/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "anomaly/inject.hpp"
+#include "panda/filters.hpp"
+#include "util/rng.hpp"
+
+namespace surro::stream {
+
+namespace {
+
+/// Per-(seed, window) RNG stream, decorrelated via SplitMix64.
+util::Rng window_rng(std::uint64_t seed, std::size_t window_index) {
+  std::uint64_t state = seed ^ (0xD1F7C0DEULL + window_index);
+  (void)util::splitmix64(state);
+  return util::Rng(util::splitmix64(state));
+}
+
+/// Numerical columns eligible for feature drift: everything except the
+/// creation-time axis the window stream slices on.
+std::vector<std::size_t> drifting_numericals(const tabular::Table& t) {
+  std::vector<std::size_t> out;
+  for (const std::size_t c : t.schema().numerical_indices()) {
+    if (t.schema().column(c).name == panda::features::kCreationTime) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+void apply_mean_shift(tabular::Table& t, double severity, util::Rng& rng,
+                      std::size_t& affected) {
+  for (const std::size_t c : drifting_numericals(t)) {
+    auto col = t.numerical_mut(c);
+    const std::size_t n = col.size();
+    if (n == 0) continue;
+    double mean = 0.0;
+    for (const double v : col) mean += v;
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (const double v : col) var += (v - mean) * (v - mean);
+    const double sd = std::sqrt(var / static_cast<double>(n));
+    if (sd <= 0.0) continue;
+    const double shift = severity * sd;
+    // Jitter keeps the shift from being a pure translation the quantile
+    // transform could absorb exactly.
+    for (double& v : col) v += shift * (0.75 + 0.5 * rng.uniform());
+  }
+  affected = t.num_rows();
+}
+
+void apply_category_churn(tabular::Table& t, double severity,
+                          std::size_t window_index, util::Rng& rng,
+                          std::size_t& affected) {
+  const auto cats = t.schema().categorical_indices();
+  const std::size_t n = t.num_rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    if (!rng.bernoulli(std::min(severity, 1.0))) continue;
+    ++affected;
+    for (const std::size_t c : cats) {
+      const auto card = static_cast<std::int32_t>(t.cardinality(c));
+      if (card < 2) continue;
+      // Window-dependent rotation inside the existing vocabulary: labels
+      // survive (no unseen categories), popularity shifts.
+      const auto rot =
+          static_cast<std::int32_t>(1 + window_index % (card - 1));
+      auto codes = t.categorical_mut(c);
+      codes[r] = (codes[r] + rot) % card;
+    }
+  }
+}
+
+void apply_rate_ramp(tabular::Table& t, double severity, util::Rng& rng,
+                     std::size_t& affected) {
+  const std::size_t n = t.num_rows();
+  if (n == 0) return;
+  const auto extra = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * severity));
+  if (extra == 0) return;
+  std::vector<std::size_t> picks(extra);
+  for (auto& p : picks) {
+    p = static_cast<std::size_t>(rng.uniform_index(n));
+  }
+  t.append_table(t.select_rows(picks));
+  affected = extra;
+}
+
+void apply_anomaly_burst(tabular::Table& t, double severity,
+                         std::uint64_t seed, std::size_t window_index,
+                         std::size_t& affected) {
+  if (t.num_rows() == 0) return;
+  anomaly::InjectionConfig icfg;
+  icfg.fraction = std::min(severity, 0.5);
+  icfg.seed = seed ^ (0xB0057ULL + window_index);
+  auto injected = anomaly::inject_anomalies(t, icfg);
+  affected = injected.num_anomalies;
+  t = std::move(injected.table);
+}
+
+}  // namespace
+
+const char* drift_kind_name(DriftKind kind) noexcept {
+  switch (kind) {
+    case DriftKind::kNone: return "none";
+    case DriftKind::kMeanShift: return "mean_shift";
+    case DriftKind::kCategoryChurn: return "category_churn";
+    case DriftKind::kRateRamp: return "rate_ramp";
+    case DriftKind::kAnomalyBurst: return "anomaly_burst";
+  }
+  return "none";
+}
+
+DriftKind parse_drift_kind(std::string_view name) {
+  for (const DriftKind kind : all_drift_kinds()) {
+    if (name == drift_kind_name(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown drift kind '" + std::string(name) +
+                              "' (have: none, mean_shift, category_churn, "
+                              "rate_ramp, anomaly_burst)");
+}
+
+std::vector<DriftKind> all_drift_kinds() {
+  return {DriftKind::kNone, DriftKind::kMeanShift, DriftKind::kCategoryChurn,
+          DriftKind::kRateRamp, DriftKind::kAnomalyBurst};
+}
+
+double drift_severity(const DriftConfig& cfg, std::size_t window_index) {
+  if (cfg.kind == DriftKind::kNone) return 0.0;
+  const auto full = static_cast<double>(
+      std::max<std::size_t>(cfg.full_strength_window, 1));
+  const double ramp =
+      std::min(1.0, static_cast<double>(window_index + 1) / full);
+  return cfg.intensity * ramp;
+}
+
+DriftResult apply_drift(const tabular::Table& window,
+                        std::size_t window_index, const DriftConfig& cfg) {
+  DriftResult out;
+  out.table = window;  // all families perturb a copy
+  out.severity = drift_severity(cfg, window_index);
+  if (cfg.kind == DriftKind::kNone || out.severity <= 0.0 ||
+      window.num_rows() == 0) {
+    return out;
+  }
+  util::Rng rng = window_rng(cfg.seed, window_index);
+  switch (cfg.kind) {
+    case DriftKind::kNone:
+      break;
+    case DriftKind::kMeanShift:
+      apply_mean_shift(out.table, out.severity, rng, out.affected_rows);
+      break;
+    case DriftKind::kCategoryChurn:
+      apply_category_churn(out.table, out.severity, window_index, rng,
+                           out.affected_rows);
+      break;
+    case DriftKind::kRateRamp:
+      apply_rate_ramp(out.table, out.severity, rng, out.affected_rows);
+      break;
+    case DriftKind::kAnomalyBurst:
+      apply_anomaly_burst(out.table, out.severity, cfg.seed, window_index,
+                          out.affected_rows);
+      break;
+  }
+  return out;
+}
+
+}  // namespace surro::stream

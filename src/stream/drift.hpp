@@ -1,0 +1,76 @@
+#pragma once
+// Per-window drift scenario families for the streaming workload. Each
+// family perturbs a collection window with a severity that ramps with the
+// window index, modelling the ways a production stream actually moves away
+// from the distribution a surrogate was fitted on:
+//
+//   * mean_shift      — numerical features drift upward by a growing
+//                       multiple of their per-window standard deviation
+//                       (e.g. jobs gradually getting heavier);
+//   * category_churn  — a growing fraction of rows has categorical codes
+//                       rotated inside the fitted vocabulary (site/project
+//                       popularity shifting);
+//   * rate_ramp       — the arrival rate ramps up: extra rows are drawn
+//                       with replacement from the window (a campaign surge;
+//                       stresses refresh cost rather than the feature
+//                       distribution);
+//   * anomaly_burst   — a growing fraction of rows is corrupted with the
+//                       failure signatures of anomaly::inject_anomalies
+//                       (layered directly on src/anomaly/inject).
+//
+// Every family is deterministic in (config seed, window index).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tabular/table.hpp"
+
+namespace surro::stream {
+
+enum class DriftKind {
+  kNone,
+  kMeanShift,
+  kCategoryChurn,
+  kRateRamp,
+  kAnomalyBurst,
+};
+
+/// Stable axis-value spelling ("none", "mean_shift", ...).
+[[nodiscard]] const char* drift_kind_name(DriftKind kind) noexcept;
+/// Inverse of drift_kind_name; throws std::invalid_argument.
+[[nodiscard]] DriftKind parse_drift_kind(std::string_view name);
+/// Every family, in declaration order (CLI listings, tests).
+[[nodiscard]] std::vector<DriftKind> all_drift_kinds();
+
+struct DriftConfig {
+  DriftKind kind = DriftKind::kNone;
+  /// Severity at full strength: std-dev multiples (mean_shift), affected
+  /// row fraction (category_churn, anomaly_burst), or extra-row fraction
+  /// (rate_ramp).
+  double intensity = 0.15;
+  /// Windows until the ramp reaches full strength (>= 1); severity at
+  /// window w is intensity · min(1, (w + 1) / full_strength_window).
+  std::size_t full_strength_window = 6;
+  std::uint64_t seed = 99;
+};
+
+struct DriftResult {
+  tabular::Table table;            // drifted copy of the window
+  std::size_t affected_rows = 0;   // rows perturbed / appended
+  double severity = 0.0;           // realized severity at this window
+};
+
+/// Realized severity of `cfg` at a window index (exposed for tests/JSON).
+[[nodiscard]] double drift_severity(const DriftConfig& cfg,
+                                    std::size_t window_index);
+
+/// Apply the configured family to one materialized window. kNone returns
+/// an unmodified copy. The creation-time column (when present) is never
+/// perturbed, so windowing semantics survive every family.
+[[nodiscard]] DriftResult apply_drift(const tabular::Table& window,
+                                      std::size_t window_index,
+                                      const DriftConfig& cfg);
+
+}  // namespace surro::stream

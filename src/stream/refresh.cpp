@@ -1,0 +1,55 @@
+#include "stream/refresh.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace surro::stream {
+
+const char* refresh_mode_name(RefreshMode mode) noexcept {
+  return mode == RefreshMode::kWarm ? "warm" : "cold";
+}
+
+RefreshMode parse_refresh_mode(std::string_view name) {
+  if (name == "cold") return RefreshMode::kCold;
+  if (name == "warm") return RefreshMode::kWarm;
+  throw std::invalid_argument("unknown refresh mode '" + std::string(name) +
+                              "' (have: cold, warm)");
+}
+
+ModelRefresher::ModelRefresher(RefresherConfig cfg) : cfg_(std::move(cfg)) {
+  // Validate the key eagerly so a bad axis fails before any training runs.
+  (void)models::GeneratorRegistry::instance().info(cfg_.model_key);
+}
+
+RefreshStats ModelRefresher::refresh(const tabular::Table& window,
+                                     const tabular::Table& delta,
+                                     std::size_t window_index) {
+  RefreshStats stats;
+  stats.window_index = window_index;
+  stats.mode = cfg_.mode;
+
+  const bool cold =
+      cfg_.mode == RefreshMode::kCold || model_ == nullptr;
+  util::Stopwatch watch;
+  if (cold) {
+    // A fresh instance per window keeps cold refreshes independent and
+    // deterministic in (seed, window content) — exactly the batch pipeline
+    // replayed at this window.
+    model_ = models::make_generator(cfg_.model_key, cfg_.budget, cfg_.seed);
+    model_->fit(window, cfg_.warm.fit);
+    stats.cold_start = true;
+    stats.trained_rows = window.num_rows();
+  } else {
+    model_->warm_fit(delta, cfg_.warm);
+    stats.trained_rows = delta.num_rows();
+  }
+  stats.seconds = watch.seconds();
+  stats.rows_per_sec =
+      stats.seconds > 0.0
+          ? static_cast<double>(stats.trained_rows) / stats.seconds
+          : 0.0;
+  return stats;
+}
+
+}  // namespace surro::stream

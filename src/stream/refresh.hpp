@@ -1,0 +1,81 @@
+#pragma once
+// ModelRefresher: keeps one surrogate current as collection windows stream
+// past, in one of two regimes —
+//
+//   cold — every window trains a brand-new model on the full window (the
+//          batch pipeline's behaviour, replayed per window);
+//   warm — the first window cold-starts, every later window feeds only the
+//          *delta* rows to TabularGenerator::warm_fit, resuming from the
+//          retained weights and optimizer moments (the ParK-style
+//          partition-then-refresh lever: incremental per-partition updates
+//          instead of a global refit).
+//
+// Every refresh is timed; RefreshStats is the refresh-seconds / rows-per-
+// second evidence the stream evaluation and its JSON artifact report.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "models/generator.hpp"
+
+namespace surro::stream {
+
+enum class RefreshMode { kCold, kWarm };
+
+/// Stable axis-value spelling ("cold" / "warm").
+[[nodiscard]] const char* refresh_mode_name(RefreshMode mode) noexcept;
+/// Inverse of refresh_mode_name; throws std::invalid_argument.
+[[nodiscard]] RefreshMode parse_refresh_mode(std::string_view name);
+
+struct RefresherConfig {
+  /// Registry key of the surrogate to keep fresh.
+  std::string model_key = "smote";
+  models::TrainBudget budget;
+  std::uint64_t seed = 42;
+  RefreshMode mode = RefreshMode::kCold;
+  /// Warm-path knobs (refresh epochs, learning-rate scale).
+  models::RefreshOptions warm;
+};
+
+/// Wall-clock accounting of one refresh step.
+struct RefreshStats {
+  std::size_t window_index = 0;
+  RefreshMode mode = RefreshMode::kCold;
+  /// True when this step ran a full fit (every cold step; warm window 0).
+  bool cold_start = false;
+  /// Rows the refresh consumed: the full window (cold) or the delta (warm).
+  std::size_t trained_rows = 0;
+  double seconds = 0.0;
+  double rows_per_sec = 0.0;
+};
+
+class ModelRefresher {
+ public:
+  /// Throws std::invalid_argument for unknown model keys.
+  explicit ModelRefresher(RefresherConfig cfg);
+
+  /// Absorb one window: `window` is the full (possibly drifted) window
+  /// table, `delta` the rows that arrived since the previous refresh. Cold
+  /// mode refits on `window`; warm mode resumes on `delta` (window 0 cold-
+  /// starts, an empty delta is a timed no-op).
+  RefreshStats refresh(const tabular::Table& window,
+                       const tabular::Table& delta,
+                       std::size_t window_index);
+
+  /// The current model (fitted after the first refresh).
+  [[nodiscard]] models::TabularGenerator& model() { return *model_; }
+  [[nodiscard]] const models::TabularGenerator& model() const {
+    return *model_;
+  }
+  [[nodiscard]] const RefresherConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  RefresherConfig cfg_;
+  std::unique_ptr<models::TabularGenerator> model_;
+};
+
+}  // namespace surro::stream

@@ -1,0 +1,393 @@
+#include "stream/stream_eval.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+#include "metrics/correlation.hpp"
+#include "metrics/dcr.hpp"
+#include "metrics/jsd.hpp"
+#include "metrics/wasserstein.hpp"
+#include "panda/filters.hpp"
+#include "panda/generator.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace surro::stream {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::string scenario_id(double stride, DriftKind drift, RefreshMode mode) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "s%g_%s_%s", stride,
+                drift_kind_name(drift), refresh_mode_name(mode));
+  return buf;
+}
+
+std::vector<std::string> resolve_models(const eval::ExperimentConfig& base,
+                                        const StreamAxes& axes) {
+  const auto& keys =
+      axes.model_keys.empty() ? base.model_keys : axes.model_keys;
+  if (keys.empty()) {
+    throw std::invalid_argument("stream matrix: empty model set");
+  }
+  auto& registry = models::GeneratorRegistry::instance();
+  for (const auto& key : keys) {
+    if (!registry.contains(key)) {
+      throw std::invalid_argument("stream matrix: unknown model '" + key +
+                                  "'");
+    }
+  }
+  return keys;
+}
+
+}  // namespace
+
+std::vector<StreamScenario> expand_stream_scenarios(const StreamAxes& axes,
+                                                    const StreamOptions& opts) {
+  if (!(opts.window_days > 0.0)) {
+    throw std::invalid_argument("stream matrix: window_days must be > 0");
+  }
+  const std::vector<double> strides =
+      axes.stride_days.empty() ? std::vector<double>{opts.window_days}
+                               : axes.stride_days;
+  const std::vector<DriftKind> drifts =
+      axes.drifts.empty() ? std::vector<DriftKind>{DriftKind::kNone}
+                          : axes.drifts;
+  const std::vector<RefreshMode> modes =
+      axes.refresh.empty()
+          ? std::vector<RefreshMode>{RefreshMode::kCold, RefreshMode::kWarm}
+          : axes.refresh;
+
+  std::vector<StreamScenario> out;
+  std::set<std::tuple<double, int, int>> seen;
+  for (const double stride : strides) {
+    if (!(stride > 0.0)) {
+      throw std::invalid_argument("stream matrix: stride must be > 0");
+    }
+    for (const DriftKind drift : drifts) {
+      for (const RefreshMode mode : modes) {
+        if (!seen.insert({stride, static_cast<int>(drift),
+                          static_cast<int>(mode)})
+                 .second) {
+          continue;
+        }
+        StreamScenario s;
+        s.id = scenario_id(stride, drift, mode);
+        s.stride_days = stride;
+        s.drift = drift;
+        s.refresh = mode;
+        out.push_back(std::move(s));
+      }
+    }
+  }
+  return out;
+}
+
+StreamMatrixResult run_stream_matrix(const eval::ExperimentConfig& base,
+                                     const StreamAxes& axes,
+                                     const StreamOptions& opts) {
+  util::Stopwatch total_watch;
+  StreamMatrixResult result;
+  result.model_keys = resolve_models(base, axes);
+  const auto scenarios = expand_stream_scenarios(axes, opts);
+  auto& registry = models::GeneratorRegistry::instance();
+  auto& pool = util::ThreadPool::global();
+
+  // The simulated collection stream is generated once and shared by every
+  // scenario — scenarios differ in how they window, drift, and refresh it,
+  // never in the underlying arrivals.
+  panda::RecordGenerator generator(base.data);
+  const tabular::Table source =
+      panda::build_job_table(generator.generate(), generator.catalog());
+  result.source_rows = source.num_rows();
+
+  // Window prep depends on (stride, drift) only — the refresh axis is the
+  // innermost expansion dimension, so cold/warm scenario pairs reuse the
+  // same materialized + drifted tables instead of rebuilding them.
+  std::optional<WindowStream> windows;
+  std::vector<tabular::Table> window_tables;
+  std::vector<tabular::Table> delta_tables;
+  std::vector<std::size_t> drifted_rows;
+  std::vector<double> severities;
+  double cached_stride = 0.0;
+  DriftKind cached_drift = DriftKind::kNone;
+
+  for (const auto& scenario : scenarios) {
+    util::Stopwatch scenario_watch;
+    StreamRun run;
+    run.scenario = scenario;
+
+    if (!windows.has_value() || scenario.stride_days != cached_stride ||
+        scenario.drift != cached_drift) {
+      cached_stride = scenario.stride_days;
+      cached_drift = scenario.drift;
+      WindowConfig wcfg;
+      wcfg.window_days = opts.window_days;
+      wcfg.stride_days = scenario.stride_days;
+      windows.emplace(source, wcfg);
+
+      // Materialize + drift each window once; every model (and every
+      // refresh regime) shares the result.
+      DriftConfig dcfg;
+      dcfg.kind = scenario.drift;
+      dcfg.intensity = opts.drift_intensity;
+      dcfg.seed = base.seed ^ 0xD21F7ULL;
+      const std::size_t n = windows->num_windows();
+      window_tables.assign(n, {});
+      delta_tables.assign(n, {});
+      drifted_rows.assign(n, 0);
+      severities.assign(n, 0.0);
+      for (std::size_t w = 0; w < n; ++w) {
+        const CollectionWindow& win = windows->window(w);
+        auto drifted = apply_drift(windows->materialize(win.rows), w, dcfg);
+        drifted_rows[w] = drifted.affected_rows;
+        severities[w] = drifted.severity;
+        // The delta is the time-sorted suffix of the window plus anything
+        // a rate ramp appended: fresh arrivals either way, drifted exactly
+        // as the full window copy is.
+        const std::size_t delta_start =
+            win.rows.size() - win.delta_rows.size();
+        std::vector<std::size_t> delta_idx;
+        delta_idx.reserve(drifted.table.num_rows() - delta_start);
+        for (std::size_t i = delta_start; i < drifted.table.num_rows();
+             ++i) {
+          delta_idx.push_back(i);
+        }
+        delta_tables[w] = drifted.table.select_rows(delta_idx);
+        window_tables[w] = std::move(drifted.table);
+      }
+    }
+    result.horizon_days = windows->horizon_days();
+    run.num_windows = windows->num_windows();
+    const std::size_t n_windows = windows->num_windows();
+
+    for (const auto& key : result.model_keys) {
+      StreamModelTrack track;
+      track.model_key = key;
+      track.model_name = registry.info(key).display_name;
+      track.windows.resize(n_windows);
+
+      RefresherConfig rcfg;
+      rcfg.model_key = key;
+      rcfg.budget = base.budget;
+      rcfg.seed = base.seed;
+      rcfg.mode = scenario.refresh;
+      ModelRefresher refresher(rcfg);
+
+      // Synthetic tables must outlive the concurrent scoring tasks.
+      std::vector<tabular::Table> synths(n_windows);
+      util::TaskGroup scoring;
+      try {
+        for (std::size_t w = 0; w < n_windows; ++w) {
+          StreamWindowCell& cell = track.windows[w];
+          const CollectionWindow& win = windows->window(w);
+          cell.window_index = w;
+          cell.t_begin = win.t_begin;
+          cell.t_end = win.t_end;
+          cell.window_rows = window_tables[w].num_rows();
+          cell.delta_rows = delta_tables[w].num_rows();
+          cell.drifted_rows = drifted_rows[w];
+          cell.drift_severity = severities[w];
+          cell.wd = cell.jsd = cell.diff_corr = cell.dcr = kNaN;
+          if (cell.window_rows < 2) {
+            // Too small to train on; the refresh chain pauses here and
+            // resumes (or cold-starts) at the next populated window.
+            cell.skipped = true;
+            continue;
+          }
+
+          cell.refresh =
+              refresher.refresh(window_tables[w], delta_tables[w], w);
+          track.total_refresh_seconds += cell.refresh.seconds;
+
+          models::SampleRequest request;
+          request.rows =
+              opts.synth_rows > 0 ? opts.synth_rows : cell.window_rows;
+          request.seed = models::derive_chunk_seed(base.seed ^ 0x57A3ULL, w);
+          request.chunk_rows = base.sample_chunk_rows;
+          request.threads = base.sample_threads;
+          util::Stopwatch sample_watch;
+          refresher.model().sample_into(synths[w], request);
+          cell.sample_seconds = sample_watch.seconds();
+          cell.synth_rows = synths[w].num_rows();
+          cell.sample_rows_per_sec =
+              cell.sample_seconds > 0.0
+                  ? static_cast<double>(cell.synth_rows) / cell.sample_seconds
+                  : 0.0;
+          track.total_sample_seconds += cell.sample_seconds;
+
+          // Fidelity vs the drifted window this model was (or should have
+          // been) tracking. Each cell writes only its own slot, so the
+          // concurrent fan-out is the serial computation reordered.
+          const auto score_cell = [&base, &opts, &cell,
+                                   window = &window_tables[w],
+                                   synth = &synths[w]] {
+            util::Stopwatch score_watch;
+            cell.wd = metrics::mean_wasserstein(*window, *synth,
+                                                base.metric_threads);
+            cell.jsd = metrics::mean_jsd(*window, *synth,
+                                         base.metric_threads);
+            cell.diff_corr = metrics::diff_corr(*window, *synth,
+                                                base.metric_threads);
+            if (opts.score_dcr) {
+              metrics::DcrConfig dcr = base.dcr;
+              if (dcr.threads == 0) dcr.threads = base.metric_threads;
+              cell.dcr = metrics::mean_dcr(*window, *synth, dcr);
+            }
+            cell.score_seconds = score_watch.seconds();
+          };
+          if (opts.concurrent_scoring) {
+            pool.submit(scoring, score_cell);
+          } else {
+            score_cell();
+          }
+        }
+      } catch (...) {
+        // In-flight scoring tasks reference this scope; drain them before
+        // unwinding. The original exception wins.
+        try {
+          pool.wait(scoring);
+        } catch (...) {
+        }
+        throw;
+      }
+      pool.wait(scoring);
+
+      if (opts.verbose) {
+        util::log_info(
+            "stream %s %s: %zu windows, refresh %.2fs, sample %.2fs",
+            scenario.id.c_str(), track.model_name.c_str(), n_windows,
+            track.total_refresh_seconds, track.total_sample_seconds);
+      }
+      run.tracks.push_back(std::move(track));
+    }
+    run.wall_seconds = scenario_watch.seconds();
+    result.runs.push_back(std::move(run));
+  }
+  result.wall_seconds = total_watch.seconds();
+  return result;
+}
+
+std::string stream_to_json(const eval::ExperimentConfig& base,
+                           const StreamOptions& opts,
+                           const StreamMatrixResult& result) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("kind", "stream_matrix");
+  w.key("config").begin_object();
+  w.kv("window_days", opts.window_days);
+  w.kv("drift_intensity", opts.drift_intensity);
+  w.kv("synth_rows", opts.synth_rows);
+  w.kv("score_dcr", opts.score_dcr);
+  w.kv("horizon_days", base.data.model.days);
+  w.kv("base_jobs_per_day", base.data.model.base_jobs_per_day);
+  w.kv("epochs", base.budget.epochs);
+  w.kv("seed", base.seed);
+  w.kv("sample_threads", base.sample_threads);
+  w.kv("metric_threads", base.metric_threads);
+  w.end_object();
+  w.key("models").begin_array();
+  for (const auto& key : result.model_keys) w.value(key);
+  w.end_array();
+  w.kv("source_rows", result.source_rows);
+  w.kv("stream_horizon_days", result.horizon_days);
+  w.key("scenarios").begin_array();
+  for (const auto& run : result.runs) {
+    w.begin_object();
+    w.kv("id", run.scenario.id);
+    w.kv("stride_days", run.scenario.stride_days);
+    w.kv("drift", drift_kind_name(run.scenario.drift));
+    w.kv("refresh", refresh_mode_name(run.scenario.refresh));
+    w.kv("num_windows", run.num_windows);
+    w.kv("wall_seconds", run.wall_seconds);
+    w.key("tracks").begin_array();
+    for (const auto& track : run.tracks) {
+      w.begin_object();
+      w.kv("model_key", track.model_key);
+      w.kv("model", track.model_name);
+      w.kv("total_refresh_seconds", track.total_refresh_seconds);
+      w.kv("total_sample_seconds", track.total_sample_seconds);
+      w.key("windows").begin_array();
+      for (const auto& cell : track.windows) {
+        w.begin_object();
+        w.kv("index", cell.window_index);
+        w.kv("t_begin", cell.t_begin);
+        w.kv("t_end", cell.t_end);
+        w.kv("window_rows", cell.window_rows);
+        w.kv("delta_rows", cell.delta_rows);
+        w.kv("drifted_rows", cell.drifted_rows);
+        w.kv("drift_severity", cell.drift_severity);
+        w.kv("skipped", cell.skipped);
+        w.kv("cold_start", cell.refresh.cold_start);
+        w.kv("trained_rows", cell.refresh.trained_rows);
+        w.kv("refresh_seconds", cell.refresh.seconds);
+        w.kv("refresh_rows_per_sec", cell.refresh.rows_per_sec);
+        w.kv("synth_rows", cell.synth_rows);
+        w.kv("sample_seconds", cell.sample_seconds);
+        w.kv("sample_rows_per_sec", cell.sample_rows_per_sec);
+        w.kv("score_seconds", cell.score_seconds);
+        w.kv("wd", cell.wd);
+        w.kv("jsd", cell.jsd);
+        w.kv("diff_corr", cell.diff_corr);
+        w.kv("dcr", cell.dcr);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("wall_seconds", result.wall_seconds);
+  w.end_object();
+  return w.str();
+}
+
+std::string render_stream(const StreamMatrixResult& result) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-24s %-10s %4s %9s %9s %9s %9s %9s\n", "scenario", "model",
+                "win", "refr s", "rows/s", "WD first", "WD last",
+                "JSD last");
+  out += buf;
+  out += std::string(92, '-');
+  out += '\n';
+  for (const auto& run : result.runs) {
+    for (const auto& track : run.tracks) {
+      const StreamWindowCell* first = nullptr;
+      const StreamWindowCell* last = nullptr;
+      double trained = 0.0;
+      for (const auto& cell : track.windows) {
+        if (cell.skipped) continue;
+        if (first == nullptr) first = &cell;
+        last = &cell;
+        trained += static_cast<double>(cell.refresh.trained_rows);
+      }
+      const double rows_per_sec = track.total_refresh_seconds > 0.0
+                                      ? trained / track.total_refresh_seconds
+                                      : 0.0;
+      std::snprintf(buf, sizeof(buf),
+                    "%-24s %-10s %4zu %9.3f %9.0f %9.3f %9.3f %9.3f\n",
+                    run.scenario.id.c_str(), track.model_name.c_str(),
+                    run.num_windows, track.total_refresh_seconds,
+                    rows_per_sec, first != nullptr ? first->wd : 0.0,
+                    last != nullptr ? last->wd : 0.0,
+                    last != nullptr ? last->jsd : 0.0);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace surro::stream

@@ -1,0 +1,128 @@
+#pragma once
+// Stream-matrix evaluation: the scenario engine's axes extended to the
+// streaming workload. A scenario here is (stride, drift family, refresh
+// regime); every scenario replays the same simulated collection stream
+// through a WindowStream, drifts each window with the scenario's family,
+// keeps every model current with a ModelRefresher (cold refit vs warm
+// delta refresh), samples per window, and scores per-window fidelity —
+// the *fidelity decay curve* — through the existing metric stack on the
+// thread pool. Refresh wall-clock and rows/sec land next to the scores,
+// so one JSON artifact answers both "how fast does fidelity decay under
+// drift?" and "what does keeping the model fresh cost, cold vs warm?".
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hpp"
+#include "stream/drift.hpp"
+#include "stream/refresh.hpp"
+#include "stream/window.hpp"
+
+namespace surro::stream {
+
+/// One operating point expanded from StreamAxes.
+struct StreamScenario {
+  std::string id;  // e.g. "t7_mean_shift_warm"
+  double stride_days = 7.0;
+  DriftKind drift = DriftKind::kNone;
+  RefreshMode refresh = RefreshMode::kCold;
+};
+
+/// Axis values swept by the stream matrix. Empty axes pin defaults:
+/// stride = the window length (tumbling), drift = none, refresh = both
+/// regimes, models = the base config's model set.
+struct StreamAxes {
+  std::vector<double> stride_days;
+  std::vector<DriftKind> drifts;
+  std::vector<RefreshMode> refresh;
+  std::vector<std::string> model_keys;
+};
+
+struct StreamOptions {
+  /// Window length in days (every scenario shares it; strides sweep).
+  double window_days = 7.0;
+  /// Drift severity at full strength (see DriftConfig::intensity).
+  double drift_intensity = 0.15;
+  /// Synthetic rows per window (0 = match the window's row count).
+  std::size_t synth_rows = 0;
+  /// Score DCR per window (off by default: the nearest-neighbour sweep is
+  /// the most expensive per-window metric).
+  bool score_dcr = false;
+  /// Score window cells concurrently via TaskGroup (results are bitwise
+  /// identical to serial scoring — every cell writes its own slot).
+  bool concurrent_scoring = true;
+  bool verbose = false;
+};
+
+/// Cartesian expansion (strides × drifts × refresh), duplicates removed
+/// while preserving first-seen order. Throws on invalid values or (via the
+/// registry) unknown model keys.
+[[nodiscard]] std::vector<StreamScenario> expand_stream_scenarios(
+    const StreamAxes& axes, const StreamOptions& opts);
+
+/// One (scenario, model, window) cell of the stream matrix.
+struct StreamWindowCell {
+  std::size_t window_index = 0;
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  std::size_t window_rows = 0;   // after drift
+  std::size_t delta_rows = 0;    // rows handed to a warm refresh
+  std::size_t drifted_rows = 0;  // rows the drift family touched/appended
+  double drift_severity = 0.0;
+  RefreshStats refresh;          // zeroed when the window was skipped
+  bool skipped = false;          // window too small to train on
+  std::size_t synth_rows = 0;
+  double sample_seconds = 0.0;
+  double sample_rows_per_sec = 0.0;
+  double score_seconds = 0.0;
+  // Per-window fidelity vs the drifted window (NaN when skipped; dcr also
+  // NaN when StreamOptions::score_dcr is off).
+  double wd = 0.0;
+  double jsd = 0.0;
+  double diff_corr = 0.0;
+  double dcr = 0.0;
+};
+
+/// One model's trajectory through one scenario.
+struct StreamModelTrack {
+  std::string model_key;
+  std::string model_name;
+  std::vector<StreamWindowCell> windows;
+  double total_refresh_seconds = 0.0;
+  double total_sample_seconds = 0.0;
+};
+
+/// One scenario's full result: one track per model, in model-set order.
+struct StreamRun {
+  StreamScenario scenario;
+  std::size_t num_windows = 0;
+  double wall_seconds = 0.0;
+  std::vector<StreamModelTrack> tracks;
+};
+
+struct StreamMatrixResult {
+  std::vector<std::string> model_keys;  // the resolved model set
+  std::size_t source_rows = 0;          // the simulated stream's row count
+  double horizon_days = 0.0;
+  std::vector<StreamRun> runs;          // expansion order
+  double wall_seconds = 0.0;
+};
+
+/// Run every scenario × model × window cell. The base config supplies the
+/// stream simulation (data model + seed), training budgets, sampling grain,
+/// and metric thread caps; axes/opts supply the streaming dimensions.
+[[nodiscard]] StreamMatrixResult run_stream_matrix(
+    const eval::ExperimentConfig& base, const StreamAxes& axes,
+    const StreamOptions& opts = {});
+
+/// Machine-readable artifact (kind "stream_matrix"; see docs/CLI.md).
+[[nodiscard]] std::string stream_to_json(const eval::ExperimentConfig& base,
+                                         const StreamOptions& opts,
+                                         const StreamMatrixResult& result);
+
+/// Compact ASCII summary (one line per scenario × model, plus decay curve
+/// end-points).
+[[nodiscard]] std::string render_stream(const StreamMatrixResult& result);
+
+}  // namespace surro::stream

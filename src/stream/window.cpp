@@ -1,0 +1,68 @@
+#include "stream/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace surro::stream {
+
+WindowStream::WindowStream(const tabular::Table& source, WindowConfig cfg)
+    : source_(&source), cfg_(std::move(cfg)) {
+  if (!(cfg_.window_days > 0.0)) {
+    throw std::invalid_argument("window stream: window_days must be > 0");
+  }
+  if (!(cfg_.stride_days > 0.0)) {
+    throw std::invalid_argument("window stream: stride_days must be > 0");
+  }
+  const std::size_t time_col = source.schema().index_of(cfg_.time_column);
+  const auto times = source.numerical(time_col);
+
+  // Event order: by (time, source row) so overlapping timestamps tie-break
+  // deterministically and window row lists are reproducible.
+  std::vector<std::size_t> order(times.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&times](std::size_t a, std::size_t b) {
+              return times[a] != times[b] ? times[a] < times[b] : a < b;
+            });
+  for (const std::size_t r : order) {
+    horizon_ = std::max(horizon_, times[r]);
+  }
+
+  // Window w covers [w·stride, w·stride + window). The last window is the
+  // first whose (half-open) end strictly passes the horizon, so every
+  // event — including one landing exactly on a window boundary — falls in
+  // at least one window, and empty sources still yield one (empty) window.
+  std::size_t num_windows = 1;
+  while (static_cast<double>(num_windows - 1) * cfg_.stride_days +
+             cfg_.window_days <=
+         horizon_) {
+    ++num_windows;
+  }
+
+  windows_.reserve(num_windows);
+  double prev_end = 0.0;
+  for (std::size_t w = 0; w < num_windows; ++w) {
+    CollectionWindow win;
+    win.index = w;
+    win.t_begin = static_cast<double>(w) * cfg_.stride_days;
+    win.t_end = win.t_begin + cfg_.window_days;
+    for (const std::size_t r : order) {
+      const double t = times[r];
+      if (t < win.t_begin || t >= win.t_end) continue;
+      win.rows.push_back(r);
+      // The delta is everything that arrived after the previous window
+      // closed — a suffix of the time-sorted row list.
+      if (w == 0 || t >= prev_end) win.delta_rows.push_back(r);
+    }
+    prev_end = win.t_end;
+    windows_.push_back(std::move(win));
+  }
+}
+
+tabular::Table WindowStream::materialize(
+    std::span<const std::size_t> rows) const {
+  return source_->select_rows(rows);
+}
+
+}  // namespace surro::stream

@@ -1,0 +1,80 @@
+#pragma once
+// Streaming collection windows — the paper's setting is a *continuously
+// growing* data collection, but the batch experiment pipeline treats one
+// collection window as a static table. WindowStream models the stream: it
+// slides (stride < window) or tumbles (stride == window) a fixed-length
+// window over a temporal table's creation-time column and, for every
+// window, exposes both the full row set and the *delta* — the rows that
+// arrived since the previous window closed. The delta is what an
+// incremental model refresh (TabularGenerator::warm_fit) consumes; the
+// full window is what a cold refit consumes, which is exactly the
+// cost asymmetry the stream evaluation measures.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tabular/table.hpp"
+
+namespace surro::stream {
+
+struct WindowConfig {
+  /// Window length in days (must be > 0).
+  double window_days = 7.0;
+  /// Forward step between consecutive windows in days (must be > 0).
+  /// stride == window tumbles; stride < window slides with overlap.
+  double stride_days = 7.0;
+  /// Name of the numerical column holding event times in days.
+  std::string time_column = "creationtime";
+};
+
+/// One position of the window over the stream. Row index lists refer to the
+/// source table and are sorted by (time, row index), so `delta_rows` is
+/// always a suffix of `rows`.
+struct CollectionWindow {
+  std::size_t index = 0;
+  double t_begin = 0.0;  // window covers [t_begin, t_end)
+  double t_end = 0.0;
+  std::vector<std::size_t> rows;        // all source rows in the window
+  std::vector<std::size_t> delta_rows;  // rows that arrived after the
+                                        // previous window closed (first
+                                        // window: every row)
+};
+
+/// Precomputed window positions over one temporal table. The source table
+/// must outlive the stream.
+class WindowStream {
+ public:
+  /// Throws std::invalid_argument for non-positive window/stride and
+  /// std::out_of_range when the time column is missing.
+  WindowStream(const tabular::Table& source, WindowConfig cfg);
+
+  [[nodiscard]] std::size_t num_windows() const noexcept {
+    return windows_.size();
+  }
+  [[nodiscard]] const CollectionWindow& window(std::size_t i) const {
+    return windows_.at(i);
+  }
+  [[nodiscard]] const std::vector<CollectionWindow>& windows() const noexcept {
+    return windows_;
+  }
+
+  /// Horizon covered by the stream: the last event time (0 for an empty
+  /// source).
+  [[nodiscard]] double horizon_days() const noexcept { return horizon_; }
+  [[nodiscard]] const WindowConfig& config() const noexcept { return cfg_; }
+
+  /// Copy the given source rows into a standalone table (schema and
+  /// vocabularies preserved).
+  [[nodiscard]] tabular::Table materialize(
+      std::span<const std::size_t> rows) const;
+
+ private:
+  const tabular::Table* source_;
+  WindowConfig cfg_;
+  double horizon_ = 0.0;
+  std::vector<CollectionWindow> windows_;
+};
+
+}  // namespace surro::stream

@@ -5,6 +5,8 @@
 #include <numbers>
 #include <numeric>
 
+#include "util/serialize.hpp"
+
 namespace surro::util {
 
 std::uint64_t splitmix64(std::uint64_t& state) noexcept {
@@ -185,6 +187,23 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) noexcept {
   std::iota(idx.begin(), idx.end(), std::size_t{0});
   shuffle(idx);
   return idx;
+}
+
+void Rng::save(std::ostream& os) const {
+  io::write_tag(os, "XRNG");
+  for (const std::uint64_t word : s_) io::write_u64(os, word);
+  io::write_f64(os, cached_normal_);
+  io::write_u32(os, has_cached_normal_ ? 1 : 0);
+}
+
+void Rng::load(std::istream& is) {
+  io::expect_tag(is, "XRNG");
+  for (auto& word : s_) word = io::read_u64(is);
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    throw std::runtime_error("rng: all-zero xoshiro state");
+  }
+  cached_normal_ = io::read_f64(is);
+  has_cached_normal_ = io::read_u32(is) != 0;
 }
 
 std::vector<std::size_t> Rng::sample_without_replacement(

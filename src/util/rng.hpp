@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -75,6 +76,12 @@ class Rng {
 
   /// A random permutation of [0, n).
   [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n) noexcept;
+
+  /// Binary snapshot/restore of the full generator state (xoshiro words +
+  /// the Box–Muller cache), so checkpointed training resumes on the exact
+  /// same random stream (see TabularGenerator::warm_fit).
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 
   /// k distinct indices from [0, n) (k <= n), unordered.
   [[nodiscard]] std::vector<std::size_t> sample_without_replacement(

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Executes every `surro_cli` invocation shown in docs/CLI.md, in document
+# order, inside a scratch directory — the executable proof that documented
+# commands cannot rot. Registered as the `test_docs_examples` ctest.
+#
+# Usage: run_docs_examples.sh <path-to-surro_cli> <path-to-CLI.md>
+set -euo pipefail
+
+CLI="$(readlink -f "${1:?usage: run_docs_examples.sh <surro_cli> <CLI.md>}")"
+DOC="$(readlink -f "${2:?usage: run_docs_examples.sh <surro_cli> <CLI.md>}")"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+# Pull the command lines out of the ```sh fences, joining backslash
+# continuations; anything not starting with `surro_cli` is prose/output.
+awk '/^```sh$/{f=1;next} /^```$/{f=0} f' "$DOC" |
+  awk '
+    BEGIN { cmd = "" }
+    {
+      line = $0
+      if (cmd != "") { sub(/^[[:space:]]+/, "", line); cmd = cmd " " line }
+      else if (line ~ /^surro_cli /) { cmd = line }
+      else { next }
+      if (cmd ~ /\\$/) { sub(/[[:space:]]*\\$/, "", cmd); next }
+      print cmd
+      cmd = ""
+    }
+  ' > commands.txt
+
+if ! [ -s commands.txt ]; then
+  echo "error: no surro_cli examples found in $DOC" >&2
+  exit 1
+fi
+
+n=0
+while IFS= read -r cmd; do
+  n=$((n + 1))
+  echo "== [$n] $cmd"
+  eval "${cmd/#surro_cli/\"$CLI\"}"
+done < commands.txt
+
+echo "ok: $n documented commands ran clean"

@@ -13,6 +13,9 @@
 //   surro_cli simulate     --data jobs.csv --policy hybrid
 //   surro_cli matrix       --axes "days=10,21;anomaly=0,0.05;rows=1000"
 //                          --json-out matrix.json --threads 4 --epochs 12
+//   surro_cli stream       --axes "stride=1,7;drift=none,mean_shift;
+//                          refresh=cold,warm;models=smote,tvae"
+//                          --window 7 --json-out stream.json
 //
 // Tables are CSV files with the paper's 9-column schema (see
 // panda::job_table_schema). Models are addressed by registry key; `models`
@@ -22,7 +25,10 @@
 // count. `matrix` expands the --axes grid into scenarios (collection-window
 // days × anomaly fraction × synthetic-row scale × model set), evaluates
 // every scenario × model cell with concurrent scoring, and writes the JSON
-// artifact CI archives.
+// artifact CI archives. `stream` does the same for the streaming workload:
+// its axes are window stride, drift family, and refresh regime (cold refit
+// vs warm delta refresh), and its JSON carries per-window fidelity decay
+// curves plus refresh timings. See docs/CLI.md for the full reference.
 
 #include <cstdio>
 #include <cstring>
@@ -33,6 +39,7 @@
 
 #include "core/surro.hpp"
 #include "eval/scenario.hpp"
+#include "stream/stream_eval.hpp"
 #include "util/logging.hpp"
 #include "util/stringx.hpp"
 
@@ -110,7 +117,12 @@ int usage() {
       "  matrix       --axes \"days=D1,D2;anomaly=F1,F2;rows=N1,N2;"
       "models=K1,K2\"\n"
       "               --json-out FILE --threads T --epochs E --seed S\n"
-      "               [--serial-score] [--verbose]\n",
+      "               [--serial-score] [--verbose]\n"
+      "  stream       --axes \"stride=S1,S2;drift=none,mean_shift;"
+      "refresh=cold,warm;models=K1,K2\"\n"
+      "               --window W --days D --rows N --intensity I\n"
+      "               --json-out FILE --threads T --epochs E --seed S\n"
+      "               [--score-dcr] [--serial-score] [--verbose]\n",
       keys.c_str(), keys.c_str());
   return 2;
 }
@@ -335,6 +347,88 @@ int cmd_matrix(const Args& args) {
   return 0;
 }
 
+/// Parse the stream --axes grid: ';'-separated axes, each "name=v1,v2,...".
+/// Axis names: stride (days between windows), drift (scenario family),
+/// refresh (cold|warm), models (registry keys).
+stream::StreamAxes parse_stream_axes(const std::string& spec) {
+  stream::StreamAxes axes;
+  if (spec.empty()) return axes;
+  for (const auto axis : util::split(spec, ';')) {
+    const auto trimmed = util::trim(axis);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("bad axis '" + std::string(trimmed) +
+                                  "' (want name=v1,v2,...)");
+    }
+    const auto name = util::trim(trimmed.substr(0, eq));
+    for (const auto raw : util::split(trimmed.substr(eq + 1), ',')) {
+      const auto value = util::trim(raw);
+      if (value.empty()) continue;
+      if (name == "stride") {
+        double num = 0.0;
+        if (!util::parse_double(value, num) || !(num > 0.0)) {
+          throw std::invalid_argument("bad value '" + std::string(value) +
+                                      "' for axis 'stride'");
+        }
+        axes.stride_days.push_back(num);
+      } else if (name == "drift") {
+        axes.drifts.push_back(stream::parse_drift_kind(value));
+      } else if (name == "refresh") {
+        axes.refresh.push_back(stream::parse_refresh_mode(value));
+      } else if (name == "models") {
+        axes.model_keys.emplace_back(value);
+      } else {
+        throw std::invalid_argument(
+            "unknown axis '" + std::string(name) +
+            "' (have: stride, drift, refresh, models)");
+      }
+    }
+  }
+  return axes;
+}
+
+int cmd_stream(const Args& args) {
+  // Base operating point: the quick experiment profile, with the stream's
+  // load-bearing knobs overridable from the command line.
+  auto cfg = eval::quick_experiment_config();
+  cfg.budget.epochs = static_cast<std::size_t>(
+      args.num("epochs", static_cast<double>(cfg.budget.epochs)));
+  cfg.data.model.days = args.num("days", cfg.data.model.days);
+  cfg.seed = static_cast<std::uint64_t>(args.num("seed", 42.0));
+  const auto threads = static_cast<std::size_t>(args.num("threads", 0.0));
+  cfg.sample_threads = threads;
+  cfg.metric_threads = threads;
+  cfg.verbose = args.flag("verbose");
+
+  stream::StreamOptions opts;
+  opts.window_days = args.num("window", 7.0);
+  opts.drift_intensity = args.num("intensity", opts.drift_intensity);
+  opts.synth_rows = static_cast<std::size_t>(args.num("rows", 1000.0));
+  opts.score_dcr = args.flag("score-dcr");
+  opts.concurrent_scoring = !args.flag("serial-score");
+  opts.verbose = cfg.verbose;
+
+  const auto axes = parse_stream_axes(args.get("axes"));
+  for (const auto& key : axes.model_keys) (void)model_info_or_throw(key);
+
+  const auto result = stream::run_stream_matrix(cfg, axes, opts);
+  std::printf("stream: %zu scenarios x %zu models over %zu source rows\n",
+              result.runs.size(), result.model_keys.size(),
+              result.source_rows);
+  std::printf("%s", stream::render_stream(result).c_str());
+  std::printf("total wall-clock: %.1fs\n", result.wall_seconds);
+
+  const std::string out = args.get("json-out", "stream_results.json");
+  std::ofstream file(out, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("cannot write " + out);
+  }
+  file << stream::stream_to_json(cfg, opts, result) << '\n';
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
 int cmd_simulate(const Args& args) {
   const auto table = tabular::read_csv(panda::job_table_schema(),
                                        args.get("data", "jobs.csv"));
@@ -384,6 +478,7 @@ int main(int argc, char** argv) {
     if (cmd == "evaluate") return cmd_evaluate(args);
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "matrix") return cmd_matrix(args);
+    if (cmd == "stream") return cmd_stream(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
