@@ -14,8 +14,12 @@
 //   surro::metrics  — WD, JSD, diff-CORR, DCR, MLEF
 //   surro::eval     — end-to-end experiment + figure builders
 //   surro::sched    — event-driven multi-site scheduler simulator
+//   surro::serve    — the serving layer: ModelHost (string-keyed LRU cache
+//                     over fitted-model archives), SampleService (batched
+//                     async SampleJobs with qps/latency/cache stats), and
+//                     request-script replay
 //   surro::core     — SurrogatePipeline high-level façade (this header's
-//                     namespace) and version info
+//                     namespace, a thin client of serve::) and version info
 
 #include "core/pipeline.hpp"
 #include "core/version.hpp"
@@ -37,6 +41,9 @@
 #include "preprocess/mixed_encoder.hpp"
 #include "sched/policies.hpp"
 #include "sched/simulator.hpp"
+#include "serve/model_host.hpp"
+#include "serve/replay.hpp"
+#include "serve/sample_service.hpp"
 #include "tabular/split.hpp"
 #include "tabular/stats.hpp"
 #include "tabular/table_io.hpp"

@@ -1,0 +1,217 @@
+#include "serve/model_host.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace surro::serve {
+
+ModelHost::ModelHost(HostConfig cfg) : cfg_(cfg) {
+  if (cfg_.capacity == 0) {
+    throw std::invalid_argument("model host: capacity must be positive");
+  }
+}
+
+void ModelHost::register_archive(std::string key, std::string path) {
+  if (key.empty()) throw std::invalid_argument("model host: empty key");
+  if (path.empty()) {
+    throw std::invalid_argument("model host: empty archive path");
+  }
+  const std::lock_guard lock(mutex_);
+  Entry entry;
+  entry.archive_path = std::move(path);
+  const auto [it, inserted] = entries_.emplace(std::move(key),
+                                               std::move(entry));
+  if (!inserted) {
+    throw std::invalid_argument("model host: duplicate key '" + it->first +
+                                "'");
+  }
+}
+
+void ModelHost::register_fitted(
+    std::string key, std::shared_ptr<models::TabularGenerator> model,
+    bool pin) {
+  if (key.empty()) throw std::invalid_argument("model host: empty key");
+  if (model == nullptr || !model->fitted()) {
+    throw std::invalid_argument("model host: register_fitted needs a fitted "
+                                "model");
+  }
+  const std::lock_guard lock(mutex_);
+  Entry entry;
+  entry.model = std::move(model);
+  entry.pinned = pin;
+  entry.ever_loaded = true;
+  entry.last_use = ++clock_;
+  const auto [it, inserted] = entries_.emplace(std::move(key),
+                                               std::move(entry));
+  if (!inserted) {
+    throw std::invalid_argument("model host: duplicate key '" + it->first +
+                                "'");
+  }
+  enforce_capacity_locked(&it->second);
+}
+
+void ModelHost::unregister(const std::string& key) {
+  const std::lock_guard lock(mutex_);
+  entries_.erase(key);
+}
+
+std::shared_ptr<models::TabularGenerator> ModelHost::acquire(
+    const std::string& key) {
+  std::unique_lock lock(mutex_);
+  bool counted_miss = false;  // one hit OR one miss per acquire, even when
+                              // the call retries around a concurrent load
+  for (;;) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      throw std::invalid_argument("model host: unknown key '" + key + "'");
+    }
+    Entry& entry = it->second;
+    if (entry.model != nullptr) {
+      if (!counted_miss) ++tally_.hits;
+      entry.last_use = ++clock_;
+      return entry.model;
+    }
+    if (!counted_miss) {
+      ++tally_.misses;
+      counted_miss = true;
+    }
+    if (entry.archive_path.empty()) {
+      throw std::runtime_error("model host: '" + key +
+                               "' was evicted and has no archive to reload");
+    }
+    if (entry.loading) {
+      // Another thread is loading this archive; wait for it, then re-check
+      // (it may have failed, in which case this thread retries the load).
+      cv_load_.wait(lock, [&] {
+        const auto again = entries_.find(key);
+        return again == entries_.end() || !again->second.loading;
+      });
+      continue;
+    }
+    entry.loading = true;
+    const std::string path = entry.archive_path;
+    lock.unlock();
+
+    std::shared_ptr<models::TabularGenerator> loaded;
+    try {
+      loaded = models::load_model_file(path);
+    } catch (...) {
+      lock.lock();
+      if (const auto again = entries_.find(key); again != entries_.end()) {
+        again->second.loading = false;
+      }
+      cv_load_.notify_all();
+      throw;
+    }
+
+    lock.lock();
+    const auto again = entries_.find(key);
+    if (again == entries_.end()) {
+      // Unregistered mid-load; hand the caller its private copy anyway.
+      cv_load_.notify_all();
+      return loaded;
+    }
+    Entry& target = again->second;
+    target.loading = false;
+    target.model = std::move(loaded);
+    target.ever_loaded = true;
+    target.last_use = ++clock_;
+    ++tally_.loads;
+    enforce_capacity_locked(&target);
+    cv_load_.notify_all();
+    return target.model;
+  }
+}
+
+void ModelHost::pin(const std::string& key) {
+  // The lease keeps the model alive across the unlocked window between
+  // acquire() and re-locking; if a concurrent load evicted the (still
+  // unpinned) entry in that window, restore residency from the lease so
+  // pin() honours its "resident and exempt" contract.
+  auto lease = acquire(key);  // counts as a touch
+  const std::lock_guard lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;  // unregistered mid-pin
+  it->second.pinned = true;
+  if (it->second.model == nullptr) it->second.model = std::move(lease);
+}
+
+void ModelHost::unpin(const std::string& key) {
+  const std::lock_guard lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("model host: unknown key '" + key + "'");
+  }
+  it->second.pinned = false;
+}
+
+void ModelHost::evict_idle() {
+  const std::lock_guard lock(mutex_);
+  for (auto& [key, entry] : entries_) {
+    if (entry.model != nullptr && !entry.pinned && !entry.loading) {
+      entry.model.reset();
+      ++tally_.evictions;
+    }
+  }
+}
+
+bool ModelHost::contains(const std::string& key) const {
+  const std::lock_guard lock(mutex_);
+  return entries_.contains(key);
+}
+
+bool ModelHost::resident(const std::string& key) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = entries_.find(key);
+  return it != entries_.end() && it->second.model != nullptr;
+}
+
+std::vector<std::string> ModelHost::keys() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, _] : entries_) out.push_back(key);
+  return out;  // std::map iterates in sorted order
+}
+
+HostStats ModelHost::stats() const {
+  const std::lock_guard lock(mutex_);
+  HostStats s = tally_;
+  s.registered = entries_.size();
+  s.capacity = cfg_.capacity;
+  s.resident = resident_count_locked();
+  for (const auto& [_, entry] : entries_) {
+    if (entry.model != nullptr && entry.pinned) ++s.pinned;
+  }
+  return s;
+}
+
+std::size_t ModelHost::resident_count_locked() const {
+  std::size_t n = 0;
+  for (const auto& [_, entry] : entries_) {
+    if (entry.model != nullptr) ++n;
+  }
+  return n;
+}
+
+void ModelHost::enforce_capacity_locked(const Entry* keep) {
+  while (resident_count_locked() > cfg_.capacity) {
+    Entry* victim = nullptr;
+    for (auto& [_, entry] : entries_) {
+      if (entry.model == nullptr || entry.pinned || entry.loading ||
+          &entry == keep) {
+        continue;
+      }
+      if (victim == nullptr || entry.last_use < victim->last_use) {
+        victim = &entry;
+      }
+    }
+    // Everything evictable is pinned/loading: run over capacity rather
+    // than fail the request that brought us here.
+    if (victim == nullptr) return;
+    victim->model.reset();
+    ++tally_.evictions;
+  }
+}
+
+}  // namespace surro::serve

@@ -1,0 +1,353 @@
+#include "serve/sample_service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace surro::serve {
+
+namespace {
+
+/// Nearest-rank percentile of an already-sorted sample; +inf on an empty
+/// window (no completed job yet — degrades to null in JSON artifacts).
+double percentile_ms(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return INFINITY;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace
+
+SampleService::SampleService(ModelHost& host, ServiceConfig cfg)
+    : host_(host), cfg_(cfg) {
+  if (cfg_.chunk_rows == 0) {
+    throw std::invalid_argument("sample service: chunk_rows must be positive");
+  }
+  if (cfg_.max_batch == 0) cfg_.max_batch = 1;
+  if (cfg_.latency_window == 0) cfg_.latency_window = 1;
+  latency_ms_.reserve(std::min<std::size_t>(cfg_.latency_window, 4096));
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+SampleService::~SampleService() {
+  {
+    const std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::future<SampleResult> SampleService::submit(SampleJob job) {
+  Pending pending;
+  pending.job = std::move(job);
+  std::future<SampleResult> future = pending.promise.get_future();
+  {
+    const std::lock_guard lock(mutex_);
+    if (stop_) {
+      throw std::logic_error("sample service: submit after shutdown");
+    }
+    pending.seq = seq_++;
+    pending.submitted_at = clock_.seconds();
+    ++submitted_;
+    queue_.push_back(std::move(pending));
+  }
+  cv_work_.notify_one();
+  return future;
+}
+
+tabular::Table SampleService::sample(SampleJob job) {
+  return submit(std::move(job)).get().table;
+}
+
+void SampleService::drain() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void SampleService::pause() {
+  const std::lock_guard lock(mutex_);
+  paused_ = true;
+}
+
+void SampleService::resume() {
+  {
+    const std::lock_guard lock(mutex_);
+    paused_ = false;
+  }
+  cv_work_.notify_all();
+}
+
+void SampleService::dispatcher_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock lock(mutex_);
+      // stop_ overrides paused_: shutdown drains whatever is queued.
+      cv_work_.wait(lock, [this] {
+        return stop_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      batch = pop_batch_locked();
+      in_flight_ += batch.size();
+      ++batches_;
+      batched_jobs_ += batch.size();
+    }
+    run_batch(std::move(batch));
+    cv_idle_.notify_all();
+  }
+}
+
+std::vector<SampleService::Pending> SampleService::pop_batch_locked() {
+  // Dispatch order: priority descending, then submission order. The head
+  // job picks the batch's model; compatible queued jobs (same model key)
+  // ride along, again in priority/submission order, up to max_batch.
+  const auto before = [](const Pending& a, const Pending& b) {
+    if (a.job.priority != b.job.priority) {
+      return a.job.priority > b.job.priority;
+    }
+    return a.seq < b.seq;
+  };
+  std::size_t head = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    if (before(queue_[i], queue_[head])) head = i;
+  }
+  const std::string key = queue_[head].job.model_key;
+
+  std::vector<std::size_t> picked;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].job.model_key == key) picked.push_back(i);
+  }
+  std::sort(picked.begin(), picked.end(), [&](std::size_t a, std::size_t b) {
+    return before(queue_[a], queue_[b]);
+  });
+  if (picked.size() > cfg_.max_batch) picked.resize(cfg_.max_batch);
+
+  std::vector<Pending> batch;
+  batch.reserve(picked.size());
+  for (const std::size_t i : picked) {
+    batch.push_back(std::move(queue_[i]));
+  }
+  std::sort(picked.begin(), picked.end());
+  for (auto it = picked.rbegin(); it != picked.rend(); ++it) {
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+  return batch;
+}
+
+void SampleService::record_done_locked(const BatchItem& item, bool ok) {
+  if (ok) {
+    ++completed_;
+    rows_emitted_ += item.pending.job.rows;
+    const double ms =
+        (clock_.seconds() - item.pending.submitted_at) * 1e3;
+    if (latency_ms_.size() < cfg_.latency_window) {
+      latency_ms_.push_back(ms);
+    } else {
+      latency_ms_[latency_next_] = ms;
+      latency_next_ = (latency_next_ + 1) % cfg_.latency_window;
+    }
+  } else {
+    ++failed_;
+  }
+  --in_flight_;
+}
+
+void SampleService::run_batch(std::vector<Pending> batch) {
+  const double dispatched_at = clock_.seconds();
+  const std::uint64_t batch_index = batches_;  // written by dispatcher only
+  // Copied, not referenced: the Pendings are moved into BatchItems below.
+  const std::string key = batch.front().job.model_key;
+
+  std::vector<BatchItem> items;
+  items.reserve(batch.size());
+  for (auto& pending : batch) {
+    BatchItem item;
+    item.chunk_rows = pending.job.chunk_rows == 0 ? cfg_.chunk_rows
+                                                  : pending.job.chunk_rows;
+    item.pending = std::move(pending);
+    items.push_back(std::move(item));
+  }
+
+  const auto fail_all = [&](std::exception_ptr error) {
+    {
+      const std::lock_guard lock(mutex_);
+      for (auto& item : items) record_done_locked(item, /*ok=*/false);
+    }
+    for (auto& item : items) item.pending.promise.set_exception(error);
+  };
+
+  bool was_resident = false;
+  std::shared_ptr<models::TabularGenerator> model;
+  try {
+    // Chunk-slot allocation happens inside the guarded region: an absurd
+    // rows value must fail this batch's futures, not the dispatcher.
+    for (auto& item : items) {
+      item.chunks.resize((item.pending.job.rows + item.chunk_rows - 1) /
+                         item.chunk_rows);
+    }
+    was_resident = host_.resident(key);
+    model = host_.acquire(key);
+
+    // One flat chunk list across the whole batch: worker w owns chunks
+    // w, w+T, w+2T, ... of the *batch*, so coalesced jobs share one set of
+    // per-worker replicas instead of paying a clone per job. Chunk seeds
+    // stay per-job (derive_chunk_seed(job.seed, chunk-within-job)), which
+    // keeps every job's bytes independent of how it was batched.
+    struct ChunkRef {
+      std::size_t item;
+      std::size_t chunk;
+      std::size_t rows;
+      std::uint64_t seed;
+    };
+    std::vector<ChunkRef> refs;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const auto& job = items[i].pending.job;
+      for (std::size_t c = 0; c < items[i].chunks.size(); ++c) {
+        const std::size_t lo = c * items[i].chunk_rows;
+        refs.push_back({i, c, std::min(items[i].chunk_rows, job.rows - lo),
+                        models::derive_chunk_seed(job.seed, c)});
+      }
+    }
+
+    auto& pool = util::ThreadPool::global();
+    std::size_t threads = 0;  // 0 = whole pool until resolved below
+    for (const auto& item : items) {
+      const std::size_t want = item.pending.job.threads != 0
+                                   ? item.pending.job.threads
+                                   : cfg_.sample_threads;
+      if (want == 0) {
+        threads = pool.size();
+        break;
+      }
+      threads = std::max(threads, want);
+    }
+    if (threads == 0) threads = pool.size();
+    threads = std::min(threads, std::max<std::size_t>(refs.size(), 1));
+
+    std::mutex progress_mutex;
+    const auto run_chunk = [&](models::TabularGenerator& sampler,
+                               const ChunkRef& ref) {
+      BatchItem& item = items[ref.item];
+      item.chunks[ref.chunk] = sampler.sample_chunk(ref.rows, ref.seed);
+      if (item.pending.job.on_progress) {
+        const std::lock_guard lock(progress_mutex);
+        item.rows_done += ref.rows;
+        item.pending.job.on_progress(item.rows_done, item.pending.job.rows);
+      }
+    };
+
+    if (threads <= 1) {
+      for (const auto& ref : refs) run_chunk(*model, ref);
+    } else {
+      const bool share = model->concurrent_sampling();
+      util::TaskGroup group;
+      for (std::size_t w = 0; w < threads; ++w) {
+        pool.submit(group, [&, w, share] {
+          std::unique_ptr<models::TabularGenerator> replica;
+          if (!share) replica = model->clone();
+          models::TabularGenerator& sampler = share ? *model : *replica;
+          for (std::size_t r = w; r < refs.size(); r += threads) {
+            run_chunk(sampler, refs[r]);
+          }
+        });
+      }
+      pool.wait(group);
+    }
+  } catch (...) {
+    fail_all(std::current_exception());
+    return;
+  }
+
+  for (auto& item : items) {
+    try {
+      SampleResult result;
+      for (auto& chunk : item.chunks) {
+        if (result.table.num_columns() == 0) {
+          result.table = std::move(chunk);
+        } else {
+          result.table.append_table(chunk);
+        }
+      }
+      result.model_key = key;
+      result.queue_seconds = dispatched_at - item.pending.submitted_at;
+      result.batch_jobs = items.size();
+      result.batch_index = batch_index;
+      result.cache_hit = was_resident;
+      {
+        const std::lock_guard lock(mutex_);
+        record_done_locked(item, /*ok=*/true);
+      }
+      result.total_seconds = clock_.seconds() - item.pending.submitted_at;
+      result.sample_seconds = result.total_seconds - result.queue_seconds;
+      item.pending.promise.set_value(std::move(result));
+    } catch (...) {
+      // Assembly failure (e.g. allocation) fails this job's future; it
+      // must never escape into the dispatcher thread.
+      {
+        const std::lock_guard lock(mutex_);
+        record_done_locked(item, /*ok=*/false);
+      }
+      item.pending.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+ServiceStats SampleService::stats() const {
+  ServiceStats s;
+  std::vector<double> window;
+  {
+    const std::lock_guard lock(mutex_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.queue_depth = queue_.size() + in_flight_;
+    s.batches = batches_;
+    s.mean_batch_jobs =
+        batches_ == 0 ? 0.0
+                      : static_cast<double>(batched_jobs_) /
+                            static_cast<double>(batches_);
+    s.uptime_seconds = clock_.seconds();
+    s.rows_per_sec = s.uptime_seconds > 0.0
+                         ? static_cast<double>(rows_emitted_) /
+                               s.uptime_seconds
+                         : 0.0;
+    s.qps = s.uptime_seconds > 0.0
+                ? static_cast<double>(completed_) / s.uptime_seconds
+                : 0.0;
+    window = latency_ms_;
+  }
+  std::sort(window.begin(), window.end());
+  s.p50_latency_ms = percentile_ms(window, 0.50);
+  s.p95_latency_ms = percentile_ms(window, 0.95);
+  s.host = host_.stats();
+  s.pool = util::ThreadPool::global().counters();
+  return s;
+}
+
+// ---------------------------------------------------------- global stack --
+
+namespace {
+HostConfig pipeline_host_config() {
+  // Touch the global pool before the host/service members construct, so
+  // static destruction tears the service down while the pool still runs.
+  (void)util::ThreadPool::global();
+  HostConfig cfg;
+  cfg.capacity = 64;  // pipelines pin their models; generous headroom
+  return cfg;
+}
+}  // namespace
+
+ServingStack::ServingStack() : host(pipeline_host_config()), service(host) {}
+
+ServingStack& global_serving() {
+  static ServingStack stack;
+  return stack;
+}
+
+}  // namespace surro::serve

@@ -1,0 +1,190 @@
+#pragma once
+// SampleService: the asynchronous, batched consumption API of the serving
+// layer. Callers submit SampleJobs (model key, rows, seed, priority) and get
+// futures back; a dispatcher thread coalesces compatible jobs — same model
+// key — into batches, acquires the model once per batch from the ModelHost,
+// and fans every batch's chunks out over util::ThreadPool with per-worker
+// sampling replicas. ServiceStats reports qps, p50/p95 latency, rows/sec,
+// queue depth, batching effectiveness, and the host's cache hit rate.
+//
+// Determinism contract (inherited from TabularGenerator::sample_into and
+// preserved end to end): a job's output bytes depend only on
+// (model, rows, seed, chunk_rows). The chunk partition is computed per job
+// — chunk c draws from models::derive_chunk_seed(seed, c) — so batching,
+// client concurrency, worker count, priority order, and cache
+// eviction/reload cycles never change what a given job returns.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/model_host.hpp"
+#include "tabular/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace surro::serve {
+
+struct ServiceConfig {
+  /// Worker fan-out per batch (0 = every pool worker). Scheduling only:
+  /// output bytes are identical for any value.
+  std::size_t sample_threads = 0;
+  /// Default chunk grain for jobs that leave SampleJob::chunk_rows at 0.
+  /// Part of the determinism key — changing it changes the chunk partition.
+  std::size_t chunk_rows = 4096;
+  /// Maximum jobs coalesced into one batch.
+  std::size_t max_batch = 8;
+  /// Completed-job latencies retained for the percentile window.
+  std::size_t latency_window = 4096;
+};
+
+/// One sampling request. Higher `priority` dispatches first; ties dispatch
+/// in submission order.
+struct SampleJob {
+  std::string model_key;
+  std::size_t rows = 0;
+  std::uint64_t seed = 1234;
+  /// 0 = ServiceConfig::chunk_rows. Determines the chunk partition (and
+  /// therefore the output bytes), exactly like SampleRequest::chunk_rows.
+  std::size_t chunk_rows = 0;
+  /// 0 = ServiceConfig::sample_threads. Scheduling only. When jobs with
+  /// different values share a batch, the largest request wins.
+  std::size_t threads = 0;
+  int priority = 0;
+  /// Called after each completed chunk with (rows_done, rows_total) for
+  /// this job. Invoked under a lock from a worker thread — keep it cheap.
+  std::function<void(std::size_t, std::size_t)> on_progress;
+};
+
+/// What a fulfilled future carries back.
+struct SampleResult {
+  tabular::Table table;
+  std::string model_key;
+  double queue_seconds = 0.0;   ///< submit → batch dispatch
+  double sample_seconds = 0.0;  ///< batch dispatch → job assembled
+  double total_seconds = 0.0;   ///< submit → job assembled
+  std::size_t batch_jobs = 0;   ///< jobs coalesced into this job's batch
+  std::uint64_t batch_index = 0;  ///< dispatch sequence number of the batch
+  bool cache_hit = false;       ///< model was resident when dispatched
+};
+
+/// Rolled-up service health, cheap enough to poll every request.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;   ///< futures fulfilled with a table
+  std::uint64_t failed = 0;      ///< futures fulfilled with an exception
+  std::size_t queue_depth = 0;   ///< submitted jobs not yet finished
+  std::uint64_t batches = 0;     ///< batches dispatched
+  double mean_batch_jobs = 0.0;  ///< completed jobs per batch
+  double uptime_seconds = 0.0;
+  double qps = 0.0;              ///< completed / uptime
+  double rows_per_sec = 0.0;     ///< rows emitted / uptime
+  /// Percentiles over the latency window; +infinity when no job completed
+  /// yet (degrades to null in the JSON artifact).
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  HostStats host;                ///< cache hit rate & friends
+  util::PoolCounters pool;       ///< thread-pool load underneath the service
+};
+
+class SampleService {
+ public:
+  /// The host must outlive the service.
+  explicit SampleService(ModelHost& host, ServiceConfig cfg = {});
+  /// Drains already-queued jobs, then stops the dispatcher.
+  ~SampleService();
+
+  SampleService(const SampleService&) = delete;
+  SampleService& operator=(const SampleService&) = delete;
+
+  /// Enqueue a job. Execution errors (unknown model key, archive load
+  /// failure) surface on the future; submitting after shutdown throws
+  /// std::logic_error immediately. A rows == 0 job is valid and resolves
+  /// to an empty table (mirroring sample_into, which leaves its output
+  /// untouched).
+  [[nodiscard]] std::future<SampleResult> submit(SampleJob job);
+
+  /// Blocking convenience: submit + wait, returning just the table.
+  [[nodiscard]] tabular::Table sample(SampleJob job);
+
+  /// Block until every submitted job has been fulfilled.
+  void drain();
+
+  /// Hold/resume dispatching. While paused, submit() still queues; used to
+  /// stage a burst so batching and priority order are deterministic (tests,
+  /// replay warm-up).
+  void pause();
+  void resume();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] ModelHost& host() noexcept { return host_; }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Pending {
+    SampleJob job;
+    std::promise<SampleResult> promise;
+    std::uint64_t seq = 0;
+    double submitted_at = 0.0;  // seconds on the service clock
+  };
+  /// One job's slice of a dispatched batch.
+  struct BatchItem {
+    Pending pending;
+    std::size_t chunk_rows = 0;           // resolved grain
+    std::vector<tabular::Table> chunks;   // per-chunk outputs, in order
+    std::size_t rows_done = 0;            // progress accounting
+  };
+
+  void dispatcher_loop();
+  /// Pop the next batch (caller holds the lock): the highest-priority job
+  /// plus up to max_batch-1 more jobs with the same model key.
+  [[nodiscard]] std::vector<Pending> pop_batch_locked();
+  void run_batch(std::vector<Pending> batch);
+  void record_done_locked(const BatchItem& item, bool ok);
+
+  ModelHost& host_;
+  ServiceConfig cfg_;
+  util::Stopwatch clock_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_work_;  // dispatcher: job queued / stop
+  std::condition_variable cv_idle_;  // drain(): a job finished
+  std::deque<Pending> queue_;
+  std::size_t in_flight_ = 0;  // jobs popped but not yet fulfilled
+  bool paused_ = false;
+  bool stop_ = false;
+
+  // Tallies (guarded by mutex_).
+  std::uint64_t seq_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_jobs_ = 0;
+  std::uint64_t rows_emitted_ = 0;
+  std::vector<double> latency_ms_;  // ring buffer, cfg_.latency_window cap
+  std::size_t latency_next_ = 0;
+
+  std::thread dispatcher_;  // last member: starts after everything exists
+};
+
+/// The process-wide serving stack: one ModelHost + one SampleService over
+/// the global ThreadPool, shared by every core::SurrogatePipeline (which
+/// registers its fitted model here and samples through the service).
+/// Constructed lazily on first use; the global ThreadPool is constructed
+/// first so it outlives the service's dispatcher.
+struct ServingStack {
+  ServingStack();
+  ModelHost host;
+  SampleService service;
+};
+[[nodiscard]] ServingStack& global_serving();
+
+}  // namespace surro::serve

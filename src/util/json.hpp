@@ -1,10 +1,11 @@
 #pragma once
 // Minimal JSON emitter for machine-readable result artifacts (benchmark
-// trajectories, scenario-matrix scores) that CI archives and diffs. Writer
-// only — the repo never consumes JSON, it just hands it to tooling. The
-// interface is a flat token stream with nesting checks in the separator
-// logic; numbers are written with enough digits to round-trip exactly, and
-// non-finite doubles degrade to null (JSON has no NaN/Inf).
+// trajectories, scenario-matrix scores, serve_stats) that CI archives and
+// diffs. The reading counterpart is util/json_parse.hpp (added for serve
+// request scripts). The interface is a flat token stream with nesting
+// checks in the separator logic; numbers are written with enough digits to
+// round-trip exactly, and non-finite doubles (NaN and ±inf — e.g. latency
+// percentiles over an empty window) degrade to null (JSON has neither).
 
 #include <charconv>
 #include <cmath>

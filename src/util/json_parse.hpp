@@ -1,0 +1,57 @@
+#pragma once
+// Minimal JSON reader, the consuming counterpart of util/json.hpp. The
+// library stayed writer-only until the serving layer needed to replay
+// request scripts (`surro_cli serve --script requests.jsonl`), which makes
+// JSON an *input* format for the first time. The parser is a strict
+// recursive-descent reader over a DOM of JsonValue nodes — small documents
+// only (request scripts, test round-trips), so no streaming, no SIMD, and
+// every malformed input fails with std::runtime_error rather than a
+// best-effort guess.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace surro::util {
+
+/// One node of a parsed JSON document. Exactly one of the payload fields is
+/// meaningful, selected by `kind`; the accessors below throw on kind
+/// mismatches so consumers surface schema errors instead of reading zeros.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is_null() const noexcept { return kind == Kind::kNull; }
+
+  /// Object member lookup; throws std::runtime_error when absent or when
+  /// this value is not an object.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  /// True when this is an object that has `key`.
+  [[nodiscard]] bool has(const std::string& key) const noexcept;
+
+  /// Checked scalar reads (throw std::runtime_error on kind mismatch).
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] bool as_bool() const;
+
+  /// Object member with a fallback when the key is absent (the member, when
+  /// present, must still have the right kind).
+  [[nodiscard]] double number_or(const std::string& key,
+                                 double fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      const std::string& fallback) const;
+};
+
+/// Parse one complete JSON document; trailing non-whitespace is an error.
+/// Throws std::runtime_error with a character offset on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace surro::util

@@ -32,6 +32,7 @@ void ThreadPool::submit(std::function<void()> task) {
     const std::lock_guard lock(mutex_);
     tasks_.push(Task{std::move(task), nullptr});
     ++in_flight_;
+    ++submitted_total_;
   }
   cv_task_.notify_one();
 }
@@ -41,6 +42,7 @@ void ThreadPool::submit(TaskGroup& group, std::function<void()> task) {
     const std::lock_guard lock(mutex_);
     tasks_.push(Task{std::move(task), &group});
     ++in_flight_;
+    ++submitted_total_;
     ++group.pending_;
   }
   cv_task_.notify_one();
@@ -56,6 +58,7 @@ void ThreadPool::run_task(Task task) {
   {
     const std::lock_guard lock(mutex_);
     --in_flight_;
+    ++completed_total_;
     if (task.group != nullptr) {
       --task.group->pending_;
       if (error && !task.group->error_) task.group->error_ = error;
@@ -112,6 +115,18 @@ void ThreadPool::worker_loop() {
     }
     run_task(std::move(task));
   }
+}
+
+PoolCounters ThreadPool::counters() const {
+  const std::lock_guard lock(mutex_);
+  PoolCounters c;
+  c.workers = workers_.size();
+  c.queued = tasks_.size();
+  // in_flight_ counts queued + running; the difference is what executes now.
+  c.active = in_flight_ - tasks_.size();
+  c.submitted = submitted_total_;
+  c.completed = completed_total_;
+  return c;
 }
 
 ThreadPool& ThreadPool::global() {

@@ -13,6 +13,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -23,6 +24,18 @@
 namespace surro::util {
 
 class ThreadPool;
+
+/// Point-in-time snapshot of a pool's load, taken atomically under the pool
+/// mutex. `queued + active` is the classic "in flight" count; the monotonic
+/// totals let callers compute rates over an interval. Consumed by
+/// serve::ServiceStats and the bench harnesses.
+struct PoolCounters {
+  std::size_t workers = 0;        ///< worker thread count (constant)
+  std::size_t queued = 0;         ///< tasks waiting in the queue
+  std::size_t active = 0;         ///< tasks currently executing
+  std::uint64_t submitted = 0;    ///< total tasks ever submitted
+  std::uint64_t completed = 0;    ///< total tasks finished (ok or thrown)
+};
 
 /// Completion tracker for a batch of related tasks. Submit through
 /// ThreadPool::submit(group, task) and block in wait(); reusable for
@@ -70,6 +83,9 @@ class ThreadPool {
   /// ungrouped tasks are rethrown here (first one wins).
   void wait_idle();
 
+  /// Atomic snapshot of queue depth, running tasks, and lifetime totals.
+  [[nodiscard]] PoolCounters counters() const;
+
   /// The process-wide pool (lazily constructed, never destroyed before exit).
   static ThreadPool& global();
 
@@ -89,6 +105,8 @@ class ThreadPool {
   std::condition_variable cv_task_;  // workers: work available / stop
   std::condition_variable cv_done_;  // waiters: a task finished
   std::size_t in_flight_ = 0;
+  std::uint64_t submitted_total_ = 0;
+  std::uint64_t completed_total_ = 0;
   std::exception_ptr ungrouped_error_;  // first ungrouped-task failure
   bool stop_ = false;
 };

@@ -1,189 +1,23 @@
-// util::JsonWriter round-trip sanity: a minimal recursive-descent JSON
-// parser (test-only) re-reads everything the writer emits, so escaping,
-// separators, nesting, and number formatting are all checked end to end.
+// util::JsonWriter ⇄ util::parse_json round-trip sanity: the product JSON
+// reader (src/util/json_parse.hpp, added for serve request scripts)
+// re-reads everything the writer emits, so escaping, separators, nesting,
+// number formatting, and the non-finite→null degradation are all checked
+// end to end — against the parser the serving layer actually ships.
 
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cmath>
-#include <cstdlib>
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "metrics/report.hpp"
 #include "util/json.hpp"
+#include "util/json_parse.hpp"
 
 namespace surro::util {
 namespace {
 
-// ------------------------------------------------------- mini JSON parser --
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue& at(const std::string& key) const {
-    const auto it = object.find(key);
-    if (it == object.end()) throw std::runtime_error("missing key " + key);
-    return it->second;
-  }
-};
-
-class MiniParser {
- public:
-  explicit MiniParser(std::string_view text) : s_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != s_.size()) throw std::runtime_error("trailing garbage");
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
-                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-  char peek() {
-    skip_ws();
-    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end");
-    return s_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c) {
-      throw std::runtime_error(std::string("expected '") + c + "'");
-    }
-    ++pos_;
-  }
-  bool consume(char c) {
-    if (pos_ < s_.size() && peek() == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue value() {
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return string_value();
-    if (c == 't' || c == 'f') return boolean();
-    if (c == 'n') return null();
-    return number();
-  }
-
-  JsonValue object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    if (consume('}')) return v;
-    do {
-      JsonValue key = string_value();
-      expect(':');
-      v.object.emplace(std::move(key.string), value());
-    } while (consume(','));
-    expect('}');
-    return v;
-  }
-
-  JsonValue array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    if (consume(']')) return v;
-    do {
-      v.array.push_back(value());
-    } while (consume(','));
-    expect(']');
-    return v;
-  }
-
-  JsonValue string_value() {
-    expect('"');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kString;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      char c = s_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= s_.size()) throw std::runtime_error("bad escape");
-        const char e = s_[pos_++];
-        switch (e) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'b': c = '\b'; break;
-          case 'f': c = '\f'; break;
-          case 'n': c = '\n'; break;
-          case 'r': c = '\r'; break;
-          case 't': c = '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u");
-            const std::string hex(s_.substr(pos_, 4));
-            pos_ += 4;
-            c = static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
-            break;
-          }
-          default: throw std::runtime_error("unknown escape");
-        }
-      }
-      v.string += c;
-    }
-    expect('"');
-    return v;
-  }
-
-  JsonValue boolean() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kBool;
-    if (s_.substr(pos_, 4) == "true") {
-      v.boolean = true;
-      pos_ += 4;
-    } else if (s_.substr(pos_, 5) == "false") {
-      v.boolean = false;
-      pos_ += 5;
-    } else {
-      throw std::runtime_error("bad literal");
-    }
-    return v;
-  }
-
-  JsonValue null() {
-    if (s_.substr(pos_, 4) != "null") throw std::runtime_error("bad literal");
-    pos_ += 4;
-    return JsonValue{};
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
-            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) throw std::runtime_error("bad number");
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    v.number = std::stod(std::string(s_.substr(start, pos_ - start)));
-    return v;
-  }
-
-  std::string_view s_;
-  std::size_t pos_ = 0;
-};
-
-JsonValue parse(const std::string& text) { return MiniParser(text).parse(); }
+JsonValue parse(const std::string& text) { return parse_json(text); }
 
 // ------------------------------------------------------------------- tests --
 
@@ -202,6 +36,71 @@ TEST(JsonNumber, RoundTripsExactly) {
   }
   EXPECT_EQ(json_number(std::nan("")), "null");
   EXPECT_EQ(json_number(INFINITY), "null");
+  EXPECT_EQ(json_number(-INFINITY), "null");
+}
+
+TEST(JsonWriter, NonFiniteKvDegradesToNullAndRoundTrips) {
+  // Latency percentiles are legitimately ±inf on an empty window; the
+  // artifact must still be valid JSON with null in those slots.
+  JsonWriter w;
+  w.begin_object();
+  w.kv("p50", INFINITY);
+  w.kv("p95", -INFINITY);
+  w.kv("nan", std::nan(""));
+  w.kv("finite", 12.5);
+  w.end_object();
+  const auto doc = parse(w.str());
+  EXPECT_TRUE(doc.at("p50").is_null());
+  EXPECT_TRUE(doc.at("p95").is_null());
+  EXPECT_TRUE(doc.at("nan").is_null());
+  EXPECT_EQ(doc.at("finite").as_number(), 12.5);
+}
+
+TEST(JsonParse, ScalarsAndStructure) {
+  EXPECT_EQ(parse("42").as_number(), 42.0);
+  EXPECT_EQ(parse("-1.25e2").as_number(), -125.0);
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("\"a\\u0041b\"").as_string(), "aAb");
+  const auto doc = parse("  {\"k\": [1, {\"n\": null}]}  ");
+  ASSERT_EQ(doc.at("k").array.size(), 2u);
+  EXPECT_EQ(doc.at("k").array[0].as_number(), 1.0);
+  EXPECT_TRUE(doc.at("k").array[1].at("n").is_null());
+  EXPECT_TRUE(doc.has("k"));
+  EXPECT_FALSE(doc.has("missing"));
+  EXPECT_EQ(doc.number_or("absent", 7.0), 7.0);
+  EXPECT_EQ(doc.string_or("absent", "dflt"), "dflt");
+}
+
+TEST(JsonParse, UnicodeEscapesIncludingSurrogatePairs) {
+  EXPECT_EQ(parse("\"\\u00e9\"").as_string(), "\xC3\xA9");        // é
+  EXPECT_EQ(parse("\"\\u20ac\"").as_string(), "\xE2\x82\xAC");    // €
+  EXPECT_EQ(parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xF0\x9F\x98\x80");                                  // 😀
+  for (const char* bad : {"\"\\ud83d\"", "\"\\ud83d\\u0041\"",
+                          "\"\\udc00\"", "\"\\ud83dx\""}) {
+    EXPECT_THROW(static_cast<void>(parse(bad)), std::runtime_error) << bad;
+  }
+}
+
+TEST(JsonParse, MalformedInputThrows) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "nul", "tru", "1 2",
+        "{\"a\":1,}", "\"unterminated", "{1: 2}", "--3", "1e"}) {
+    EXPECT_THROW(static_cast<void>(parse(bad)), std::runtime_error) << bad;
+  }
+}
+
+TEST(JsonParse, KindMismatchThrows) {
+  const auto doc = parse("{\"s\": \"x\", \"n\": 3}");
+  EXPECT_THROW(static_cast<void>(doc.at("s").as_number()),
+               std::runtime_error);
+  EXPECT_THROW(static_cast<void>(doc.at("n").as_string()),
+               std::runtime_error);
+  EXPECT_THROW(static_cast<void>(doc.at("n").as_bool()), std::runtime_error);
+  EXPECT_THROW(static_cast<void>(doc.at("nope")), std::runtime_error);
+  EXPECT_THROW(static_cast<void>(parse("[1]").at("k")), std::runtime_error);
 }
 
 TEST(JsonWriter, NestedDocumentRoundTrips) {

@@ -149,6 +149,52 @@ TEST(Table, AppendTableMergesVocabularies) {
   EXPECT_EQ(a.cardinality(1), 4u);
 }
 
+TEST(Table, AppendTableRemapsDifferentlyOrderedVocabularies) {
+  // Same labels, interned in different orders: a = [red, green],
+  // b = [green, blue, red]. Appending must remap b's codes onto a's
+  // vocabulary so every row keeps its *label*, not its code.
+  const Schema schema({{"v", ColumnKind::kNumerical},
+                       {"color", ColumnKind::kCategorical}});
+  Table a(schema);
+  for (const char* label : {"red", "green", "red"}) {
+    auto row = a.make_row();
+    row.set(0, static_cast<double>(a.num_rows()));
+    row.set(1, std::string(label));
+    a.append_row(row);
+  }
+  Table b(schema);
+  for (const char* label : {"green", "blue", "red", "blue"}) {
+    auto row = b.make_row();
+    row.set(0, 100.0 + static_cast<double>(b.num_rows()));
+    row.set(1, std::string(label));
+    b.append_row(row);
+  }
+  // The two tables disagree on every shared code assignment.
+  EXPECT_EQ(a.code_of(1, "green"), 1);
+  EXPECT_EQ(b.code_of(1, "green"), 0);
+  EXPECT_EQ(a.code_of(1, "red"), 0);
+  EXPECT_EQ(b.code_of(1, "red"), 2);
+
+  a.append_table(b);
+  ASSERT_EQ(a.num_rows(), 7u);
+  const std::vector<std::string> expected = {"red",  "green", "red", "green",
+                                             "blue", "red",   "blue"};
+  for (std::size_t r = 0; r < expected.size(); ++r) {
+    EXPECT_EQ(a.label_at(1, r), expected[r]) << "row " << r;
+  }
+  // Merged vocabulary: a's order first, new labels appended.
+  EXPECT_EQ(a.vocabulary(1),
+            (std::vector<std::string>{"red", "green", "blue"}));
+  // Remapped codes stay dense and valid.
+  for (const std::int32_t code : a.categorical(1)) {
+    EXPECT_GE(code, 0);
+    EXPECT_LT(code, 3);
+  }
+  // b itself is untouched by the merge.
+  EXPECT_EQ(b.label_at(1, 0), "green");
+  EXPECT_EQ(b.cardinality(1), 3u);
+}
+
 TEST(Table, AppendTableSchemaMismatchThrows) {
   Table a = small_table();
   Table b{Schema({{"q", ColumnKind::kNumerical}})};

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -38,6 +39,57 @@ TEST(ThreadPool, ReusableAcrossBatches) {
     pool.wait_idle();
   }
   EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, CountersTrackQueueAndActiveTasks) {
+  ThreadPool pool(1);
+  const auto idle = pool.counters();
+  EXPECT_EQ(idle.workers, 1u);
+  EXPECT_EQ(idle.queued, 0u);
+  EXPECT_EQ(idle.active, 0u);
+  EXPECT_EQ(idle.submitted, 0u);
+  EXPECT_EQ(idle.completed, 0u);
+
+  // Gate the single worker on a blocker task, then stack three more: the
+  // snapshot must show exactly 1 active and 3 queued.
+  std::promise<void> release;
+  std::promise<void> started;
+  auto release_future = release.get_future().share();
+  pool.submit([&started, release_future] {
+    started.set_value();
+    release_future.wait();
+  });
+  started.get_future().wait();
+  for (int i = 0; i < 3; ++i) pool.submit([] {});
+
+  const auto busy = pool.counters();
+  EXPECT_EQ(busy.queued, 3u);
+  EXPECT_EQ(busy.active, 1u);
+  EXPECT_EQ(busy.submitted, 4u);
+
+  release.set_value();
+  pool.wait_idle();
+  const auto done = pool.counters();
+  EXPECT_EQ(done.queued, 0u);
+  EXPECT_EQ(done.active, 0u);
+  EXPECT_EQ(done.submitted, 4u);
+  EXPECT_EQ(done.completed, 4u);
+}
+
+TEST(ThreadPool, CountersIncludeGroupedAndThrowingTasks) {
+  ThreadPool pool(2);
+  TaskGroup group;
+  for (int i = 0; i < 4; ++i) {
+    pool.submit(group, [i] {
+      if (i == 2) throw std::runtime_error("boom");
+    });
+  }
+  EXPECT_THROW(pool.wait(group), std::runtime_error);
+  const auto c = pool.counters();
+  EXPECT_EQ(c.submitted, 4u);
+  EXPECT_EQ(c.completed, 4u);  // a thrown task still completes
+  EXPECT_EQ(c.queued, 0u);
+  EXPECT_EQ(c.active, 0u);
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {

@@ -16,6 +16,8 @@
 //   surro_cli stream       --axes "stride=1,7;drift=none,mean_shift;
 //                          refresh=cold,warm;models=smote,tvae"
 //                          --window 7 --json-out stream.json
+//   surro_cli serve        --models "smote=model.bin" --script reqs.jsonl
+//                          --clients 4 --capacity 2 --json-out serve.json
 //
 // Tables are CSV files with the paper's 9-column schema (see
 // panda::job_table_schema). Models are addressed by registry key; `models`
@@ -28,10 +30,16 @@
 // artifact CI archives. `stream` does the same for the streaming workload:
 // its axes are window stride, drift family, and refresh regime (cold refit
 // vs warm delta refresh), and its JSON carries per-window fidelity decay
-// curves plus refresh timings. See docs/CLI.md for the full reference.
+// curves plus refresh timings. `serve` stands up the serving layer — a
+// ModelHost LRU cache over saved archives plus the batching SampleService —
+// replays a request script against it from N concurrent clients, and
+// writes the serve_stats JSON artifact. See docs/CLI.md for the full
+// reference.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
@@ -122,7 +130,13 @@ int usage() {
       "refresh=cold,warm;models=K1,K2\"\n"
       "               --window W --days D --rows N --intensity I\n"
       "               --json-out FILE --threads T --epochs E --seed S\n"
-      "               [--score-dcr] [--serial-score] [--verbose]\n",
+      "               [--score-dcr] [--serial-score] [--verbose]\n"
+      "  serve        --models \"K1=FILE;K2=FILE\" | --models-dir DIR\n"
+      "               --script FILE.jsonl | --requests "
+      "\"model=K,rows=N,seed=S,repeat=R;...\"\n"
+      "               --clients C --rounds R --capacity N --threads T\n"
+      "               --chunk-rows C --max-batch B --json-out FILE"
+      " [--verbose]\n",
       keys.c_str(), keys.c_str());
   return 2;
 }
@@ -429,6 +443,119 @@ int cmd_stream(const Args& args) {
   return 0;
 }
 
+/// Register the serve model pool: --models "key=path;key=path" and/or
+/// --models-dir DIR (every *.bin file, keyed by its stem, sorted).
+void register_serve_models(serve::ModelHost& host, const Args& args) {
+  const std::string models_spec = args.get("models");  // split() keeps views
+  for (const auto raw : util::split(models_spec, ';')) {
+    const auto entry = util::trim(raw);
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("bad --models entry '" +
+                                  std::string(entry) +
+                                  "' (want key=archive.bin)");
+    }
+    host.register_archive(std::string(util::trim(entry.substr(0, eq))),
+                          std::string(util::trim(entry.substr(eq + 1))));
+  }
+  if (args.has("models-dir")) {
+    const std::filesystem::path dir = args.get("models-dir");
+    std::vector<std::filesystem::path> archives;
+    for (const auto& file : std::filesystem::directory_iterator(dir)) {
+      if (file.is_regular_file() && file.path().extension() == ".bin") {
+        archives.push_back(file.path());
+      }
+    }
+    std::sort(archives.begin(), archives.end());
+    for (const auto& path : archives) {
+      host.register_archive(path.stem().string(), path.string());
+    }
+  }
+  if (host.keys().empty()) {
+    throw std::invalid_argument(
+        "serve: no models registered (use --models or --models-dir)");
+  }
+}
+
+int cmd_serve(const Args& args) {
+  // Range-checked count flags: a negative double → size_t cast is UB, so
+  // reject bad input instead of wrapping (mirrors serve's script parser).
+  const auto count = [&args](const std::string& key, double fallback) {
+    const double v = args.num(key, fallback);
+    if (!(v >= 0.0) || v > 1e12) {
+      throw std::invalid_argument("serve: --" + key + " out of range");
+    }
+    return static_cast<std::size_t>(v);
+  };
+
+  serve::HostConfig host_cfg;
+  host_cfg.capacity = count("capacity", 4.0);
+  serve::ModelHost host(host_cfg);
+  register_serve_models(host, args);
+
+  serve::ServiceConfig svc_cfg;
+  svc_cfg.sample_threads = count("threads", 0.0);
+  svc_cfg.chunk_rows = count("chunk-rows", 4096.0);
+  svc_cfg.max_batch = count("max-batch", 8.0);
+  serve::SampleService service(host, svc_cfg);
+
+  serve::ReplayScript script;
+  if (args.has("script")) {
+    const std::string path = args.get("script");
+    std::ifstream file(path);
+    if (!file) throw std::runtime_error("cannot read " + path);
+    script = serve::parse_script_jsonl(file);
+  } else if (args.has("requests")) {
+    script = serve::parse_script_inline(args.get("requests"));
+  } else {
+    throw std::invalid_argument("serve: need --script or --requests");
+  }
+
+  serve::ReplayOptions opts;
+  opts.clients = count("clients", 1.0);
+  opts.rounds = count("rounds", 1.0);
+
+  const auto result = serve::run_replay(service, script, opts);
+  const auto& s = result.stats;
+  std::printf("serve: %llu jobs (%llu rows) from %zu clients over %zu "
+              "models, %.2fs wall\n",
+              static_cast<unsigned long long>(result.jobs),
+              static_cast<unsigned long long>(result.rows), opts.clients,
+              host.keys().size(), result.wall_seconds);
+  std::printf("  throughput      %.0f rows/s  (%.1f jobs/s)\n",
+              result.wall_seconds > 0.0
+                  ? static_cast<double>(result.rows) / result.wall_seconds
+                  : 0.0,
+              result.wall_seconds > 0.0
+                  ? static_cast<double>(result.jobs) / result.wall_seconds
+                  : 0.0);
+  std::printf("  latency         p50 %.2f ms, p95 %.2f ms\n",
+              s.p50_latency_ms, s.p95_latency_ms);
+  std::printf("  batching        %llu batches, %.2f jobs/batch\n",
+              static_cast<unsigned long long>(s.batches),
+              s.mean_batch_jobs);
+  std::printf("  cache           %.0f%% hit rate, %llu loads, %llu "
+              "evictions (capacity %zu)\n",
+              s.host.hit_rate() * 100.0,
+              static_cast<unsigned long long>(s.host.loads),
+              static_cast<unsigned long long>(s.host.evictions),
+              s.host.capacity);
+  std::printf("  output hash     %016llx\n",
+              static_cast<unsigned long long>(result.output_hash));
+  if (result.failures > 0) {
+    std::fprintf(stderr, "warning: %llu request(s) failed\n",
+                 static_cast<unsigned long long>(result.failures));
+  }
+
+  const std::string out = args.get("json-out", "serve_stats.json");
+  std::ofstream file(out, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot write " + out);
+  file << serve::serve_stats_to_json(service, opts, result) << '\n';
+  std::printf("wrote %s\n", out.c_str());
+  return result.failures == 0 ? 0 : 1;
+}
+
 int cmd_simulate(const Args& args) {
   const auto table = tabular::read_csv(panda::job_table_schema(),
                                        args.get("data", "jobs.csv"));
@@ -479,6 +606,7 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "matrix") return cmd_matrix(args);
     if (cmd == "stream") return cmd_stream(args);
+    if (cmd == "serve") return cmd_serve(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
