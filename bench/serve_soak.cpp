@@ -1,0 +1,159 @@
+// serve_soak — the overload soak bench: N Poisson-arrival clients sweep
+// offered load from half to 4x the service's calibrated capacity against a
+// bounded admission queue, across all registered models, and the harness
+// *asserts* the overload SLOs instead of just reporting them:
+//
+//   * queue depth stays bounded (max_queue_depth + one in-flight batch),
+//   * p95 of accepted jobs at the heaviest overload stays within 2x of the
+//     lightest-load p95 (reject policy: drops, not queueing, absorb load),
+//   * drain() after every point returns (no deadlock mid-overload),
+//   * every accepted job's bytes match the expected digest for its
+//     (model, rows, seed, chunk_rows) identity — rejections interleaved
+//     around a job never change what it returns.
+//
+//   ./serve_soak --quick --json-out serve_soak.json
+//
+// Two runs with the same seeds must agree on `expected_hash` (and both
+// report deterministic=true) — the cross-run half of the contract, checked
+// by the soak-smoke CI job.
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "eval/experiment.hpp"
+#include "serve/soak.hpp"
+
+namespace {
+
+using namespace surro;
+
+struct SoakScale {
+  std::vector<std::string> models;
+  std::size_t rows_per_job = 0;
+  std::size_t clients = 0;
+  std::size_t seed_streams = 0;
+  double duration_seconds = 0.0;
+  std::size_t max_queue_depth = 0;
+};
+
+SoakScale scale_for(bench::Profile profile) {
+  SoakScale s;
+  s.models = {"smote", "tvae", "ctabgan", "tabddpm"};
+  if (profile == bench::Profile::kQuick) {
+    s.rows_per_job = 500;
+    s.clients = 4;
+    s.seed_streams = 4;
+    s.duration_seconds = 2.0;
+    // A shallow queue keeps accepted-job waits (and therefore the p95
+    // ratio this harness asserts on) tight even when the workload mixes
+    // millisecond models with the diffusion one.
+    s.max_queue_depth = 2;
+  } else if (profile == bench::Profile::kMedium) {
+    s.rows_per_job = 4000;
+    s.clients = 8;
+    s.seed_streams = 8;
+    s.duration_seconds = 4.0;
+    s.max_queue_depth = 4;
+  } else {
+    s.rows_per_job = 10000;
+    s.clients = 16;
+    s.seed_streams = 8;
+    s.duration_seconds = 8.0;
+    s.max_queue_depth = 8;
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv, bench::Profile::kQuick);
+  auto cfg = bench::experiment_config(opts.profile);
+  const auto scale = scale_for(opts.profile);
+
+  std::printf("== serve_soak (%s profile) ==\n",
+              bench::profile_name(opts.profile));
+  const auto data = eval::prepare_data(cfg);
+  std::printf("training %zu models on %zu rows...\n", scale.models.size(),
+              data.train.num_rows());
+
+  const auto archive_dir =
+      std::filesystem::temp_directory_path() /
+      ("surro_soak_bench_" + std::to_string(cfg.seed));
+  std::filesystem::create_directories(archive_dir);
+  for (const auto& key : scale.models) {
+    auto model = models::make_generator(key, cfg.budget, cfg.seed);
+    model->fit(data.train);
+    models::save_model_file(*model, (archive_dir / (key + ".bin")).string());
+  }
+
+  serve::HostConfig host_cfg;
+  host_cfg.capacity = scale.models.size();
+  serve::ModelHost host(host_cfg);
+  for (const auto& key : scale.models) {
+    host.register_archive(key, (archive_dir / (key + ".bin")).string());
+  }
+
+  serve::SoakConfig soak;
+  soak.models = scale.models;
+  soak.load_multipliers = {0.5, 1.0, 2.0, 4.0};
+  soak.clients = scale.clients;
+  soak.rows_per_job = scale.rows_per_job;
+  soak.seed_streams = scale.seed_streams;
+  soak.duration_seconds = scale.duration_seconds;
+  soak.seed = cfg.seed;
+  soak.admission = serve::AdmissionPolicy::kReject;
+  soak.max_queue_depth = scale.max_queue_depth;
+  soak.verbose = true;
+
+  const auto result = serve::run_soak(host, soak);
+  std::filesystem::remove_all(archive_dir);
+
+  std::printf("capacity: %.1f jobs/s\n", result.capacity_jobs_per_sec);
+  std::printf("%s", serve::render_soak(result).c_str());
+
+  // ---- The overload SLO assertions.
+  bool ok = true;
+  if (!result.deterministic) {
+    std::printf("FAIL: an accepted job's bytes diverged from its expected "
+                "digest\n");
+    ok = false;
+  }
+  const std::size_t depth_bound = soak.max_queue_depth + soak.max_batch;
+  for (const auto& point : result.points) {
+    if (point.max_queue_depth_seen > depth_bound) {
+      std::printf("FAIL: %.2fx queue depth %zu exceeded bound %zu\n",
+                  point.multiplier, point.max_queue_depth_seen, depth_bound);
+      ok = false;
+    }
+    if (point.failed != 0) {
+      std::printf("FAIL: %.2fx had %llu execution failures\n",
+                  point.multiplier,
+                  static_cast<unsigned long long>(point.failed));
+      ok = false;
+    }
+  }
+  const double ratio = result.p95_ratio_vs_low_load;
+  if (!std::isfinite(ratio)) {
+    // A NaN ratio means an end of the sweep accepted nothing — the SLO
+    // was not *verified*, which for an assertion harness is a failure,
+    // not a pass.
+    std::printf("FAIL: p95 ratio is undefined (a sweep endpoint accepted "
+                "no jobs)\n");
+    ok = false;
+  } else if (ratio > 2.0) {
+    std::printf("FAIL: p95 at max overload is %.2fx the low-load p95 "
+                "(> 2.0x)\n", ratio);
+    ok = false;
+  }
+
+  if (!opts.json_out.empty()) {
+    bench::write_text_file(opts.json_out,
+                           serve::soak_to_json(soak, result) + "\n");
+  }
+  return ok ? 0 : 1;
+}

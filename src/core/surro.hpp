@@ -16,8 +16,10 @@
 //   surro::sched    — event-driven multi-site scheduler simulator
 //   surro::serve    — the serving layer: ModelHost (string-keyed LRU cache
 //                     over fitted-model archives), SampleService (batched
-//                     async SampleJobs with qps/latency/cache stats), and
-//                     request-script replay
+//                     async SampleJobs behind a bounded admission queue
+//                     with block/reject/shed policies, per-job deadlines,
+//                     and cooperative cancellation), request-script
+//                     replay, and the overload soak harness
 //   surro::core     — SurrogatePipeline high-level façade (this header's
 //                     namespace, a thin client of serve::) and version info
 
@@ -44,6 +46,7 @@
 #include "serve/model_host.hpp"
 #include "serve/replay.hpp"
 #include "serve/sample_service.hpp"
+#include "serve/soak.hpp"
 #include "tabular/split.hpp"
 #include "tabular/stats.hpp"
 #include "tabular/table_io.hpp"

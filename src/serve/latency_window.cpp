@@ -1,0 +1,37 @@
+#include "serve/latency_window.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace surro::serve {
+
+LatencyWindow::LatencyWindow(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  samples_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void LatencyWindow::record(double ms) {
+  ++recorded_;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(ms);
+    return;
+  }
+  samples_[next_] = ms;
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<double> LatencyWindow::snapshot_sorted() const {
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+double LatencyWindow::percentile(const std::vector<double>& sorted,
+                                 double p) {
+  if (sorted.empty()) return INFINITY;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+}  // namespace surro::serve

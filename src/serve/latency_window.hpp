@@ -1,0 +1,56 @@
+#pragma once
+// LatencyWindow: the bounded ring buffer of recent job latencies behind
+// ServiceStats percentiles, extracted from SampleService so its wraparound
+// and percentile behavior is directly testable (empty, size-1, exactly-full,
+// and wrapped windows all have tests in tests/test_serve.cpp).
+//
+// The ring stores samples in insertion order; percentile() requires a
+// *sorted* sample and the two snapshot methods are the sanctioned paths to
+// one: snapshot_sorted() hands back the retained window already ordered,
+// and snapshot() hands back the raw (insertion-ordered, post-wraparound:
+// rotated) copy for callers that must keep their lock hold time O(n) and
+// sort outside the critical section — SampleService::stats() does exactly
+// that. Feeding an unsorted snapshot to percentile() is the bug the
+// extraction exists to make impossible to write silently.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace surro::serve {
+
+class LatencyWindow {
+ public:
+  /// Retains the most recent `capacity` samples (0 is bumped to 1).
+  explicit LatencyWindow(std::size_t capacity);
+
+  /// Record one latency sample, evicting the oldest once full.
+  void record(double ms);
+
+  /// Samples currently retained (<= capacity).
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  /// Lifetime samples recorded (monotonic, ignores eviction).
+  [[nodiscard]] std::uint64_t recorded() const noexcept { return recorded_; }
+
+  /// The retained window, copied in insertion order. For callers that
+  /// hold a lock around the read: copy under the lock, release it, then
+  /// sort and feed percentile().
+  [[nodiscard]] std::vector<double> snapshot() const { return samples_; }
+
+  /// The retained window, sorted ascending — ready for percentile().
+  [[nodiscard]] std::vector<double> snapshot_sorted() const;
+
+  /// Nearest-rank percentile of an already-sorted sample, p in [0, 1];
+  /// +infinity on an empty window (no job completed yet — degrades to null
+  /// in JSON artifacts).
+  [[nodiscard]] static double percentile(const std::vector<double>& sorted,
+                                         double p);
+
+ private:
+  std::size_t capacity_;
+  std::vector<double> samples_;  // ring buffer, insertion order
+  std::size_t next_ = 0;         // overwrite slot once full
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace surro::serve

@@ -1,6 +1,8 @@
 #include "serve/model_host.hpp"
 
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace surro::serve {
@@ -90,13 +92,28 @@ std::shared_ptr<models::TabularGenerator> ModelHost::acquire(
     }
     entry.loading = true;
     const std::string path = entry.archive_path;
+    // Fault injection is sampled under the lock (the fail budget must
+    // decrement exactly once per load) but applied outside it, like the
+    // real load, so concurrent acquires pile up on the loading flag.
+    const double inject_delay_ms = faults_.load_delay_ms;
+    const bool inject_failure = faults_.fail_loads > 0;
+    if (inject_failure) --faults_.fail_loads;
     lock.unlock();
 
     std::shared_ptr<models::TabularGenerator> loaded;
     try {
+      if (inject_delay_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(inject_delay_ms));
+      }
+      if (inject_failure) {
+        throw std::runtime_error("model host: injected load failure for '" +
+                                 key + "'");
+      }
       loaded = models::load_model_file(path);
     } catch (...) {
       lock.lock();
+      ++tally_.load_failures;
       if (const auto again = entries_.find(key); again != entries_.end()) {
         again->second.loading = false;
       }
@@ -121,6 +138,11 @@ std::shared_ptr<models::TabularGenerator> ModelHost::acquire(
     cv_load_.notify_all();
     return target.model;
   }
+}
+
+void ModelHost::inject_faults(HostFaults faults) {
+  const std::lock_guard lock(mutex_);
+  faults_ = faults;
 }
 
 void ModelHost::pin(const std::string& key) {

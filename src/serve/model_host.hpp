@@ -38,6 +38,20 @@ struct HostConfig {
   std::size_t capacity = 4;
 };
 
+/// Fault-injection knobs for archive loads (tests and the soak harness).
+/// Injected behavior applies to *archive loads only* — resident hits are
+/// untouched — so eviction/reload races can be widened and load-failure
+/// paths exercised deterministically.
+struct HostFaults {
+  /// Sleep this long inside each archive load, outside the host lock (so
+  /// concurrent acquires pile up on the loading flag exactly as they would
+  /// behind a genuinely slow disk).
+  double load_delay_ms = 0.0;
+  /// Fail the next N archive loads with std::runtime_error before touching
+  /// the file. Decremented per failed load; 0 = loads succeed.
+  std::size_t fail_loads = 0;
+};
+
 /// Cache effectiveness counters (monotonic since construction) plus the
 /// current residency picture.
 struct HostStats {
@@ -48,6 +62,7 @@ struct HostStats {
   std::uint64_t hits = 0;      ///< acquire() served from memory
   std::uint64_t misses = 0;    ///< acquire() had to load (or wait on a load)
   std::uint64_t loads = 0;     ///< archive loads performed
+  std::uint64_t load_failures = 0;  ///< archive loads that threw (incl. injected)
   std::uint64_t evictions = 0; ///< models dropped by the LRU policy
 
   /// hits / (hits + misses); 1.0 for an untouched host.
@@ -96,6 +111,10 @@ class ModelHost {
   /// evictions). Leases held by callers stay valid.
   void evict_idle();
 
+  /// Replace the fault-injection knobs (see HostFaults). Thread-safe;
+  /// affects archive loads that *start* after the call.
+  void inject_faults(HostFaults faults);
+
   [[nodiscard]] bool contains(const std::string& key) const;
   /// True when `key` is currently in memory (no load needed to acquire).
   [[nodiscard]] bool resident(const std::string& key) const;
@@ -119,6 +138,7 @@ class ModelHost {
   [[nodiscard]] std::size_t resident_count_locked() const;
 
   HostConfig cfg_;
+  HostFaults faults_;  // guarded by mutex_
   mutable std::mutex mutex_;
   std::condition_variable cv_load_;  // a pending archive load finished
   std::map<std::string, Entry> entries_;

@@ -68,6 +68,12 @@ void apply_field(ReplayRequest& request, const std::string& key,
       throw std::runtime_error("field 'priority' out of range");
     }
     request.job.priority = static_cast<int>(v);
+  } else if (key == "deadline_ms") {
+    const double v = value.as_number();
+    if (!(v >= 0.0) || v > 1e12) {
+      throw std::runtime_error("field 'deadline_ms' out of range");
+    }
+    request.job.deadline_ms = v;
   } else if (key == "repeat") {
     request.repeat = static_cast<std::size_t>(
         to_count(key, value, std::uint64_t{1} << 20));
@@ -196,6 +202,7 @@ ReplayResult run_replay(SampleService& service, const ReplayScript& script,
       std::min(std::max<std::size_t>(options.clients, 1), jobs.size());
   struct ClientTally {
     std::uint64_t jobs = 0, failures = 0;
+    std::uint64_t rejected = 0, shed = 0, deadline_missed = 0;
     std::vector<tabular::Table> tables;
   };
   std::vector<ClientTally> tallies(std::max<std::size_t>(clients, 1));
@@ -205,17 +212,34 @@ ReplayResult run_replay(SampleService& service, const ReplayScript& script,
   // and the pool is busy sampling underneath them). Client c submits jobs
   // c, c+C, c+2C, ... up front, then waits for them in order. Tables are
   // kept and digested after the clock stops, so the throughput numbers
-  // measure serving, not hashing.
+  // measure serving, not hashing. Overload outcomes (admission rejection,
+  // shedding, missed deadlines) are tallied per kind: a replay against a
+  // bounded service is *expected* to drop work, and those drops must not
+  // read as execution failures.
   const auto client = [&](std::size_t c) {
+    auto& tally = tallies[c];
     std::vector<std::future<SampleResult>> futures;
     for (std::size_t i = c; i < jobs.size(); i += clients) {
-      futures.push_back(service.submit(jobs[i]));
-    }
-    auto& tally = tallies[c];
-    for (auto& future : futures) {
       ++tally.jobs;
       try {
+        futures.push_back(service.submit(jobs[i]));
+      } catch (const ServiceError& e) {
+        if (e.code() == ServiceError::Code::kShed) {
+          ++tally.shed;
+        } else {
+          ++tally.rejected;
+        }
+      }
+    }
+    for (auto& future : futures) {
+      try {
         tally.tables.push_back(future.get().table);
+      } catch (const ServiceError& e) {
+        switch (e.code()) {
+          case ServiceError::Code::kShed: ++tally.shed; break;
+          case ServiceError::Code::kDeadline: ++tally.deadline_missed; break;
+          default: ++tally.failures; break;
+        }
       } catch (const std::exception&) {
         ++tally.failures;
       }
@@ -238,7 +262,11 @@ ReplayResult run_replay(SampleService& service, const ReplayScript& script,
   result.stats = service.stats();
   for (const auto& tally : tallies) {
     result.jobs += tally.jobs;
+    result.completed += tally.tables.size();
     result.failures += tally.failures;
+    result.rejected += tally.rejected;
+    result.shed += tally.shed;
+    result.deadline_missed += tally.deadline_missed;
     for (const auto& table : tally.tables) {
       result.rows += table.num_rows();
       // Sum (not XOR): identical repeated jobs must not cancel out.
@@ -266,15 +294,24 @@ std::string serve_stats_to_json(const SampleService& service,
   w.kv("sample_threads", cfg.sample_threads);
   w.kv("chunk_rows", cfg.chunk_rows);
   w.kv("max_batch", cfg.max_batch);
+  w.kv("admission", admission_policy_name(cfg.admission));
+  w.kv("max_queue_depth", cfg.max_queue_depth);
+  w.kv("max_queued_rows", cfg.max_queued_rows);
   w.kv("clients", options.clients);
   w.kv("rounds", options.rounds);
   w.end_object();
   w.kv("jobs", result.jobs);
+  w.kv("completed", result.completed);
   w.kv("rows", result.rows);
   w.kv("failures", result.failures);
+  w.kv("rejected", result.rejected);
+  w.kv("shed", result.shed);
+  w.kv("deadline_missed", result.deadline_missed);
   w.kv("wall_seconds", result.wall_seconds);
+  // Served throughput: completed jobs only — on a bounded service the
+  // attempt count includes rejected/shed submits that did no work.
   w.kv("jobs_per_sec", result.wall_seconds > 0.0
-                           ? static_cast<double>(result.jobs) /
+                           ? static_cast<double>(result.completed) /
                                  result.wall_seconds
                            : 0.0);
   w.kv("rows_per_sec", result.wall_seconds > 0.0
@@ -284,12 +321,19 @@ std::string serve_stats_to_json(const SampleService& service,
   w.key("latency_ms").begin_object();
   w.kv("p50", s.p50_latency_ms);  // inf (empty window) degrades to null
   w.kv("p95", s.p95_latency_ms);
+  w.kv("p99", s.p99_latency_ms);
   w.end_object();
   w.key("service").begin_object();
   w.kv("submitted", s.submitted);
   w.kv("completed", s.completed);
   w.kv("failed", s.failed);
+  w.kv("rejected", s.rejected);
+  w.kv("shed", s.shed);
+  w.kv("cancelled", s.cancelled);
+  w.kv("deadline_missed", s.deadline_missed);
+  w.kv("blocked", s.blocked);
   w.kv("queue_depth", s.queue_depth);
+  w.kv("queued_rows", s.queued_rows);
   w.kv("batches", s.batches);
   w.kv("mean_batch_jobs", s.mean_batch_jobs);
   w.kv("qps", s.qps);
@@ -302,6 +346,7 @@ std::string serve_stats_to_json(const SampleService& service,
   w.kv("hits", s.host.hits);
   w.kv("misses", s.host.misses);
   w.kv("loads", s.host.loads);
+  w.kv("load_failures", s.host.load_failures);
   w.kv("evictions", s.host.evictions);
   w.kv("hit_rate", s.host.hit_rate());
   w.end_object();

@@ -34,10 +34,10 @@ struct ReplayScript {
 };
 
 /// JSONL: one JSON object per line — {"model": "smote", "rows": 500,
-/// "seed": 7, "chunk_rows": 1024, "priority": 0, "repeat": 4,
-/// "seed_stride": 1}. Only "model" and "rows" are required. Blank lines
-/// and lines starting with '#' are skipped. Throws std::runtime_error
-/// (with the line number) on malformed input.
+/// "seed": 7, "chunk_rows": 1024, "priority": 0, "deadline_ms": 250,
+/// "repeat": 4, "seed_stride": 1}. Only "model" and "rows" are required.
+/// Blank lines and lines starting with '#' are skipped. Throws
+/// std::runtime_error (with the line number) on malformed input.
 [[nodiscard]] ReplayScript parse_script_jsonl(std::istream& is);
 
 /// Inline spec: ';'-separated requests, each "key=value" pairs joined by
@@ -51,9 +51,15 @@ struct ReplayOptions {
 };
 
 struct ReplayResult {
-  std::uint64_t jobs = 0;      ///< futures resolved
-  std::uint64_t rows = 0;      ///< synthetic rows returned
-  std::uint64_t failures = 0;  ///< futures that surfaced an exception
+  std::uint64_t jobs = 0;       ///< submissions attempted
+  std::uint64_t completed = 0;  ///< futures that delivered a table
+  std::uint64_t rows = 0;       ///< synthetic rows returned
+  std::uint64_t failures = 0;  ///< futures that surfaced an execution error
+  /// Overload outcomes (all zero unless the service has admission bounds,
+  /// deadlines, or cancellation in play).
+  std::uint64_t rejected = 0;         ///< submits refused at admission
+  std::uint64_t shed = 0;             ///< jobs dropped by the shed policy
+  std::uint64_t deadline_missed = 0;  ///< jobs that blew their deadline
   double wall_seconds = 0.0;
   /// Order-independent digest over every returned table (see header).
   std::uint64_t output_hash = 0;

@@ -1,0 +1,417 @@
+#include "serve/soak.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "serve/latency_window.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace surro::serve {
+
+namespace {
+
+/// The job seed for (model m, stream s): a SplitMix64 hash of the identity,
+/// so neighbouring identities get unrelated streams.
+std::uint64_t seed_for(const SoakConfig& cfg, std::size_t model,
+                       std::size_t stream) {
+  std::uint64_t state = cfg.seed +
+                        0x9E3779B97F4A7C15ULL *
+                            (model * cfg.seed_streams + stream + 1);
+  return util::splitmix64(state);
+}
+
+/// Deterministic per-(point, client) arrival-process seed.
+std::uint64_t arrival_seed(const SoakConfig& cfg, std::size_t point,
+                           std::size_t client) {
+  std::uint64_t state = cfg.seed ^ (0xA24BAED4963EE407ULL + point);
+  (void)util::splitmix64(state);  // advance: decorrelate point from seed
+  state += client;
+  return util::splitmix64(state);
+}
+
+}  // namespace
+
+SoakResult run_soak(ModelHost& host, const SoakConfig& cfg) {
+  if (cfg.models.empty()) {
+    throw std::invalid_argument("soak: need at least one model");
+  }
+  if (cfg.load_multipliers.empty()) {
+    throw std::invalid_argument("soak: need at least one load multiplier");
+  }
+  if (cfg.rows_per_job == 0 || cfg.chunk_rows == 0 ||
+      cfg.seed_streams == 0 || cfg.clients == 0) {
+    throw std::invalid_argument("soak: rows_per_job, chunk_rows, "
+                                "seed_streams, clients must be positive");
+  }
+  const std::size_t num_models = cfg.models.size();
+  const std::size_t identities = num_models * cfg.seed_streams;
+
+  util::Stopwatch total;
+  SoakResult result;
+
+  // ---- Expected digests: sample every (model, stream) identity directly,
+  // single-threaded, outside any service. This is the ground truth each
+  // accepted job is compared against — the determinism contract says
+  // serving machinery (batching, rejection storms, eviction/reload) must
+  // never move a job's bytes off this table.
+  std::vector<std::vector<std::uint64_t>> expected(num_models);
+  for (std::size_t m = 0; m < num_models; ++m) {
+    const auto model = host.acquire(cfg.models[m]);
+    expected[m].resize(cfg.seed_streams);
+    for (std::size_t s = 0; s < cfg.seed_streams; ++s) {
+      models::SampleRequest request;
+      request.rows = cfg.rows_per_job;
+      request.seed = seed_for(cfg, m, s);
+      request.chunk_rows = cfg.chunk_rows;
+      request.threads = 1;
+      tabular::Table table;
+      model->sample_into(table, request);
+      expected[m][s] = hash_table(table);
+      result.expected_hash += expected[m][s];  // sum: order-independent
+    }
+  }
+
+  const auto make_job = [&](std::size_t identity) {
+    const std::size_t m = identity % num_models;
+    const std::size_t s = identity / num_models % cfg.seed_streams;
+    SampleJob job;
+    job.model_key = cfg.models[m];
+    job.rows = cfg.rows_per_job;
+    job.seed = seed_for(cfg, m, s);
+    job.chunk_rows = cfg.chunk_rows;
+    job.deadline_ms = cfg.deadline_ms;
+    return job;
+  };
+  const auto expected_for = [&](std::size_t identity) {
+    const std::size_t m = identity % num_models;
+    const std::size_t s = identity / num_models % cfg.seed_streams;
+    return expected[m][s];
+  };
+
+  // ---- Calibration: measure sustained jobs/sec with no admission bounds.
+  // The sweep's offered rates are multiples of this.
+  {
+    ServiceConfig calib_cfg;
+    calib_cfg.sample_threads = cfg.sample_threads;
+    calib_cfg.chunk_rows = cfg.chunk_rows;
+    calib_cfg.max_batch = cfg.max_batch;
+    SampleService calibration(host, calib_cfg);
+    const std::size_t jobs =
+        std::max<std::size_t>(cfg.clients * cfg.calibration_jobs_per_client,
+                              1);
+    // Warm-up pass (archive loads, allocator) before the timed one.
+    for (int round = 0; round < 2; ++round) {
+      util::Stopwatch wall;
+      std::vector<std::future<SampleResult>> futures;
+      futures.reserve(jobs);
+      for (std::size_t j = 0; j < jobs; ++j) {
+        // Deadline-free: calibration measures raw capacity, and a burst
+        // of queued jobs expiring here would both skew the estimate and
+        // throw out of the unguarded get() below.
+        SampleJob job = make_job(j % identities);
+        job.deadline_ms = 0.0;
+        futures.push_back(calibration.submit(std::move(job)));
+      }
+      for (auto& future : futures) (void)future.get();
+      if (round == 1) {
+        result.capacity_jobs_per_sec =
+            static_cast<double>(jobs) / std::max(wall.seconds(), 1e-9);
+      }
+    }
+  }
+  if (cfg.verbose) {
+    std::printf("soak: calibrated capacity %.1f jobs/s (%zu models, %zu "
+                "rows/job)\n",
+                result.capacity_jobs_per_sec, num_models, cfg.rows_per_job);
+  }
+
+  // ---- The bounded service under test.
+  ServiceConfig svc_cfg;
+  svc_cfg.sample_threads = cfg.sample_threads;
+  svc_cfg.chunk_rows = cfg.chunk_rows;
+  svc_cfg.max_batch = cfg.max_batch;
+  svc_cfg.admission = cfg.admission;
+  svc_cfg.max_queue_depth = cfg.effective_queue_depth();
+  svc_cfg.max_queued_rows = cfg.max_queued_rows;
+  SampleService service(host, svc_cfg);
+
+  for (std::size_t p = 0; p < cfg.load_multipliers.size(); ++p) {
+    SoakPoint point;
+    point.multiplier = cfg.load_multipliers[p];
+    point.offered_jobs_per_sec =
+        point.multiplier * result.capacity_jobs_per_sec;
+    const double rate_per_client =
+        std::max(point.offered_jobs_per_sec /
+                     static_cast<double>(cfg.clients),
+                 1e-6);
+    const std::size_t min_per_client =
+        (cfg.effective_min_jobs() + cfg.clients - 1) / cfg.clients;
+
+    struct ClientTally {
+      std::uint64_t submitted = 0, accepted = 0, rejected = 0, shed = 0,
+                    deadline_missed = 0, failed = 0;
+      std::vector<double> latencies_ms;
+      bool hashes_ok = true;
+    };
+    std::vector<ClientTally> tallies(cfg.clients);
+
+    // Queue-depth monitor: the "bounded queue under overload" probe.
+    std::atomic<bool> monitor_stop{false};
+    std::size_t max_depth = 0;
+    std::thread monitor([&] {
+      while (!monitor_stop.load(std::memory_order_relaxed)) {
+        max_depth = std::max(max_depth, service.queue_depth());
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+
+    util::Stopwatch point_wall;
+    const auto client = [&](std::size_t c) {
+      auto& tally = tallies[c];
+      util::Rng arrivals(arrival_seed(cfg, p, c));
+      struct Accepted {
+        std::future<SampleResult> future;
+        std::size_t identity = 0;
+      };
+      std::vector<Accepted> in_flight;
+      util::Stopwatch clock;
+      double next_at = arrivals.exponential(rate_per_client);
+      // Client c owns identities c, c+C, c+2C, ... so the fleet cycles
+      // the whole identity universe without coordination.
+      std::size_t k = c;
+      // Safety valve: even a badly misestimated capacity cannot stretch a
+      // point past 20x its nominal window.
+      const double hard_stop = cfg.duration_seconds * 20.0;
+      for (;;) {
+        const double now = clock.seconds();
+        if (now >= cfg.duration_seconds &&
+            (tally.submitted >= min_per_client || now >= hard_stop)) {
+          break;
+        }
+        if (next_at > now) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              std::min(next_at - now, hard_stop - now)));
+          continue;
+        }
+        next_at += arrivals.exponential(rate_per_client);
+        const std::size_t identity = k % identities;
+        k += cfg.clients;
+        ++tally.submitted;
+        try {
+          in_flight.push_back(
+              {service.submit(make_job(identity)), identity});
+        } catch (const ServiceError& e) {
+          if (e.code() == ServiceError::Code::kShed) {
+            ++tally.shed;
+          } else {
+            ++tally.rejected;
+          }
+        }
+      }
+      for (auto& entry : in_flight) {
+        try {
+          const SampleResult r = entry.future.get();
+          ++tally.accepted;
+          tally.latencies_ms.push_back(r.total_seconds * 1e3);
+          if (hash_table(r.table) != expected_for(entry.identity)) {
+            tally.hashes_ok = false;
+          }
+        } catch (const ServiceError& e) {
+          switch (e.code()) {
+            case ServiceError::Code::kShed: ++tally.shed; break;
+            case ServiceError::Code::kDeadline:
+              ++tally.deadline_missed;
+              break;
+            default: ++tally.failed; break;
+          }
+        } catch (const std::exception&) {
+          ++tally.failed;
+        }
+      }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(cfg.clients);
+    for (std::size_t c = 0; c < cfg.clients; ++c) {
+      threads.emplace_back(client, c);
+    }
+    for (auto& t : threads) t.join();
+    service.drain();  // the no-deadlock-on-drain-mid-overload check
+    point.wall_seconds = point_wall.seconds();
+    monitor_stop.store(true, std::memory_order_relaxed);
+    monitor.join();
+    point.max_queue_depth_seen = max_depth;
+
+    std::vector<double> latencies;
+    for (auto& tally : tallies) {
+      point.submitted += tally.submitted;
+      point.accepted += tally.accepted;
+      point.rejected += tally.rejected;
+      point.shed += tally.shed;
+      point.deadline_missed += tally.deadline_missed;
+      point.failed += tally.failed;
+      point.hashes_ok = point.hashes_ok && tally.hashes_ok;
+      latencies.insert(latencies.end(), tally.latencies_ms.begin(),
+                       tally.latencies_ms.end());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    point.p50_ms = LatencyWindow::percentile(latencies, 0.50);
+    point.p95_ms = LatencyWindow::percentile(latencies, 0.95);
+    point.p99_ms = LatencyWindow::percentile(latencies, 0.99);
+    point.accepted_rows_per_sec =
+        point.wall_seconds > 0.0
+            ? static_cast<double>(point.accepted * cfg.rows_per_job) /
+                  point.wall_seconds
+            : 0.0;
+    result.deterministic = result.deterministic && point.hashes_ok;
+    if (cfg.verbose) {
+      std::printf("soak: %.2fx offered %.1f jobs/s -> accepted %llu "
+                  "rejected %llu shed %llu deadline %llu, p95 %.1f ms, "
+                  "max depth %zu\n",
+                  point.multiplier, point.offered_jobs_per_sec,
+                  static_cast<unsigned long long>(point.accepted),
+                  static_cast<unsigned long long>(point.rejected),
+                  static_cast<unsigned long long>(point.shed),
+                  static_cast<unsigned long long>(point.deadline_missed),
+                  point.p95_ms, point.max_queue_depth_seen);
+    }
+    result.points.push_back(std::move(point));
+  }
+
+  // Headline SLO ratio: tail latency of accepted jobs at the heaviest
+  // overload vs the lightest load.
+  const SoakPoint* low = nullptr;
+  const SoakPoint* high = nullptr;
+  for (const auto& point : result.points) {
+    if (low == nullptr || point.multiplier < low->multiplier) low = &point;
+    if (high == nullptr || point.multiplier > high->multiplier) {
+      high = &point;
+    }
+  }
+  result.p95_ratio_vs_low_load =
+      (low != nullptr && std::isfinite(low->p95_ms) && low->p95_ms > 0.0 &&
+       std::isfinite(high->p95_ms))
+          ? high->p95_ms / low->p95_ms
+          : std::nan("");
+
+  result.final_stats = service.stats();
+  result.wall_seconds = total.seconds();
+  return result;
+}
+
+std::string render_soak(const SoakResult& result) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%-6s %10s %9s %9s %6s %9s %9s %9s %7s\n", "load",
+                "offered/s", "accepted", "rejected", "shed", "p50 ms",
+                "p95 ms", "p99 ms", "depth");
+  out += line;
+  for (const auto& point : result.points) {
+    std::snprintf(line, sizeof(line),
+                  "%-6.2f %10.1f %9llu %9llu %6llu %9.1f %9.1f %9.1f %7zu\n",
+                  point.multiplier, point.offered_jobs_per_sec,
+                  static_cast<unsigned long long>(point.accepted),
+                  static_cast<unsigned long long>(point.rejected),
+                  static_cast<unsigned long long>(point.shed), point.p50_ms,
+                  point.p95_ms, point.p99_ms, point.max_queue_depth_seen);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "p95 ratio (max load / low load): %.2fx\n",
+                result.p95_ratio_vs_low_load);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "determinism: %s (expected hash %016llx)\n",
+                result.deterministic ? "ok" : "VIOLATED",
+                static_cast<unsigned long long>(result.expected_hash));
+  out += line;
+  return out;
+}
+
+std::string soak_to_json(const SoakConfig& cfg, const SoakResult& result) {
+  char hash_hex[19];
+  std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                static_cast<unsigned long long>(result.expected_hash));
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("kind", "serve_soak");
+  w.key("config").begin_object();
+  w.key("models").begin_array();
+  for (const auto& key : cfg.models) w.value(key);
+  w.end_array();
+  w.kv("clients", cfg.clients);
+  w.kv("rows_per_job", cfg.rows_per_job);
+  w.kv("chunk_rows", cfg.chunk_rows);
+  w.kv("seed", cfg.seed);
+  w.kv("seed_streams", cfg.seed_streams);
+  w.kv("duration_seconds", cfg.duration_seconds);
+  w.kv("min_jobs_per_point", cfg.effective_min_jobs());
+  w.kv("deadline_ms", cfg.deadline_ms);
+  w.kv("admission", admission_policy_name(cfg.admission));
+  w.kv("max_queue_depth", cfg.effective_queue_depth());
+  w.kv("max_queued_rows", cfg.max_queued_rows);
+  w.kv("sample_threads", cfg.sample_threads);
+  w.kv("max_batch", cfg.max_batch);
+  w.end_object();
+  w.kv("capacity_jobs_per_sec", result.capacity_jobs_per_sec);
+  w.kv("expected_hash", hash_hex);
+  w.key("sweep").begin_array();
+  for (const auto& point : result.points) {
+    w.begin_object();
+    w.kv("multiplier", point.multiplier);
+    w.kv("offered_jobs_per_sec", point.offered_jobs_per_sec);
+    w.kv("submitted", point.submitted);
+    w.kv("accepted", point.accepted);
+    w.kv("rejected", point.rejected);
+    w.kv("shed", point.shed);
+    w.kv("deadline_missed", point.deadline_missed);
+    w.kv("failed", point.failed);
+    w.kv("p50_ms", point.p50_ms);  // inf (nothing accepted) -> null
+    w.kv("p95_ms", point.p95_ms);
+    w.kv("p99_ms", point.p99_ms);
+    w.kv("wall_seconds", point.wall_seconds);
+    w.kv("accepted_rows_per_sec", point.accepted_rows_per_sec);
+    w.kv("max_queue_depth_seen", point.max_queue_depth_seen);
+    w.kv("hashes_ok", point.hashes_ok);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("p95_ratio_vs_low_load", result.p95_ratio_vs_low_load);
+  w.kv("deterministic", result.deterministic);
+  const ServiceStats& s = result.final_stats;
+  w.key("service").begin_object();
+  w.kv("submitted", s.submitted);
+  w.kv("completed", s.completed);
+  w.kv("failed", s.failed);
+  w.kv("rejected", s.rejected);
+  w.kv("shed", s.shed);
+  w.kv("cancelled", s.cancelled);
+  w.kv("deadline_missed", s.deadline_missed);
+  w.kv("blocked", s.blocked);
+  w.kv("batches", s.batches);
+  w.kv("mean_batch_jobs", s.mean_batch_jobs);
+  w.end_object();
+  w.key("cache").begin_object();
+  w.kv("hits", s.host.hits);
+  w.kv("misses", s.host.misses);
+  w.kv("loads", s.host.loads);
+  w.kv("load_failures", s.host.load_failures);
+  w.kv("evictions", s.host.evictions);
+  w.kv("hit_rate", s.host.hit_rate());
+  w.end_object();
+  w.kv("wall_seconds", result.wall_seconds);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace surro::serve

@@ -36,6 +36,26 @@ class Parser {
   }
 
  private:
+  /// Containers may nest at most this deep. The parser is recursive-descent,
+  /// so nesting depth is stack depth; without a cap a hostile --script input
+  /// ("[[[[..." ten thousand levels down) overflows the stack instead of
+  /// failing the parse. 128 is far beyond any legitimate document here
+  /// (request scripts and artifacts nest < 10) yet a few KB of stack.
+  static constexpr std::size_t kMaxDepth = 128;
+
+  /// RAII depth ticket: value() holds one per container level.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxDepth) {
+        parser_.fail("nesting deeper than " + std::to_string(kMaxDepth) +
+                     " levels");
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& parser_;
+  };
   [[noreturn]] void fail(const std::string& what) const {
     throw std::runtime_error("json: " + what + " at offset " +
                              std::to_string(pos_));
@@ -96,6 +116,7 @@ class Parser {
   }
 
   JsonValue object() {
+    const DepthGuard depth(*this);
     expect('{');
     JsonValue v;
     v.kind = JsonValue::Kind::kObject;
@@ -111,6 +132,7 @@ class Parser {
   }
 
   JsonValue array() {
+    const DepthGuard depth(*this);
     expect('[');
     JsonValue v;
     v.kind = JsonValue::Kind::kArray;
@@ -223,6 +245,7 @@ class Parser {
 
   std::string_view s_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;  // current container nesting (see kMaxDepth)
 };
 
 }  // namespace

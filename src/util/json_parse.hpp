@@ -52,6 +52,9 @@ struct JsonValue {
 
 /// Parse one complete JSON document; trailing non-whitespace is an error.
 /// Throws std::runtime_error with a character offset on malformed input.
+/// Containers may nest at most 128 levels deep — beyond that the parse
+/// fails (rather than letting a hostile "[[[[..." input overflow the
+/// recursive-descent stack).
 [[nodiscard]] JsonValue parse_json(std::string_view text);
 
 }  // namespace surro::util

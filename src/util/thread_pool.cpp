@@ -86,6 +86,7 @@ void ThreadPool::wait(TaskGroup& group) {
     cv_done_.wait(lock,
                   [&] { return group.pending_ == 0 || !tasks_.empty(); });
   }
+  group.stop_.store(false, std::memory_order_relaxed);  // reusable batches
   if (group.error_) {
     const std::exception_ptr error = std::exchange(group.error_, nullptr);
     lock.unlock();

@@ -11,6 +11,7 @@
 // loop when the range is small or the pool has a single worker, so call
 // sites never special-case.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -48,10 +49,24 @@ class TaskGroup {
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
+  /// Cooperative cancellation: request_stop() flips a flag that the group's
+  /// tasks may poll via stop_requested() to abandon remaining work early.
+  /// The pool itself never inspects the flag — already-queued tasks still
+  /// run (and should return promptly once they observe the flag), so
+  /// wait() semantics are unchanged. The flag resets on the next wait()
+  /// return, keeping the group reusable across batches.
+  void request_stop() noexcept {
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class ThreadPool;
   std::size_t pending_ = 0;  // guarded by the owning pool's mutex
   std::exception_ptr error_;  // first failure, guarded likewise
+  std::atomic<bool> stop_{false};  // see request_stop()
 };
 
 class ThreadPool {

@@ -92,6 +92,34 @@ TEST(JsonParse, MalformedInputThrows) {
   }
 }
 
+TEST(JsonParse, DeepNestingFailsParseInsteadOfOverflowingTheStack) {
+  // A hostile --script input can nest arbitrarily deep; the recursive-
+  // descent parser must reject it as a parse error, never crash. 10k
+  // levels would blow the stack without the depth cap.
+  for (const std::size_t depth : {std::size_t{10'000}, std::size_t{129}}) {
+    std::string deep;
+    deep.reserve(2 * depth);
+    deep.append(depth, '[');
+    deep.append(depth, ']');
+    EXPECT_THROW(static_cast<void>(parse(deep)), std::runtime_error)
+        << "depth " << depth;
+    // Mixed object/array nesting hits the same cap.
+    std::string mixed;
+    for (std::size_t i = 0; i < depth; ++i) mixed += "{\"k\":[";
+    mixed += "1";
+    for (std::size_t i = 0; i < depth; ++i) mixed += "]}";
+    EXPECT_THROW(static_cast<void>(parse(mixed)), std::runtime_error)
+        << "depth " << depth;
+  }
+  // At the cap itself the document still parses (the limit is generous,
+  // not load-bearing for real scripts).
+  std::string ok;
+  ok.append(128, '[');
+  ok.append(128, ']');
+  const auto doc = parse(ok);
+  EXPECT_EQ(doc.kind, JsonValue::Kind::kArray);
+}
+
 TEST(JsonParse, KindMismatchThrows) {
   const auto doc = parse("{\"s\": \"x\", \"n\": 3}");
   EXPECT_THROW(static_cast<void>(doc.at("s").as_number()),

@@ -1,13 +1,15 @@
 // Serving layer: ModelHost LRU cache semantics (load-on-miss, pinning,
-// eviction, counters), SampleService batching/priority/stats, request
-// script parsing, replay determinism, and the SurrogatePipeline thin
-// client — including the headline contract: a job's bytes are identical
-// across client concurrency and cache eviction/reload cycles, for all four
-// models.
+// eviction, counters, fault injection), SampleService batching/priority/
+// stats plus the overload-control layer (admission policies, deadlines,
+// cancellation), request script parsing, replay determinism, and the
+// SurrogatePipeline thin client — including the headline contract: a job's
+// bytes are identical across client concurrency and cache eviction/reload
+// cycles, for all four models.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <sstream>
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "serve/latency_window.hpp"
 #include "serve/model_host.hpp"
 #include "serve/replay.hpp"
 #include "serve/sample_service.hpp"
@@ -113,7 +116,7 @@ std::string fit_and_archive(const TempDir& dir, const std::string& key,
 TEST(ReplayScript, InlineSpecParsesAllFields) {
   const auto script = parse_script_inline(
       "model=smote,rows=500,seed=7,chunk_rows=128,threads=2,priority=3,"
-      "repeat=4,seed_stride=2; model=tvae,rows=200");
+      "deadline_ms=250,repeat=4,seed_stride=2; model=tvae,rows=200");
   ASSERT_EQ(script.requests.size(), 2u);
   const auto& first = script.requests[0];
   EXPECT_EQ(first.job.model_key, "smote");
@@ -122,12 +125,14 @@ TEST(ReplayScript, InlineSpecParsesAllFields) {
   EXPECT_EQ(first.job.chunk_rows, 128u);
   EXPECT_EQ(first.job.threads, 2u);
   EXPECT_EQ(first.job.priority, 3);
+  EXPECT_EQ(first.job.deadline_ms, 250.0);
   EXPECT_EQ(first.repeat, 4u);
   EXPECT_EQ(first.seed_stride, 2u);
   const auto& second = script.requests[1];
   EXPECT_EQ(second.job.model_key, "tvae");
   EXPECT_EQ(second.repeat, 1u);      // defaults
   EXPECT_EQ(second.job.seed, 1234u);
+  EXPECT_EQ(second.job.deadline_ms, 0.0);  // none
 }
 
 TEST(ReplayScript, InlineSpecRejectsBadInput) {
@@ -152,6 +157,9 @@ TEST(ReplayScript, InlineSpecRejectsBadInput) {
                std::runtime_error);
   EXPECT_THROW((void)parse_script_inline("model=smote,rows=5,priority=1e9"),
                std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_script_inline("model=smote,rows=5,deadline_ms=-1"),
+      std::runtime_error);
 }
 
 TEST(ReplayScript, JsonlParsesAndReportsLineNumbers) {
@@ -454,7 +462,15 @@ TEST(SampleService, FreshServiceReportsInfinitePercentilesAsJsonNull) {
   EXPECT_EQ(doc.at("kind").as_string(), "serve_stats");
   EXPECT_TRUE(doc.at("latency_ms").at("p50").is_null());
   EXPECT_TRUE(doc.at("latency_ms").at("p95").is_null());
+  EXPECT_TRUE(doc.at("latency_ms").at("p99").is_null());
   EXPECT_EQ(doc.at("cache").at("hit_rate").as_number(), 1.0);
+  // Overload-control fields ride along in the artifact.
+  EXPECT_EQ(doc.at("config").at("admission").as_string(), "block");
+  EXPECT_EQ(doc.at("service").at("rejected").as_number(), 0.0);
+  EXPECT_EQ(doc.at("service").at("shed").as_number(), 0.0);
+  EXPECT_EQ(doc.at("service").at("deadline_missed").as_number(), 0.0);
+  EXPECT_EQ(doc.at("service").at("cancelled").as_number(), 0.0);
+  EXPECT_EQ(doc.at("cache").at("load_failures").as_number(), 0.0);
 }
 
 TEST(SampleService, ShutdownDrainsQueuedJobs) {
@@ -517,6 +533,464 @@ TEST(Replay, OutputHashIsClientCountAndCapacityInvariant) {
   SampleService service(host);
   const auto other = run_replay(service, other_script, ReplayOptions{});
   EXPECT_NE(other.output_hash, serial.output_hash);
+}
+
+// ---------------------------------------------------------- latency window --
+
+TEST(LatencyWindowTest, EmptyWindowReportsInfinity) {
+  LatencyWindow window(8);
+  EXPECT_EQ(window.size(), 0u);
+  const auto sorted = window.snapshot_sorted();
+  EXPECT_TRUE(std::isinf(LatencyWindow::percentile(sorted, 0.50)));
+  EXPECT_TRUE(std::isinf(LatencyWindow::percentile(sorted, 0.99)));
+}
+
+TEST(LatencyWindowTest, SingleSampleIsEveryPercentile) {
+  LatencyWindow window(8);
+  window.record(42.0);
+  const auto sorted = window.snapshot_sorted();
+  for (const double p : {0.0, 0.50, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(LatencyWindow::percentile(sorted, p), 42.0) << p;
+  }
+}
+
+TEST(LatencyWindowTest, ExactlyFullWindowIsSortedWhateverInsertionOrder) {
+  LatencyWindow window(4);
+  for (const double ms : {9.0, 1.0, 7.0, 3.0}) window.record(ms);
+  EXPECT_EQ(window.size(), 4u);
+  EXPECT_EQ(window.recorded(), 4u);
+  const auto sorted = window.snapshot_sorted();
+  EXPECT_EQ(sorted, (std::vector<double>{1.0, 3.0, 7.0, 9.0}));
+  EXPECT_EQ(LatencyWindow::percentile(sorted, 0.50), 3.0);
+  EXPECT_EQ(LatencyWindow::percentile(sorted, 0.95), 9.0);
+}
+
+TEST(LatencyWindowTest, WrappedWindowKeepsNewestAndStaysSorted) {
+  // Capacity 4, 7 samples: the ring has wrapped — its *insertion order* is
+  // rotated ([5, 6, 2, 4] internally), which is exactly the case where an
+  // unsorted percentile read would be wrong.
+  LatencyWindow window(4);
+  for (const double ms : {9.0, 1.0, 2.0, 4.0, 5.0, 6.0}) window.record(ms);
+  window.record(3.0);
+  EXPECT_EQ(window.size(), 4u);
+  EXPECT_EQ(window.recorded(), 7u);
+  const auto sorted = window.snapshot_sorted();
+  EXPECT_EQ(sorted, (std::vector<double>{3.0, 4.0, 5.0, 6.0}));
+  EXPECT_EQ(LatencyWindow::percentile(sorted, 0.50), 4.0);
+  EXPECT_EQ(LatencyWindow::percentile(sorted, 1.0), 6.0);
+}
+
+// --------------------------------------------------------- overload control --
+
+TEST(AdmissionControl, PolicyNamesRoundTrip) {
+  for (const auto policy : {AdmissionPolicy::kBlock, AdmissionPolicy::kReject,
+                            AdmissionPolicy::kShed}) {
+    EXPECT_EQ(parse_admission_policy(admission_policy_name(policy)), policy);
+  }
+  EXPECT_THROW((void)parse_admission_policy("drop"), std::invalid_argument);
+}
+
+TEST(AdmissionControl, RejectPolicyThrowsOverloadedAndKeepsServing) {
+  TempDir dir;
+  const auto path = fit_and_archive(dir, "smote");
+  ModelHost host;
+  host.register_archive("a", path);
+  ServiceConfig cfg;
+  cfg.admission = AdmissionPolicy::kReject;
+  cfg.max_queue_depth = 2;
+  SampleService service(host, cfg);
+
+  service.pause();  // queue fills deterministically
+  auto f1 = service.submit(SampleJob{"a", 50, 1});
+  auto f2 = service.submit(SampleJob{"a", 50, 2});
+  try {
+    (void)service.submit(SampleJob{"a", 50, 3});
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceError::Code::kOverloaded);
+  }
+  EXPECT_EQ(service.stats().rejected, 1u);
+  service.resume();
+  service.drain();
+  EXPECT_EQ(f1.get().table.num_rows(), 50u);
+  EXPECT_EQ(f2.get().table.num_rows(), 50u);
+  // Space freed: the service admits again.
+  EXPECT_EQ(service.sample(SampleJob{"a", 50, 3}).num_rows(), 50u);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(AdmissionControl, RowBoundAppliesButEmptyQueueAlwaysAdmits) {
+  TempDir dir;
+  const auto path = fit_and_archive(dir, "smote");
+  ModelHost host;
+  host.register_archive("a", path);
+  ServiceConfig cfg;
+  cfg.admission = AdmissionPolicy::kReject;
+  cfg.max_queued_rows = 100;
+  SampleService service(host, cfg);
+
+  service.pause();
+  // 400 rows > the 100-row bound, but the queue is empty: admitted.
+  auto big = service.submit(SampleJob{"a", 400, 1});
+  // Now the backlog is over the row bound: the next job is rejected.
+  EXPECT_THROW((void)service.submit(SampleJob{"a", 10, 2}), ServiceError);
+  EXPECT_EQ(service.stats().queued_rows, 400u);
+  service.resume();
+  EXPECT_EQ(big.get().table.num_rows(), 400u);
+  EXPECT_EQ(service.stats().queued_rows, 0u);
+}
+
+TEST(AdmissionControl, BlockPolicyBackpressuresUntilSpaceFrees) {
+  TempDir dir;
+  const auto path = fit_and_archive(dir, "smote");
+  ModelHost host;
+  host.register_archive("a", path);
+  ServiceConfig cfg;
+  cfg.admission = AdmissionPolicy::kBlock;
+  cfg.max_queue_depth = 1;
+  SampleService service(host, cfg);
+
+  service.pause();
+  auto f1 = service.submit(SampleJob{"a", 60, 1});
+  std::atomic<bool> admitted{false};
+  std::future<SampleResult> f2;
+  std::thread submitter([&] {
+    f2 = service.submit(SampleJob{"a", 60, 2});  // blocks: queue is full
+    admitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(admitted.load());  // still blocked while paused
+  service.resume();  // dispatcher pops f1 -> space frees -> f2 admitted
+  submitter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(f1.get().table.num_rows(), 60u);
+  EXPECT_EQ(f2.get().table.num_rows(), 60u);
+  EXPECT_GE(service.stats().blocked, 1u);
+}
+
+TEST(AdmissionControl, ShedPolicyDropsLowestPriorityIncludingIncoming) {
+  TempDir dir;
+  const auto path = fit_and_archive(dir, "smote");
+  ModelHost host;
+  host.register_archive("a", path);
+  ServiceConfig cfg;
+  cfg.admission = AdmissionPolicy::kShed;
+  cfg.max_queue_depth = 2;
+  SampleService service(host, cfg);
+
+  service.pause();
+  SampleJob low{"a", 40, 1};
+  low.priority = 0;
+  auto low_future = service.submit(low);
+  SampleJob mid{"a", 40, 2};
+  mid.priority = 3;
+  auto mid_future = service.submit(mid);
+
+  // Queue full. A higher-priority job displaces the weakest queued one.
+  SampleJob high{"a", 40, 3};
+  high.priority = 5;
+  auto high_future = service.submit(high);
+  try {
+    (void)low_future.get();
+    FAIL() << "expected the low-priority job to be shed";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceError::Code::kShed);
+  }
+
+  // An incoming job weaker than everything queued is itself shed — ties
+  // shed the newcomer too.
+  SampleJob weak{"a", 40, 4};
+  weak.priority = 3;  // ties mid's priority -> newcomer loses
+  try {
+    (void)service.submit(weak);
+    FAIL() << "expected the incoming job to be shed";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceError::Code::kShed);
+  }
+
+  service.resume();
+  EXPECT_EQ(mid_future.get().table.num_rows(), 40u);
+  EXPECT_EQ(high_future.get().table.num_rows(), 40u);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.shed, 1u);      // the queued victim
+  EXPECT_EQ(stats.rejected, 1u);  // the refused newcomer: never admitted
+  EXPECT_EQ(stats.completed, 2u);
+  // The outcome partition holds: every admitted job resolved once.
+  EXPECT_EQ(stats.submitted, stats.completed + stats.failed + stats.shed +
+                                 stats.cancelled + stats.deadline_missed);
+}
+
+TEST(AdmissionControl, VictimsShedBeforeIncomingLosesStillGetShedError) {
+  // Rows-bound shedding can evict a victim and *then* discover the
+  // remaining weakest outranks the incoming job. The already-evicted
+  // victim must still see ServiceError{kShed} — not a broken promise.
+  TempDir dir;
+  const auto path = fit_and_archive(dir, "smote");
+  ModelHost host;
+  host.register_archive("a", path);
+  ServiceConfig cfg;
+  cfg.admission = AdmissionPolicy::kShed;
+  cfg.max_queued_rows = 100;
+  SampleService service(host, cfg);
+
+  service.pause();
+  SampleJob a{"a", 10, 1};
+  a.priority = 1;
+  auto fa = service.submit(a);
+  SampleJob b{"a", 80, 2};
+  b.priority = 5;
+  auto fb = service.submit(b);  // 90 rows queued: under the bound
+  SampleJob c{"a", 80, 3};
+  c.priority = 3;  // outranks a, loses to b
+  try {
+    (void)service.submit(c);  // sheds a, then b blocks c -> c is shed
+    FAIL() << "expected the incoming job to be shed";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceError::Code::kShed);
+  }
+  try {
+    (void)fa.get();
+    FAIL() << "expected the evicted victim to be shed";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceError::Code::kShed);
+  }
+  service.resume();
+  EXPECT_EQ(fb.get().table.num_rows(), 80u);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.shed, 1u);      // the evicted victim
+  EXPECT_EQ(stats.rejected, 1u);  // the refused incoming job
+}
+
+TEST(Deadlines, QueuedJobPastDeadlineFailsAtDispatch) {
+  TempDir dir;
+  const auto path = fit_and_archive(dir, "smote");
+  ModelHost host;
+  host.register_archive("a", path);
+  SampleService service(host);
+
+  service.pause();
+  SampleJob doomed{"a", 80, 1};
+  doomed.deadline_ms = 5.0;
+  auto doomed_future = service.submit(doomed);
+  auto fine_future = service.submit(SampleJob{"a", 80, 2});  // no deadline
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  service.resume();
+  try {
+    (void)doomed_future.get();
+    FAIL() << "expected a deadline miss";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceError::Code::kDeadline);
+  }
+  EXPECT_EQ(fine_future.get().table.num_rows(), 80u);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.deadline_missed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);  // a deadline miss is not an execution error
+}
+
+TEST(Deadlines, MidSamplingExpiryUnwindsAtChunkBoundary) {
+  TempDir dir;
+  const auto path = fit_and_archive(dir, "smote");
+  ModelHost host;
+  host.register_archive("a", path);
+  SampleService service(host);
+
+  // Serial chunks (threads=1) with a progress hook that burns past the
+  // deadline after the first chunk: the next chunk-boundary check must
+  // kill the job and discard its partial output.
+  SampleJob job{"a", 200, 7};
+  job.chunk_rows = 50;  // 4 chunks
+  job.threads = 1;
+  job.deadline_ms = 40.0;
+  job.on_progress = [](std::size_t done, std::size_t /*total*/) {
+    if (done <= 50) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    }
+  };
+  auto future = service.submit(job);
+  try {
+    (void)future.get();
+    FAIL() << "expected a mid-sampling deadline miss";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceError::Code::kDeadline);
+  }
+  EXPECT_EQ(service.stats().deadline_missed, 1u);
+  // The service keeps serving (the batch unwound cleanly).
+  EXPECT_EQ(service.sample(SampleJob{"a", 60, 8}).num_rows(), 60u);
+}
+
+TEST(Cancellation, QueuedJobCancelsImmediately) {
+  TempDir dir;
+  const auto path = fit_and_archive(dir, "smote");
+  ModelHost host;
+  host.register_archive("a", path);
+  SampleService service(host);
+
+  service.pause();
+  auto submitted = service.submit_job(SampleJob{"a", 80, 1});
+  EXPECT_TRUE(service.cancel(submitted.job_id));
+  try {
+    (void)submitted.future.get();
+    FAIL() << "expected cancellation";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceError::Code::kCancelled);
+  }
+  EXPECT_FALSE(service.cancel(submitted.job_id));  // already resolved
+  EXPECT_FALSE(service.cancel(12345));             // never existed
+  service.resume();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(Cancellation, InFlightJobStopsAtNextChunkBoundary) {
+  TempDir dir;
+  const auto path = fit_and_archive(dir, "smote");
+  ModelHost host;
+  host.register_archive("a", path);
+  SampleService service(host);
+
+  // The job cancels *itself* from its progress hook — by then it is
+  // definitely mid-batch, so this exercises the chunk-boundary path, not
+  // the queued-removal path. threads=1 serializes chunks so at least one
+  // boundary check runs after the flag is set.
+  std::atomic<std::uint64_t> job_id{0};
+  std::atomic<bool> requested{false};
+  SampleJob job{"a", 400, 9};
+  job.chunk_rows = 50;  // 8 chunks
+  job.threads = 1;
+  job.on_progress = [&](std::size_t /*done*/, std::size_t /*total*/) {
+    const std::uint64_t id = job_id.load();
+    if (id != 0 && !requested.exchange(true)) {
+      EXPECT_TRUE(service.cancel(id));
+    }
+  };
+  service.pause();  // the id is stored before sampling can begin
+  auto submitted = service.submit_job(std::move(job));
+  job_id.store(submitted.job_id);
+  service.resume();
+  try {
+    (void)submitted.future.get();
+    FAIL() << "expected cancellation";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceError::Code::kCancelled);
+  }
+  EXPECT_EQ(service.stats().cancelled, 1u);
+  // Later jobs are untouched.
+  EXPECT_EQ(service.sample(SampleJob{"a", 70, 10}).num_rows(), 70u);
+}
+
+TEST(OverloadShutdown, DestructionMidOverloadReleasesBlockedSubmitters) {
+  TempDir dir;
+  const auto path = fit_and_archive(dir, "smote");
+  ModelHost host;
+  host.register_archive("a", path);
+
+  std::future<SampleResult> queued;
+  std::thread blocked;
+  std::atomic<bool> threw{false};
+  {
+    ServiceConfig cfg;
+    cfg.admission = AdmissionPolicy::kBlock;
+    cfg.max_queue_depth = 1;
+    SampleService service(host, cfg);
+    service.pause();
+    queued = service.submit(SampleJob{"a", 90, 1});
+    blocked = std::thread([&] {
+      try {
+        (void)service.submit(SampleJob{"a", 90, 2});
+      } catch (const std::logic_error&) {
+        threw.store(true);  // shutdown released the blocked submit
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    // Destructor: stop overrides pause, drains the queue, and wakes the
+    // blocked submitter — no deadlock.
+  }
+  blocked.join();
+  EXPECT_TRUE(threw.load());
+  EXPECT_EQ(queued.get().table.num_rows(), 90u);
+}
+
+// ----------------------------------------------------- host fault injection --
+
+TEST(HostFaultInjection, InjectedLoadFailureSurfacesAndThenRecovers) {
+  TempDir dir;
+  const auto path = fit_and_archive(dir, "smote");
+  ModelHost host;
+  host.register_archive("a", path);
+  host.inject_faults({.load_delay_ms = 0.0, .fail_loads = 1});
+
+  EXPECT_THROW((void)host.acquire("a"), std::runtime_error);
+  EXPECT_EQ(host.stats().load_failures, 1u);
+  // The loading flag was reset: the next acquire retries and succeeds.
+  EXPECT_NE(host.acquire("a"), nullptr);
+  EXPECT_EQ(host.stats().loads, 1u);
+
+  // Through the service: the failure lands on the job's future as an
+  // execution error, and the service keeps serving afterwards.
+  host.evict_idle();
+  host.inject_faults({.load_delay_ms = 0.0, .fail_loads = 1});
+  SampleService service(host);
+  auto doomed = service.submit(SampleJob{"a", 50, 1});
+  EXPECT_THROW((void)doomed.get(), std::runtime_error);
+  EXPECT_EQ(service.stats().failed, 1u);
+  EXPECT_EQ(service.sample(SampleJob{"a", 50, 2}).num_rows(), 50u);
+}
+
+TEST(HostFaultInjection, LeaseStaysDeterministicAcrossEvictReloadEvict) {
+  // The eviction-vs-lease race, widened with injected slow loads: a
+  // sampler holds a lease on "a" while other threads force a's entry
+  // through evict -> slow reload -> evict cycles. The lease must keep
+  // sampling bitwise-identically throughout, and post-race acquires must
+  // match too.
+  TempDir dir;
+  const auto path = fit_and_archive(dir, "smote");
+  HostConfig cfg;
+  cfg.capacity = 1;
+  ModelHost host(cfg);
+  host.register_archive("a", path);
+  host.register_archive("b", path);
+
+  models::SampleRequest request;
+  request.rows = 120;
+  request.seed = 77;
+  request.chunk_rows = 32;
+  request.threads = 1;
+  tabular::Table direct;
+  host.acquire("a")->sample_into(direct, request);
+  host.evict_idle();
+
+  host.inject_faults({.load_delay_ms = 10.0, .fail_loads = 0});
+  auto lease = host.acquire("a");  // slow load, then held across the race
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    // Alternating acquires at capacity 1: every switch evicts the other
+    // key and reloads it slowly.
+    while (!stop.load()) {
+      (void)host.acquire("b");
+      (void)host.acquire("a");
+    }
+  });
+  // Sample through the held lease until the churn thread has demonstrably
+  // pushed a's entry through evict -> reload -> evict again.
+  for (int i = 0; i < 200 && host.stats().evictions < 3; ++i) {
+    tabular::Table via_lease;
+    lease->sample_into(via_lease, request);
+    expect_tables_identical(direct, via_lease);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  churn.join();
+  host.inject_faults({});
+
+  EXPECT_GE(host.stats().evictions, 2u);
+  tabular::Table after;
+  host.acquire("a")->sample_into(after, request);
+  expect_tables_identical(direct, after);
 }
 
 // ------------------------------------------------- pipeline as thin client --

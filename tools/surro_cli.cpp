@@ -17,7 +17,12 @@
 //                          refresh=cold,warm;models=smote,tvae"
 //                          --window 7 --json-out stream.json
 //   surro_cli serve        --models "smote=model.bin" --script reqs.jsonl
-//                          --clients 4 --capacity 2 --json-out serve.json
+//                          --clients 4 --capacity 2 --admission reject
+//                          --max-queue 8 --json-out serve.json
+//   surro_cli soak         --models "smote=model.bin" --load "0.5,1,2,4"
+//                          --clients 4 --rows 1000 --duration 2
+//                          --admission reject --max-queue 4
+//                          --json-out soak.json
 //
 // Tables are CSV files with the paper's 9-column schema (see
 // panda::job_table_schema). Models are addressed by registry key; `models`
@@ -33,8 +38,12 @@
 // curves plus refresh timings. `serve` stands up the serving layer — a
 // ModelHost LRU cache over saved archives plus the batching SampleService —
 // replays a request script against it from N concurrent clients, and
-// writes the serve_stats JSON artifact. See docs/CLI.md for the full
-// reference.
+// writes the serve_stats JSON artifact; --admission/--max-queue/
+// --max-queued-rows bound the admission queue (block, reject, or shed on
+// overflow). `soak` drives the bounded service with Poisson-arrival
+// clients at a sweep of offered-load multipliers and verifies the
+// overload SLOs plus per-job output determinism (serve_soak artifact).
+// See docs/CLI.md for the full reference.
 
 #include <algorithm>
 #include <cstdio>
@@ -135,8 +144,16 @@ int usage() {
       "               --script FILE.jsonl | --requests "
       "\"model=K,rows=N,seed=S,repeat=R;...\"\n"
       "               --clients C --rounds R --capacity N --threads T\n"
-      "               --chunk-rows C --max-batch B --json-out FILE"
-      " [--verbose]\n",
+      "               --chunk-rows C --max-batch B\n"
+      "               --admission {block|reject|shed} --max-queue D\n"
+      "               --max-queued-rows R --json-out FILE [--verbose]\n"
+      "  soak         --models \"K1=FILE;K2=FILE\" | --models-dir DIR\n"
+      "               --load \"0.5,1,2,4\" --clients C --rows N\n"
+      "               --duration SECONDS --streams K --deadline-ms D\n"
+      "               --admission {block|reject|shed} --max-queue D\n"
+      "               --max-queued-rows R --capacity N --threads T\n"
+      "               --chunk-rows C --max-batch B --seed S\n"
+      "               --json-out FILE [--verbose]\n",
       keys.c_str(), keys.c_str());
   return 2;
 }
@@ -478,15 +495,20 @@ void register_serve_models(serve::ModelHost& host, const Args& args) {
   }
 }
 
+/// Range-checked count flag: a negative double → size_t cast is UB, so
+/// reject bad input instead of wrapping (mirrors serve's script parser).
+std::size_t count_flag(const Args& args, const std::string& key,
+                       double fallback) {
+  const double v = args.num(key, fallback);
+  if (!(v >= 0.0) || v > 1e12) {
+    throw std::invalid_argument("--" + key + " out of range");
+  }
+  return static_cast<std::size_t>(v);
+}
+
 int cmd_serve(const Args& args) {
-  // Range-checked count flags: a negative double → size_t cast is UB, so
-  // reject bad input instead of wrapping (mirrors serve's script parser).
   const auto count = [&args](const std::string& key, double fallback) {
-    const double v = args.num(key, fallback);
-    if (!(v >= 0.0) || v > 1e12) {
-      throw std::invalid_argument("serve: --" + key + " out of range");
-    }
-    return static_cast<std::size_t>(v);
+    return count_flag(args, key, fallback);
   };
 
   serve::HostConfig host_cfg;
@@ -498,6 +520,10 @@ int cmd_serve(const Args& args) {
   svc_cfg.sample_threads = count("threads", 0.0);
   svc_cfg.chunk_rows = count("chunk-rows", 4096.0);
   svc_cfg.max_batch = count("max-batch", 8.0);
+  svc_cfg.admission = serve::parse_admission_policy(
+      args.get("admission", "block"));
+  svc_cfg.max_queue_depth = count("max-queue", 0.0);
+  svc_cfg.max_queued_rows = count("max-queued-rows", 0.0);
   serve::SampleService service(host, svc_cfg);
 
   serve::ReplayScript script;
@@ -518,8 +544,9 @@ int cmd_serve(const Args& args) {
 
   const auto result = serve::run_replay(service, script, opts);
   const auto& s = result.stats;
-  std::printf("serve: %llu jobs (%llu rows) from %zu clients over %zu "
-              "models, %.2fs wall\n",
+  std::printf("serve: %llu/%llu jobs completed (%llu rows) from %zu "
+              "clients over %zu models, %.2fs wall\n",
+              static_cast<unsigned long long>(result.completed),
               static_cast<unsigned long long>(result.jobs),
               static_cast<unsigned long long>(result.rows), opts.clients,
               host.keys().size(), result.wall_seconds);
@@ -528,10 +555,19 @@ int cmd_serve(const Args& args) {
                   ? static_cast<double>(result.rows) / result.wall_seconds
                   : 0.0,
               result.wall_seconds > 0.0
-                  ? static_cast<double>(result.jobs) / result.wall_seconds
+                  ? static_cast<double>(result.completed) /
+                        result.wall_seconds
                   : 0.0);
-  std::printf("  latency         p50 %.2f ms, p95 %.2f ms\n",
-              s.p50_latency_ms, s.p95_latency_ms);
+  std::printf("  latency         p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+              s.p50_latency_ms, s.p95_latency_ms, s.p99_latency_ms);
+  if (result.rejected > 0 || result.shed > 0 ||
+      result.deadline_missed > 0) {
+    std::printf("  overload        %llu rejected, %llu shed, %llu "
+                "deadline-missed\n",
+                static_cast<unsigned long long>(result.rejected),
+                static_cast<unsigned long long>(result.shed),
+                static_cast<unsigned long long>(result.deadline_missed));
+  }
   std::printf("  batching        %llu batches, %.2f jobs/batch\n",
               static_cast<unsigned long long>(s.batches),
               s.mean_batch_jobs);
@@ -554,6 +590,68 @@ int cmd_serve(const Args& args) {
   file << serve::serve_stats_to_json(service, opts, result) << '\n';
   std::printf("wrote %s\n", out.c_str());
   return result.failures == 0 ? 0 : 1;
+}
+
+int cmd_soak(const Args& args) {
+  const auto count = [&args](const std::string& key, double fallback) {
+    return count_flag(args, key, fallback);
+  };
+
+  serve::HostConfig host_cfg;
+  host_cfg.capacity = count("capacity", 4.0);
+  serve::ModelHost host(host_cfg);
+  register_serve_models(host, args);
+
+  serve::SoakConfig soak;
+  soak.models = host.keys();
+  const std::string load_spec = args.get("load");  // split() keeps views
+  if (args.has("load")) {
+    soak.load_multipliers.clear();
+    for (const auto raw : util::split(load_spec, ',')) {
+      const auto value = util::trim(raw);
+      if (value.empty()) continue;
+      double m = 0.0;
+      if (!util::parse_double(value, m) || !(m > 0.0)) {
+        throw std::invalid_argument("soak: bad --load multiplier '" +
+                                    std::string(value) + "'");
+      }
+      soak.load_multipliers.push_back(m);
+    }
+  }
+  soak.clients = count("clients", 4.0);
+  soak.rows_per_job = count("rows", 1000.0);
+  soak.chunk_rows = count("chunk-rows", 1024.0);
+  soak.seed_streams = count("streams", 4.0);
+  // Range-checked like every count flag: a negative double → uint64 cast
+  // is UB, not a wrap.
+  soak.seed = static_cast<std::uint64_t>(count("seed", 42.0));
+  soak.duration_seconds = args.num("duration", 2.0);
+  soak.deadline_ms = args.num("deadline-ms", 0.0);
+  soak.admission = serve::parse_admission_policy(
+      args.get("admission", "reject"));
+  soak.max_queue_depth = count("max-queue", 0.0);
+  soak.max_queued_rows = count("max-queued-rows", 0.0);
+  soak.sample_threads = count("threads", 0.0);
+  soak.max_batch = count("max-batch", 8.0);
+  soak.verbose = args.flag("verbose");
+  if (!(soak.duration_seconds > 0.0)) {
+    throw std::invalid_argument("soak: --duration must be positive");
+  }
+
+  const auto result = serve::run_soak(host, soak);
+  std::printf("soak: %zu models, capacity %.1f jobs/s, admission %s "
+              "(depth %zu)\n",
+              soak.models.size(), result.capacity_jobs_per_sec,
+              serve::admission_policy_name(soak.admission),
+              soak.effective_queue_depth());
+  std::printf("%s", serve::render_soak(result).c_str());
+
+  const std::string out = args.get("json-out", "serve_soak.json");
+  std::ofstream file(out, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot write " + out);
+  file << serve::soak_to_json(soak, result) << '\n';
+  std::printf("wrote %s\n", out.c_str());
+  return result.deterministic ? 0 : 1;
 }
 
 int cmd_simulate(const Args& args) {
@@ -607,6 +705,7 @@ int main(int argc, char** argv) {
     if (cmd == "matrix") return cmd_matrix(args);
     if (cmd == "stream") return cmd_stream(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "soak") return cmd_soak(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
