@@ -12,13 +12,19 @@
 //     around a job never change what it returns.
 //
 //   ./serve_soak --quick --json-out serve_soak.json
+//   ./serve_soak --quick --socket        # same sweep over a loopback HTTP
+//                                        # socket (net::HttpEndpoint)
 //
 // Two runs with the same seeds must agree on `expected_hash` (and both
 // report deterministic=true) — the cross-run half of the contract, checked
-// by the soak-smoke CI job.
+// by the soak-smoke CI job. With --socket the digests are *also* compared
+// against in-process expectations, so a socket run agreeing with an
+// in-process run proves the wire path (serialization, pagination,
+// reassembly) preserves the determinism contract byte-for-byte.
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -72,11 +78,16 @@ SoakScale scale_for(bench::Profile profile) {
 
 int main(int argc, char** argv) {
   const auto opts = bench::parse_options(argc, argv, bench::Profile::kQuick);
+  bool over_socket = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0) over_socket = true;
+  }
   auto cfg = bench::experiment_config(opts.profile);
   const auto scale = scale_for(opts.profile);
 
-  std::printf("== serve_soak (%s profile) ==\n",
-              bench::profile_name(opts.profile));
+  std::printf("== serve_soak (%s profile, %s transport) ==\n",
+              bench::profile_name(opts.profile),
+              over_socket ? "socket" : "in-process");
   const auto data = eval::prepare_data(cfg);
   std::printf("training %zu models on %zu rows...\n", scale.models.size(),
               data.train.num_rows());
@@ -109,6 +120,7 @@ int main(int argc, char** argv) {
   soak.admission = serve::AdmissionPolicy::kReject;
   soak.max_queue_depth = scale.max_queue_depth;
   soak.verbose = true;
+  soak.over_socket = over_socket;
 
   const auto result = serve::run_soak(host, soak);
   std::filesystem::remove_all(archive_dir);

@@ -1,0 +1,83 @@
+#pragma once
+// Per-client API keys and token-bucket quotas for the HTTP front end.
+//
+// Keys are opaque strings loaded from a flat file (`surro_cli serve
+// --api-keys-file`): one key per line, '#' comments and blank lines
+// skipped, an optional per-key rate after whitespace overriding the
+// service-wide default. An empty registry means open access (the
+// anonymous client still gets a quota bucket, so rate limits work
+// without auth).
+//
+// Quotas are classic token buckets: capacity `burst`, refilled at `rps`
+// tokens/second, one token per request. A drained bucket yields the
+// Retry-After seconds the REST layer surfaces with its 429 — the
+// contract SNIPPETS.md Snippet 2's permission/rate shape calls for,
+// without a web framework. The clock is injected (seconds on the
+// caller's monotonic stopwatch) so tests can replay time.
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace surro::net {
+
+/// One client's refillable request allowance. Not thread-safe on its own;
+/// QuotaLedger serializes access.
+class TokenBucket {
+ public:
+  /// `rps` tokens/second up to `burst` capacity; rps <= 0 disables limiting
+  /// (try_take always succeeds). burst <= 0 defaults to max(1, rps).
+  TokenBucket(double rps, double burst);
+
+  /// Spend one token at monotonic time `now_seconds`. On refusal returns
+  /// the seconds until a token accrues (the Retry-After value).
+  [[nodiscard]] bool try_take(double now_seconds, double* retry_after);
+
+  [[nodiscard]] double rps() const noexcept { return rps_; }
+
+ private:
+  double rps_;
+  double burst_;
+  double tokens_;
+  double last_ = 0.0;  // refill timestamp
+};
+
+/// The key registry + per-key buckets. Thread-safe.
+class QuotaLedger {
+ public:
+  /// `default_rps` applies to keys without their own rate (and to the
+  /// anonymous client when the registry is empty); 0 = unlimited.
+  explicit QuotaLedger(double default_rps = 0.0, double default_burst = 0.0);
+
+  /// Register a key, optionally with its own rate (overrides the default).
+  void add_key(const std::string& key, std::optional<double> rps = {});
+
+  /// Parse an --api-keys-file: one key per line, optional rate column
+  /// ("prod-key-1 200"), '#' comments. Throws std::runtime_error on an
+  /// unreadable file or malformed rate.
+  void load_file(const std::string& path);
+
+  /// True when no keys are registered: requests without a key are allowed
+  /// (they share the anonymous bucket).
+  [[nodiscard]] bool open_access() const;
+
+  /// True when `key` is registered (or access is open and key is empty).
+  [[nodiscard]] bool authorized(const std::string& key) const;
+
+  /// Charge one request to `key`'s bucket at time `now_seconds`. Returns
+  /// false with Retry-After seconds when the quota is exhausted.
+  [[nodiscard]] bool charge(const std::string& key, double now_seconds,
+                            double* retry_after);
+
+  [[nodiscard]] std::size_t num_keys() const;
+
+ private:
+  double default_rps_;
+  double default_burst_;
+  mutable std::mutex mutex_;
+  std::map<std::string, double> keys_;      // key -> rps (0 = unlimited)
+  std::map<std::string, TokenBucket> buckets_;
+};
+
+}  // namespace surro::net

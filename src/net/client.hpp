@@ -1,0 +1,141 @@
+#pragma once
+// Loopback-grade HTTP/1.1 client for the serving front end: the soak
+// harness's socket mode, the `surro_cli request` command, the e2e tests,
+// and bench/serve_http all drive the server through this instead of
+// shelling out to curl (the container bakes in no HTTP tooling).
+//
+// Two layers:
+//   * HttpClient — one keep-alive connection: serialize a request, read
+//     one Content-Length-framed response. Reconnects transparently when
+//     the server closed the connection (keep-alive budget, idle timeout).
+//   * ApiClient — the REST protocol: submit jobs, long-poll + paginate
+//     results back into a tabular::Table (the bytes the determinism
+//     digest hashes), cancel, stats. Non-2xx answers throw ApiError
+//     carrying the structured {code, message} body and any Retry-After.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "net/http.hpp"
+#include "tabular/table.hpp"
+
+namespace surro::net {
+
+/// One keep-alive HTTP/1.1 connection to host:port. Not thread-safe; give
+/// each client thread its own instance (exactly like one remote user).
+class HttpClient {
+ public:
+  HttpClient(std::string host, std::uint16_t port,
+             double timeout_seconds = 30.0);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Issue one request and read the full response. Connects lazily and
+  /// retries once on a dead keep-alive connection. Throws
+  /// std::runtime_error on connect/send/recv failure or a malformed
+  /// response.
+  HttpResponse request(const std::string& method, const std::string& target,
+                       const std::string& body = "",
+                       const std::map<std::string, std::string>& headers = {});
+
+  /// Drop the connection (the next request reconnects).
+  void disconnect();
+
+ private:
+  void connect();
+  /// Send the serialized request; false when the peer hung up (caller
+  /// reconnects and retries once).
+  bool send_request(const std::string& wire);
+  /// Read one response; false on a clean EOF before any byte (dead
+  /// keep-alive connection).
+  bool read_response(HttpResponse& out);
+
+  std::string host_;
+  std::uint16_t port_;
+  double timeout_seconds_;
+  int fd_ = -1;
+  std::string rx_;  // bytes past the previous response (rare, kept anyway)
+};
+
+/// A non-2xx REST answer, decoded: HTTP status, the structured error code
+/// ("unauthorized", "quota_exhausted", "overloaded", ...), and Retry-After
+/// seconds when the server sent one (-1 otherwise).
+class ApiError : public std::runtime_error {
+ public:
+  ApiError(int status, std::string code, const std::string& message,
+           double retry_after)
+      : std::runtime_error(code + ": " + message),
+        status_(status),
+        code_(std::move(code)),
+        retry_after_(retry_after) {}
+  [[nodiscard]] int status() const noexcept { return status_; }
+  [[nodiscard]] const std::string& code() const noexcept { return code_; }
+  [[nodiscard]] double retry_after() const noexcept { return retry_after_; }
+
+ private:
+  int status_;
+  std::string code_;
+  double retry_after_;
+};
+
+/// What ApiClient::wait_result reassembles from the paginated pages.
+struct RemoteResult {
+  tabular::Table table;
+  std::string model_key;
+  /// Service-side timings from the job document (not wire round-trip).
+  double queue_seconds = 0.0;
+  double sample_seconds = 0.0;
+  double total_seconds = 0.0;
+  bool cache_hit = false;
+  std::size_t pages = 0;  ///< GET pages it took to drain the result
+};
+
+/// The REST protocol over one HttpClient connection.
+class ApiClient {
+ public:
+  /// `api_key` empty = anonymous (works when the server is open-access).
+  ApiClient(std::string host, std::uint16_t port, std::string api_key = "",
+            double timeout_seconds = 30.0);
+
+  /// POST /v1/sample. Returns the job id. Throws ApiError on refusal
+  /// (quota, auth, admission) — "overloaded"/"shed" map from the typed
+  /// ServiceError exactly as the in-process submit would throw them.
+  std::uint64_t submit(const std::string& model, std::size_t rows,
+                       std::uint64_t seed, std::size_t chunk_rows = 0,
+                       int priority = 0, double deadline_ms = 0.0);
+
+  /// Long-poll GET /v1/jobs/{id} until resolution, then page the rows
+  /// back into a Table. Throws ApiError with the job's error code when
+  /// the job failed ("cancelled", "deadline", "shed", "execution").
+  RemoteResult wait_result(std::uint64_t job_id, std::size_t page_rows = 0,
+                           double poll_wait_ms = 1000.0);
+
+  /// DELETE /v1/jobs/{id}; true when the job was still live to cancel.
+  bool cancel(std::uint64_t job_id);
+
+  /// Sorted model keys from GET /v1/models.
+  std::vector<std::string> models();
+
+  /// Raw GET /v1/stats document.
+  std::string stats_json();
+
+  /// GET /healthz round-trip succeeded.
+  bool healthy();
+
+  [[nodiscard]] HttpClient& http() noexcept { return http_; }
+
+ private:
+  /// Issue + decode: non-2xx throws ApiError (parsing the error body).
+  HttpResponse call(const std::string& method, const std::string& target,
+                    const std::string& body = "");
+
+  HttpClient http_;
+  std::string api_key_;
+};
+
+}  // namespace surro::net

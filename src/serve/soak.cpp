@@ -9,6 +9,8 @@
 #include <thread>
 #include <utility>
 
+#include "net/client.hpp"
+#include "net/rest.hpp"
 #include "serve/latency_window.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -143,6 +145,32 @@ SoakResult run_soak(ModelHost& host, const SoakConfig& cfg) {
   svc_cfg.max_queued_rows = cfg.max_queued_rows;
   SampleService service(host, svc_cfg);
 
+  // Socket mode: the same bounded service, but behind the REST front end
+  // on an ephemeral loopback port. Clients switch from submit()/future to
+  // ApiClient POST + paginated GET; everything else (arrival processes,
+  // identity cycling, expected digests) is shared, so a digest or SLO
+  // difference between the two modes isolates the wire path.
+  std::unique_ptr<net::HttpEndpoint> endpoint;
+  std::uint16_t port = 0;
+  if (cfg.over_socket) {
+    net::RestConfig rest_cfg;
+    rest_cfg.max_wait_ms = std::max(rest_cfg.max_wait_ms, cfg.poll_wait_ms);
+    // Retained-job headroom: every client paginates its own backlog; the
+    // purge must never evict a half-read result under it.
+    rest_cfg.completed_cap = std::max<std::size_t>(256, cfg.clients * 8);
+    net::ServerConfig server_cfg;
+    server_cfg.worker_threads =
+        cfg.http_workers != 0 ? cfg.http_workers : cfg.clients + 2;
+    endpoint = std::make_unique<net::HttpEndpoint>(service, rest_cfg,
+                                                   server_cfg);
+    endpoint->server.start();
+    port = endpoint->server.port();
+    if (cfg.verbose) {
+      std::printf("soak: socket mode on 127.0.0.1:%u (%zu http workers)\n",
+                  static_cast<unsigned>(port), server_cfg.worker_threads);
+    }
+  }
+
   for (std::size_t p = 0; p < cfg.load_multipliers.size(); ++p) {
     SoakPoint point;
     point.multiplier = cfg.load_multipliers[p];
@@ -238,10 +266,90 @@ SoakResult run_soak(ModelHost& host, const SoakConfig& cfg) {
       }
     };
 
+    // The socket twin of `client`: same arrival process, same identity
+    // cycling, but every submit is a POST and every harvest a long-poll +
+    // pagination loop that rebuilds the table from the wire bytes before
+    // digesting it.
+    const auto socket_client = [&](std::size_t c) {
+      auto& tally = tallies[c];
+      util::Rng arrivals(arrival_seed(cfg, p, c));
+      net::ApiClient api("127.0.0.1", port);
+      struct Accepted {
+        std::uint64_t job_id = 0;
+        std::size_t identity = 0;
+      };
+      std::vector<Accepted> in_flight;
+      util::Stopwatch clock;
+      double next_at = arrivals.exponential(rate_per_client);
+      std::size_t k = c;
+      const double hard_stop = cfg.duration_seconds * 20.0;
+      for (;;) {
+        const double now = clock.seconds();
+        if (now >= cfg.duration_seconds &&
+            (tally.submitted >= min_per_client || now >= hard_stop)) {
+          break;
+        }
+        if (next_at > now) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              std::min(next_at - now, hard_stop - now)));
+          continue;
+        }
+        next_at += arrivals.exponential(rate_per_client);
+        const std::size_t identity = k % identities;
+        k += cfg.clients;
+        ++tally.submitted;
+        const SampleJob job = make_job(identity);
+        try {
+          const std::uint64_t id =
+              api.submit(job.model_key, job.rows, job.seed, job.chunk_rows,
+                         job.priority, job.deadline_ms);
+          in_flight.push_back({id, identity});
+        } catch (const net::ApiError& e) {
+          // The structured codes are the typed ServiceError, 1:1.
+          if (e.code() == "shed") {
+            ++tally.shed;
+          } else if (e.code() == "overloaded") {
+            ++tally.rejected;
+          } else {
+            ++tally.failed;
+          }
+        } catch (const std::exception&) {
+          ++tally.failed;
+        }
+      }
+      for (const auto& entry : in_flight) {
+        try {
+          const net::RemoteResult r =
+              api.wait_result(entry.job_id, cfg.page_rows, cfg.poll_wait_ms);
+          ++tally.accepted;
+          // Service-reported latency, same semantics as the in-process
+          // mode (the SLO is about the service, not wire round-trips).
+          tally.latencies_ms.push_back(r.total_seconds * 1e3);
+          if (hash_table(r.table) != expected_for(entry.identity)) {
+            tally.hashes_ok = false;
+          }
+        } catch (const net::ApiError& e) {
+          if (e.code() == "shed") {
+            ++tally.shed;
+          } else if (e.code() == "deadline") {
+            ++tally.deadline_missed;
+          } else {
+            ++tally.failed;
+          }
+        } catch (const std::exception&) {
+          ++tally.failed;
+        }
+      }
+    };
+
     std::vector<std::thread> threads;
     threads.reserve(cfg.clients);
     for (std::size_t c = 0; c < cfg.clients; ++c) {
-      threads.emplace_back(client, c);
+      if (cfg.over_socket) {
+        threads.emplace_back(socket_client, c);
+      } else {
+        threads.emplace_back(client, c);
+      }
     }
     for (auto& t : threads) t.join();
     service.drain();  // the no-deadlock-on-drain-mid-overload check
@@ -303,6 +411,12 @@ SoakResult run_soak(ModelHost& host, const SoakConfig& cfg) {
           : std::nan("");
 
   result.final_stats = service.stats();
+  if (endpoint) {
+    const net::ServerStats server = endpoint->server.stats();
+    result.http_connections = server.connections;
+    result.http_requests = server.requests;
+    endpoint->server.stop();  // before the service (handlers borrow it)
+  }
   result.wall_seconds = total.seconds();
   return result;
 }
@@ -362,7 +476,9 @@ std::string soak_to_json(const SoakConfig& cfg, const SoakResult& result) {
   w.kv("max_queued_rows", cfg.max_queued_rows);
   w.kv("sample_threads", cfg.sample_threads);
   w.kv("max_batch", cfg.max_batch);
+  w.kv("over_socket", cfg.over_socket);
   w.end_object();
+  w.kv("transport", cfg.over_socket ? "socket" : "in-process");
   w.kv("capacity_jobs_per_sec", result.capacity_jobs_per_sec);
   w.kv("expected_hash", hash_hex);
   w.key("sweep").begin_array();
@@ -409,6 +525,12 @@ std::string soak_to_json(const SoakConfig& cfg, const SoakResult& result) {
   w.kv("evictions", s.host.evictions);
   w.kv("hit_rate", s.host.hit_rate());
   w.end_object();
+  if (cfg.over_socket) {
+    w.key("http").begin_object();
+    w.kv("connections", result.http_connections);
+    w.kv("requests", result.http_requests);
+    w.end_object();
+  }
   w.kv("wall_seconds", result.wall_seconds);
   w.end_object();
   return w.str();

@@ -51,6 +51,24 @@ struct SoakConfig {
   std::size_t calibration_jobs_per_client = 4;
   bool verbose = false;
 
+  /// Drive the sweep over a loopback HTTP socket instead of in-process
+  /// submits: run_soak stands up a net::HttpEndpoint (ephemeral port) over
+  /// the bounded service, and every client becomes a net::ApiClient —
+  /// POST /v1/sample for each arrival, then long-poll + paginate the rows
+  /// back and digest them. Calibration and the expected digests stay
+  /// in-process on purpose: the check is that the socket path lands on the
+  /// *same* expected_hash, i.e. the determinism contract and the overload
+  /// SLOs survive the wire (serialization, pagination, reassembly).
+  bool over_socket = false;
+  /// HTTP server worker threads in socket mode (0 = clients + 2, enough
+  /// that every client can hold a connection plus slack for stats probes).
+  std::size_t http_workers = 0;
+  /// Page size clients paginate results with (0 = the server's default
+  /// page, which still exercises pagination when rows_per_job exceeds it).
+  std::size_t page_rows = 0;
+  /// Long-poll budget per GET /v1/jobs/{id} while a job is pending.
+  double poll_wait_ms = 250.0;
+
   /// The queue-depth bound the sweep service actually enforces (resolves
   /// the 0 = clients default). Single source of truth for run_soak, the
   /// JSON artifact, and the CLI banner.
@@ -104,6 +122,10 @@ struct SoakResult {
   double p95_ratio_vs_low_load = 0.0;
   ServiceStats final_stats;  ///< cumulative service stats after the sweep
   double wall_seconds = 0.0;
+  /// Socket-mode tallies (zero for in-process runs): the HTTP server's
+  /// accepted connections and answered requests across the whole sweep.
+  std::uint64_t http_connections = 0;
+  std::uint64_t http_requests = 0;
 };
 
 /// Run calibration + the sweep against models registered in `host`.

@@ -26,9 +26,19 @@ const char* kind_name(JsonValue::Kind kind) {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : s_(text) {}
+  Parser(std::string_view text, const JsonLimits& limits)
+      : s_(text), limits_(limits) {}
 
   JsonValue parse() {
+    // The byte cap is judged before any parsing work: a hostile megabyte
+    // document costs O(1) to refuse, not O(n) to half-parse.
+    if (limits_.max_bytes != 0 && s_.size() > limits_.max_bytes) {
+      throw JsonParseError(
+          "json: document of " + std::to_string(s_.size()) +
+              " bytes exceeds the " + std::to_string(limits_.max_bytes) +
+              "-byte limit",
+          0);
+    }
     JsonValue v = value();
     skip_ws();
     if (pos_ != s_.size()) fail("trailing content after document");
@@ -36,19 +46,15 @@ class Parser {
   }
 
  private:
-  /// Containers may nest at most this deep. The parser is recursive-descent,
-  /// so nesting depth is stack depth; without a cap a hostile --script input
-  /// ("[[[[..." ten thousand levels down) overflows the stack instead of
-  /// failing the parse. 128 is far beyond any legitimate document here
-  /// (request scripts and artifacts nest < 10) yet a few KB of stack.
-  static constexpr std::size_t kMaxDepth = 128;
-
-  /// RAII depth ticket: value() holds one per container level.
+  /// RAII depth ticket: value() holds one per container level. The parser
+  /// is recursive-descent, so nesting depth is stack depth; without the
+  /// cap a hostile "[[[[..." ten thousand levels down overflows the stack
+  /// instead of failing the parse.
   struct DepthGuard {
     explicit DepthGuard(Parser& parser) : parser_(parser) {
-      if (++parser_.depth_ > kMaxDepth) {
-        parser_.fail("nesting deeper than " + std::to_string(kMaxDepth) +
-                     " levels");
+      if (++parser_.depth_ > parser_.limits_.max_depth) {
+        parser_.fail("nesting deeper than " +
+                     std::to_string(parser_.limits_.max_depth) + " levels");
       }
     }
     ~DepthGuard() { --parser_.depth_; }
@@ -57,8 +63,9 @@ class Parser {
     Parser& parser_;
   };
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("json: " + what + " at offset " +
-                             std::to_string(pos_));
+    throw JsonParseError("json: " + what + " at offset " +
+                             std::to_string(pos_),
+                         pos_);
   }
 
   void skip_ws() {
@@ -201,11 +208,61 @@ class Parser {
           }
           default: fail("unknown escape");
         }
+      } else {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+          // RFC 8259 requires control characters to be escaped; the writer
+          // escapes them (json_escape), so a raw one is malformed input.
+          --pos_;
+          fail("raw control character in string (escape it as \\u00XX)");
+        }
+        if (u >= 0x80) {
+          --pos_;
+          utf8_sequence(v.string);
+          continue;
+        }
       }
       v.string += c;
     }
     expect('"');
     return v;
+  }
+
+  /// Validate + copy one multi-byte UTF-8 sequence starting at pos_.
+  /// Rejects stray continuation bytes, overlong encodings, surrogate code
+  /// points (0xED 0xA0.. — valid only as \u escape pairs), anything past
+  /// U+10FFFF, and truncation.
+  void utf8_sequence(std::string& out) {
+    const unsigned char lead = static_cast<unsigned char>(s_[pos_]);
+    std::size_t len = 0;
+    unsigned char min_second = 0x80;
+    unsigned char max_second = 0xBF;
+    if (lead >= 0xC2 && lead <= 0xDF) {
+      len = 2;
+    } else if (lead >= 0xE0 && lead <= 0xEF) {
+      len = 3;
+      if (lead == 0xE0) min_second = 0xA0;  // overlong
+      if (lead == 0xED) max_second = 0x9F;  // UTF-16 surrogate range
+    } else if (lead >= 0xF0 && lead <= 0xF4) {
+      len = 4;
+      if (lead == 0xF0) min_second = 0x90;  // overlong
+      if (lead == 0xF4) max_second = 0x8F;  // past U+10FFFF
+    } else {
+      // 0x80..0xBF (stray continuation) or 0xC0/0xC1/0xF5..0xFF (never
+      // valid leads).
+      fail("invalid UTF-8 byte in string");
+    }
+    if (pos_ + len > s_.size()) fail("truncated UTF-8 sequence in string");
+    for (std::size_t i = 1; i < len; ++i) {
+      const unsigned char b = static_cast<unsigned char>(s_[pos_ + i]);
+      const unsigned char lo = i == 1 ? min_second : 0x80;
+      const unsigned char hi = i == 1 ? max_second : 0xBF;
+      if (b < lo || b > hi) {
+        fail("invalid UTF-8 continuation byte in string");
+      }
+    }
+    out.append(s_.substr(pos_, len));
+    pos_ += len;
   }
 
   JsonValue boolean() {
@@ -244,8 +301,9 @@ class Parser {
   }
 
   std::string_view s_;
+  JsonLimits limits_;
   std::size_t pos_ = 0;
-  std::size_t depth_ = 0;  // current container nesting (see kMaxDepth)
+  std::size_t depth_ = 0;  // current container nesting (<= limits_.max_depth)
 };
 
 }  // namespace
@@ -287,8 +345,12 @@ std::string JsonValue::string_or(const std::string& key,
   return has(key) ? at(key).as_string() : fallback;
 }
 
+JsonValue parse_json(std::string_view text, const JsonLimits& limits) {
+  return Parser(text, limits).parse();
+}
+
 JsonValue parse_json(std::string_view text) {
-  return Parser(text).parse();
+  return parse_json(text, JsonLimits{});
 }
 
 }  // namespace surro::util

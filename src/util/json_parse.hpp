@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -50,11 +51,44 @@ struct JsonValue {
                                       const std::string& fallback) const;
 };
 
+/// What a parse rejected and where. Subclasses std::runtime_error so every
+/// pre-existing catch site keeps working; new consumers (the HTTP front
+/// end) can catch the typed form and surface the offset.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what), offset_(offset) {}
+  /// Byte offset into the document where the parse failed.
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Hostile-input bounds for documents that arrive over the network (the
+/// HTTP front end mirrors its body cap here so the framing layer and the
+/// parser agree on "too big").
+struct JsonLimits {
+  /// Maximum document size in bytes; 0 = unlimited (trusted local input).
+  std::size_t max_bytes = 0;
+  /// Maximum container nesting. The parser is recursive-descent, so depth
+  /// is stack depth; the cap turns a hostile "[[[[..." into a JsonParseError
+  /// instead of a stack overflow.
+  std::size_t max_depth = 128;
+};
+
 /// Parse one complete JSON document; trailing non-whitespace is an error.
-/// Throws std::runtime_error with a character offset on malformed input.
-/// Containers may nest at most 128 levels deep — beyond that the parse
-/// fails (rather than letting a hostile "[[[[..." input overflow the
-/// recursive-descent stack).
+/// Throws JsonParseError (a std::runtime_error) with a byte offset on
+/// malformed input. Strict by design — the checks network input relies on:
+///   * containers nest at most `limits.max_depth` levels;
+///   * a document longer than `limits.max_bytes` (when nonzero) is refused
+///     before any parsing work;
+///   * strings must be valid UTF-8 (overlong encodings, surrogate bytes,
+///     and truncated sequences are rejected) with control characters
+///     < 0x20 escaped, exactly as util::json_escape writes them.
+[[nodiscard]] JsonValue parse_json(std::string_view text,
+                                   const JsonLimits& limits);
+/// Default limits: no byte cap (trusted local input), depth 128.
 [[nodiscard]] JsonValue parse_json(std::string_view text);
 
 }  // namespace surro::util

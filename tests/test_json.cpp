@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -118,6 +119,100 @@ TEST(JsonParse, DeepNestingFailsParseInsteadOfOverflowingTheStack) {
   ok.append(128, ']');
   const auto doc = parse(ok);
   EXPECT_EQ(doc.kind, JsonValue::Kind::kArray);
+}
+
+TEST(JsonParse, EveryControlCharacterRoundTripsThroughWriterEscapes) {
+  // The writer escapes the full C0 range as \u00XX (or the short \n-style
+  // forms); the parser must rebuild the exact byte for all 32 of them —
+  // this is what lets categorical labels with embedded control bytes
+  // survive the HTTP wire format losslessly.
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string original(1, static_cast<char>(c));
+    JsonWriter w;
+    w.begin_object();
+    w.kv("s", original);
+    w.end_object();
+    const auto doc = parse(w.str());
+    EXPECT_EQ(doc.at("s").as_string(), original) << "control char " << c;
+  }
+  // And a raw (unescaped) control character is rejected as malformed.
+  for (int c = 0; c < 0x20; ++c) {
+    if (c == '\t' || c == '\n' || c == '\r') continue;  // ws outside strings
+    const std::string raw = std::string("\"a") +
+                            static_cast<char>(c) + "b\"";
+    EXPECT_THROW(static_cast<void>(parse(raw)), JsonParseError)
+        << "raw control char " << c;
+  }
+  EXPECT_THROW(static_cast<void>(parse("\"a\nb\"")), JsonParseError);
+}
+
+TEST(JsonParse, ByteCapRefusesOversizedDocuments) {
+  JsonLimits limits;
+  limits.max_bytes = 16;
+  EXPECT_EQ(parse_json("[1,2,3]", limits).array.size(), 3u);
+  const std::string big = "[" + std::string(64, ' ') + "1]";
+  try {
+    static_cast<void>(parse_json(big, limits));
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.offset(), 0u);  // refused before parsing, not mid-way
+    EXPECT_NE(std::string(e.what()).find("16-byte limit"),
+              std::string::npos);
+  }
+  // max_bytes = 0 stays unlimited (trusted local input).
+  EXPECT_EQ(parse_json(big, JsonLimits{}).array.size(), 1u);
+}
+
+TEST(JsonParse, ParseErrorCarriesTheFailureOffset) {
+  try {
+    static_cast<void>(parse("{\"ok\": 1, \"bad\": tru}"));
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.offset(), 17u);  // where the bad literal starts
+  }
+}
+
+TEST(JsonParse, ValidUtf8PassesThroughByteForByte) {
+  for (const std::string s :
+       {std::string("caf\xC3\xA9"),                      // 2-byte é
+        std::string("\xE2\x82\xAC" "1.50"),              // 3-byte €
+        std::string("\xF0\x9F\x98\x80"),                 // 4-byte emoji
+        std::string("\xEF\xBF\xBD"),                     // U+FFFD
+        std::string("\xF4\x8F\xBF\xBF")}) {              // U+10FFFF
+    const auto doc = parse("\"" + s + "\"");
+    EXPECT_EQ(doc.as_string(), s);
+  }
+}
+
+TEST(JsonParse, InvalidUtf8IsRejectedWithATypedError) {
+  const std::vector<std::string> bad = {
+      "\x80",              // stray continuation byte
+      "\xC0\xAF",          // overlong 2-byte encoding of '/'
+      "\xC1\xBF",          // overlong 2-byte
+      "\xE0\x9F\xBF",      // overlong 3-byte (below U+0800)
+      "\xED\xA0\x80",      // UTF-16 high surrogate as raw bytes
+      "\xED\xBF\xBF",      // UTF-16 low surrogate as raw bytes
+      "\xF0\x8F\xBF\xBF",  // overlong 4-byte (below U+10000)
+      "\xF4\x90\x80\x80",  // past U+10FFFF
+      "\xF5\x80\x80\x80",  // 0xF5 is never a valid lead byte
+      "\xFF",              // ditto 0xFF
+      "\xC3",              // truncated 2-byte sequence
+      "\xE2\x82",          // truncated 3-byte sequence
+      "\xC3\x28",          // continuation byte replaced by ASCII
+  };
+  for (const auto& s : bad) {
+    const std::string doc = "\"a" + s + "b\"";
+    EXPECT_THROW(static_cast<void>(parse(doc)), JsonParseError)
+        << "bytes:" << [&] {
+             std::string hex;
+             for (const unsigned char c : s) {
+               char buf[8];
+               std::snprintf(buf, sizeof buf, " %02X", c);
+               hex += buf;
+             }
+             return hex;
+           }();
+  }
 }
 
 TEST(JsonParse, KindMismatchThrows) {

@@ -19,10 +19,16 @@
 //   surro_cli serve        --models "smote=model.bin" --script reqs.jsonl
 //                          --clients 4 --capacity 2 --admission reject
 //                          --max-queue 8 --json-out serve.json
+//   surro_cli serve        --models "smote=model.bin" --listen 8080
+//                          --api-keys-file keys.txt --quota-rps 50
+//                          --max-body-bytes 1048576 --http-workers 8
+//   surro_cli request      --connect 127.0.0.1:8080 --method POST
+//                          --path /v1/sample --body '{"model":"smote",...}'
+//                          --key prod-1 --expect-status 202
 //   surro_cli soak         --models "smote=model.bin" --load "0.5,1,2,4"
 //                          --clients 4 --rows 1000 --duration 2
 //                          --admission reject --max-queue 4
-//                          --json-out soak.json
+//                          --json-out soak.json [--over-socket]
 //
 // Tables are CSV files with the paper's 9-column schema (see
 // panda::job_table_schema). Models are addressed by registry key; `models`
@@ -40,12 +46,21 @@
 // replays a request script against it from N concurrent clients, and
 // writes the serve_stats JSON artifact; --admission/--max-queue/
 // --max-queued-rows bound the admission queue (block, reject, or shed on
-// overflow). `soak` drives the bounded service with Poisson-arrival
-// clients at a sweep of offered-load multipliers and verifies the
-// overload SLOs plus per-job output determinism (serve_soak artifact).
+// overflow). With --listen, `serve` instead exposes the service as the
+// HTTP/1.1 REST API (src/net) — POST /v1/sample, paginated
+// GET /v1/jobs/{id}, DELETE for cancel, /v1/models, /v1/stats, /healthz —
+// with optional API keys and token-bucket quotas; `request` is the
+// matching command-line HTTP client. `soak` drives the bounded service
+// with Poisson-arrival clients at a sweep of offered-load multipliers and
+// verifies the overload SLOs plus per-job output determinism (serve_soak
+// artifact); --over-socket runs the same sweep through the HTTP front end
+// so the SLOs and the determinism digest are asserted over the wire.
 // See docs/CLI.md for the full reference.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -53,9 +68,12 @@
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "core/surro.hpp"
 #include "eval/scenario.hpp"
+#include "net/client.hpp"
+#include "net/rest.hpp"
 #include "stream/stream_eval.hpp"
 #include "util/logging.hpp"
 #include "util/stringx.hpp"
@@ -147,13 +165,24 @@ int usage() {
       "               --chunk-rows C --max-batch B\n"
       "               --admission {block|reject|shed} --max-queue D\n"
       "               --max-queued-rows R --json-out FILE [--verbose]\n"
+      "               HTTP mode: --listen PORT (0 = ephemeral)\n"
+      "               [--api-keys-file FILE] [--quota-rps R] "
+      "[--quota-burst B]\n"
+      "               [--max-body-bytes N] [--page-rows N] "
+      "[--http-workers T]\n"
+      "               [--serve-seconds S] [--self-probe]\n"
+      "  request      --connect HOST:PORT --path /v1/... [--method M]\n"
+      "               [--body JSON | --body-file FILE] [--key APIKEY]\n"
+      "               [--expect-status CODE] [--max-time S]\n"
       "  soak         --models \"K1=FILE;K2=FILE\" | --models-dir DIR\n"
       "               --load \"0.5,1,2,4\" --clients C --rows N\n"
       "               --duration SECONDS --streams K --deadline-ms D\n"
       "               --admission {block|reject|shed} --max-queue D\n"
       "               --max-queued-rows R --capacity N --threads T\n"
       "               --chunk-rows C --max-batch B --seed S\n"
-      "               --json-out FILE [--verbose]\n",
+      "               --json-out FILE [--verbose] [--over-socket]\n"
+      "               [--http-workers T] [--page-rows N] "
+      "[--poll-wait-ms MS]\n",
       keys.c_str(), keys.c_str());
   return 2;
 }
@@ -506,6 +535,162 @@ std::size_t count_flag(const Args& args, const std::string& key,
   return static_cast<std::size_t>(v);
 }
 
+/// SIGINT/SIGTERM flag for the blocking `serve --listen` mode.
+std::atomic<bool> g_serve_stop{false};
+void serve_signal_handler(int /*signum*/) { g_serve_stop.store(true); }
+
+/// `serve --listen`: expose the SampleService as the HTTP REST API and run
+/// until a signal, --serve-seconds elapse, or (with --self-probe) one
+/// in-process round-trip across every endpoint finishes. --self-probe
+/// exists so the documented example is executable: it binds an ephemeral
+/// port, exercises the API end to end — including a digest comparison
+/// against a direct in-process sample of the same job identity — and exits.
+int cmd_serve_listen(const Args& args, serve::ModelHost& host) {
+  const auto count = [&args](const std::string& key, double fallback) {
+    return count_flag(args, key, fallback);
+  };
+
+  serve::ServiceConfig svc_cfg;
+  svc_cfg.sample_threads = count("threads", 0.0);
+  svc_cfg.chunk_rows = count("chunk-rows", 4096.0);
+  svc_cfg.max_batch = count("max-batch", 8.0);
+  svc_cfg.admission =
+      serve::parse_admission_policy(args.get("admission", "block"));
+  svc_cfg.max_queue_depth = count("max-queue", 0.0);
+  svc_cfg.max_queued_rows = count("max-queued-rows", 0.0);
+  serve::SampleService service(host, svc_cfg);
+
+  net::RestConfig rest_cfg;
+  rest_cfg.max_body_bytes = count("max-body-bytes", 1 << 20);
+  rest_cfg.quota_rps = args.num("quota-rps", 0.0);
+  rest_cfg.quota_burst = args.num("quota-burst", 0.0);
+  rest_cfg.page_rows = std::max<std::size_t>(count("page-rows", 1000.0), 1);
+
+  net::ServerConfig server_cfg;
+  const std::size_t port_flag = count("listen", 0.0);
+  if (port_flag > 65535) {
+    throw std::invalid_argument("serve: --listen port out of range");
+  }
+  server_cfg.port = static_cast<std::uint16_t>(port_flag);
+  server_cfg.worker_threads = std::max<std::size_t>(
+      count("http-workers", 8.0), 1);
+
+  net::HttpEndpoint endpoint(service, rest_cfg, server_cfg);
+  if (args.has("api-keys-file")) {
+    endpoint.api.quotas().load_file(args.get("api-keys-file"));
+  }
+  endpoint.server.start();
+  std::printf("serve: http on %s:%u — %zu models, %zu api keys%s, quota "
+              "%.0f rps, %zu workers\n",
+              server_cfg.bind_address.c_str(),
+              static_cast<unsigned>(endpoint.server.port()),
+              host.keys().size(), endpoint.api.quotas().num_keys(),
+              endpoint.api.quotas().open_access() ? " (open access)" : "",
+              rest_cfg.quota_rps, server_cfg.worker_threads);
+
+  if (args.flag("self-probe")) {
+    // One loopback client across every endpoint; any failure throws and
+    // surfaces as exit 1 via main()'s handler.
+    net::ApiClient api("127.0.0.1", endpoint.server.port());
+    if (!api.healthy()) throw std::runtime_error("self-probe: /healthz failed");
+    const auto keys = api.models();
+    if (keys.empty()) throw std::runtime_error("self-probe: no models");
+    const std::size_t rows = std::max<std::size_t>(count("rows", 256.0), 1);
+    const std::uint64_t seed = static_cast<std::uint64_t>(count("seed", 7.0));
+    const std::uint64_t job =
+        api.submit(keys.front(), rows, seed, svc_cfg.chunk_rows);
+    const net::RemoteResult remote = api.wait_result(job, rows / 3 + 1);
+    // The determinism contract over the wire: the paginated pages must
+    // reassemble to the exact bytes a direct in-process sample produces.
+    models::SampleRequest direct;
+    direct.rows = rows;
+    direct.seed = seed;
+    direct.chunk_rows = svc_cfg.chunk_rows;
+    tabular::Table local;
+    host.acquire(keys.front())->sample_into(local, direct);
+    if (serve::hash_table(remote.table) != serve::hash_table(local)) {
+      throw std::runtime_error("self-probe: socket digest != local digest");
+    }
+    (void)api.stats_json();  // and the stats document parses
+    std::printf("self-probe: ok — %zu rows over %zu pages, digest %016llx "
+                "matches in-process\n",
+                remote.table.num_rows(), remote.pages,
+                static_cast<unsigned long long>(
+                    serve::hash_table(remote.table)));
+    endpoint.server.stop();
+    return 0;
+  }
+
+  const double serve_seconds = args.num("serve-seconds", 0.0);
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  util::Stopwatch up;
+  while (!g_serve_stop.load()) {
+    if (serve_seconds > 0.0 && up.seconds() >= serve_seconds) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("serve: shutting down after %.1fs\n", up.seconds());
+  endpoint.server.stop();
+  return 0;
+}
+
+/// Command-line HTTP client for the REST API (the container has no curl;
+/// CI and the docs drive the server with this).
+int cmd_request(const Args& args) {
+  const std::string connect = args.get("connect", "127.0.0.1:8080");
+  const auto colon = connect.rfind(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("request: --connect wants HOST:PORT");
+  }
+  const std::string host = connect.substr(0, colon);
+  const std::string port_text = connect.substr(colon + 1);
+  unsigned long port = 0;
+  try {
+    port = std::stoul(port_text);
+  } catch (const std::exception&) {
+    port = 0;
+  }
+  if (port == 0 || port > 65535) {
+    throw std::invalid_argument("request: bad port in --connect");
+  }
+
+  std::string body = args.get("body");
+  if (args.has("body-file")) {
+    std::ifstream file(args.get("body-file"), std::ios::binary);
+    if (!file) {
+      throw std::runtime_error("cannot read " + args.get("body-file"));
+    }
+    body.assign(std::istreambuf_iterator<char>(file),
+                std::istreambuf_iterator<char>());
+  }
+  std::map<std::string, std::string> headers;
+  if (args.has("key")) headers["x-api-key"] = args.get("key");
+  if (!body.empty()) headers["content-type"] = "application/json";
+
+  net::HttpClient http(host, static_cast<std::uint16_t>(port),
+                       args.num("max-time", 30.0));
+  const net::HttpResponse response =
+      http.request(args.get("method", body.empty() ? "GET" : "POST"),
+                   args.get("path", "/healthz"), body, headers);
+
+  // Status + headers to stderr, body to stdout, so pipelines can consume
+  // the JSON directly.
+  std::fprintf(stderr, "HTTP %d %s\n", response.status,
+               net::status_reason(response.status));
+  for (const auto& [name, value] : response.headers) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(), value.c_str());
+  }
+  std::printf("%s\n", response.body.c_str());
+
+  if (args.has("expect-status")) {
+    return response.status ==
+                   static_cast<int>(count_flag(args, "expect-status", 200.0))
+               ? 0
+               : 1;
+  }
+  return response.status >= 200 && response.status < 300 ? 0 : 1;
+}
+
 int cmd_serve(const Args& args) {
   const auto count = [&args](const std::string& key, double fallback) {
     return count_flag(args, key, fallback);
@@ -515,6 +700,8 @@ int cmd_serve(const Args& args) {
   host_cfg.capacity = count("capacity", 4.0);
   serve::ModelHost host(host_cfg);
   register_serve_models(host, args);
+
+  if (args.has("listen")) return cmd_serve_listen(args, host);
 
   serve::ServiceConfig svc_cfg;
   svc_cfg.sample_threads = count("threads", 0.0);
@@ -634,16 +821,21 @@ int cmd_soak(const Args& args) {
   soak.sample_threads = count("threads", 0.0);
   soak.max_batch = count("max-batch", 8.0);
   soak.verbose = args.flag("verbose");
+  soak.over_socket = args.flag("over-socket");
+  soak.http_workers = count("http-workers", 0.0);
+  soak.page_rows = count("page-rows", 0.0);
+  soak.poll_wait_ms = args.num("poll-wait-ms", 250.0);
   if (!(soak.duration_seconds > 0.0)) {
     throw std::invalid_argument("soak: --duration must be positive");
   }
 
   const auto result = serve::run_soak(host, soak);
   std::printf("soak: %zu models, capacity %.1f jobs/s, admission %s "
-              "(depth %zu)\n",
+              "(depth %zu), transport %s\n",
               soak.models.size(), result.capacity_jobs_per_sec,
               serve::admission_policy_name(soak.admission),
-              soak.effective_queue_depth());
+              soak.effective_queue_depth(),
+              soak.over_socket ? "socket" : "in-process");
   std::printf("%s", serve::render_soak(result).c_str());
 
   const std::string out = args.get("json-out", "serve_soak.json");
@@ -705,6 +897,7 @@ int main(int argc, char** argv) {
     if (cmd == "matrix") return cmd_matrix(args);
     if (cmd == "stream") return cmd_stream(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "request") return cmd_request(args);
     if (cmd == "soak") return cmd_soak(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
