@@ -12,6 +12,7 @@
 #include "knn/brute.hpp"
 #include "knn/kdtree.hpp"
 #include "linalg/ops.hpp"
+#include "linalg/simd.hpp"
 #include "metrics/dcr.hpp"
 #include "metrics/wasserstein.hpp"
 #include "models/generator.hpp"
@@ -209,4 +210,15 @@ BENCHMARK(BM_DcrSweep)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Every number below depends on the dispatched kernel backend, so stamp it
+// into the benchmark context (shows up in console and JSON output; pin with
+// SURRO_SIMD when comparing runs — see docs/PERFORMANCE.md).
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("simd_backend",
+                              surro::linalg::simd::active_backend_name());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

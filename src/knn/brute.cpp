@@ -5,18 +5,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace surro::knn {
 
 namespace {
 inline float dist_sq(const float* a, const float* b, std::size_t d) noexcept {
-  float acc = 0.0f;
-  for (std::size_t i = 0; i < d; ++i) {
-    const float diff = a[i] - b[i];
-    acc += diff * diff;
-  }
-  return acc;
+  return linalg::simd::kernels().sq_l2_f32(a, b, d);
 }
 }  // namespace
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "linalg/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace surro::linalg {
@@ -11,31 +12,20 @@ namespace surro::linalg {
 namespace {
 // Rows-per-task grain: GEMM over fewer rows than this stays serial.
 constexpr std::size_t kRowGrain = 16;
+// k-dimension block for the GEMM family: a KC-row panel of B (KC * n floats)
+// stays resident in L1/L2 while a row tile of A streams over it. Fixed (not
+// derived from thread count or matrix shape at run time) so accumulation
+// order — k-ascending per output element — never varies between runs.
+constexpr std::size_t kKC = 256;
 }  // namespace
 
 void gemm(const Matrix& a, const Matrix& b, Matrix& out) {
   assert(a.cols() == b.rows());
   const std::size_t m = a.rows();
-  const std::size_t k = a.cols();
   const std::size_t n = b.cols();
   if (out.rows() != m || out.cols() != n) out.resize(m, n);
   out.zero();
-  util::parallel_for(
-      0, m,
-      [&](std::size_t lo, std::size_t hi) {
-        // i-k-j loop order: streams through b row-wise (cache friendly).
-        for (std::size_t i = lo; i < hi; ++i) {
-          float* out_row = out.data() + i * n;
-          const float* a_row = a.data() + i * k;
-          for (std::size_t p = 0; p < k; ++p) {
-            const float av = a_row[p];
-            if (av == 0.0f) continue;
-            const float* b_row = b.data() + p * n;
-            for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-          }
-        }
-      },
-      kRowGrain);
+  gemm_acc(a, b, out);
 }
 
 void gemm_nt(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -44,6 +34,7 @@ void gemm_nt(const Matrix& a, const Matrix& b, Matrix& out) {
   const std::size_t k = a.cols();
   const std::size_t n = b.rows();
   if (out.rows() != m || out.cols() != n) out.resize(m, n);
+  const simd::Kernels& kern = simd::kernels();
   util::parallel_for(
       0, m,
       [&](std::size_t lo, std::size_t hi) {
@@ -51,10 +42,7 @@ void gemm_nt(const Matrix& a, const Matrix& b, Matrix& out) {
           const float* a_row = a.data() + i * k;
           float* out_row = out.data() + i * n;
           for (std::size_t j = 0; j < n; ++j) {
-            const float* b_row = b.data() + j * k;
-            float acc = 0.0f;
-            for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-            out_row[j] = acc;
+            out_row[j] = kern.dot_f32(a_row, b.data() + j * k, k);
           }
         }
       },
@@ -76,6 +64,7 @@ void gemm_tn_acc(const Matrix& a, const Matrix& b, Matrix& out) {
   const std::size_t m = a.cols();
   const std::size_t n = b.cols();
   assert(out.rows() == m && out.cols() == n);
+  const simd::Kernels& kern = simd::kernels();
   // Parallelize over output rows (columns of a) to avoid write conflicts.
   util::parallel_for(
       0, m,
@@ -86,8 +75,7 @@ void gemm_tn_acc(const Matrix& a, const Matrix& b, Matrix& out) {
           for (std::size_t i = lo; i < hi; ++i) {
             const float av = a_row[i];
             if (av == 0.0f) continue;
-            float* out_row = out.data() + i * n;
-            for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+            kern.axpy_f32(av, b_row, out.data() + i * n, n);
           }
         }
       },
@@ -100,18 +88,18 @@ void gemm_acc(const Matrix& a, const Matrix& b, Matrix& out) {
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
+  const simd::Kernels& kern = simd::kernels();
   util::parallel_for(
       0, m,
       [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          float* out_row = out.data() + i * n;
-          const float* a_row = a.data() + i * k;
-          for (std::size_t p = 0; p < k; ++p) {
-            const float av = a_row[p];
-            if (av == 0.0f) continue;
-            const float* b_row = b.data() + p * n;
-            for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-          }
+        // k is blocked in fixed kKC panels; within a panel the backend's
+        // register-tiled micro-kernel accumulates k-ascending per element,
+        // so every element's chain is fixed no matter how rows were
+        // chunked across threads.
+        for (std::size_t p0 = 0; p0 < k; p0 += kKC) {
+          const std::size_t kc = std::min(kKC, k - p0);
+          kern.gemm_block_f32(a.data() + lo * k + p0, k, b.data() + p0 * n, n,
+                              out.data() + lo * n, n, hi - lo, kc, n);
         }
       },
       kRowGrain);
@@ -120,12 +108,12 @@ void gemm_acc(const Matrix& a, const Matrix& b, Matrix& out) {
 void add_row_vector(Matrix& m, std::span<const float> bias) {
   assert(bias.size() == m.cols());
   const std::size_t n = m.cols();
+  const simd::Kernels& kern = simd::kernels();
   util::parallel_for(
       0, m.rows(),
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-          float* row = m.data() + i * n;
-          for (std::size_t j = 0; j < n; ++j) row[j] += bias[j];
+          kern.acc_f32(bias.data(), m.data() + i * n, n);
         }
       },
       kRowGrain * 8);
@@ -135,66 +123,55 @@ void col_sums(const Matrix& m, std::span<float> out) {
   assert(out.size() == m.cols());
   std::fill(out.begin(), out.end(), 0.0f);
   const std::size_t n = m.cols();
+  const simd::Kernels& kern = simd::kernels();
+  // Row-sequential: per column the add order is row-ascending regardless of
+  // backend or thread count.
   for (std::size_t i = 0; i < m.rows(); ++i) {
-    const float* row = m.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) out[j] += row[j];
+    kern.acc_f32(m.data() + i * n, out.data(), n);
   }
 }
 
-namespace {
-template <typename F>
-void elementwise(const Matrix& a, const Matrix& b, Matrix& out, F f) {
+void add(const Matrix& a, const Matrix& b, Matrix& out) {
   assert(a.rows() == b.rows() && a.cols() == b.cols());
   if (out.rows() != a.rows() || out.cols() != a.cols()) {
     out.resize(a.rows(), a.cols());
   }
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  const std::size_t total = a.size();
-  for (std::size_t i = 0; i < total; ++i) po[i] = f(pa[i], pb[i]);
-}
-}  // namespace
-
-void add(const Matrix& a, const Matrix& b, Matrix& out) {
-  elementwise(a, b, out, [](float x, float y) { return x + y; });
+  simd::kernels().add_f32(a.data(), b.data(), out.data(), a.size());
 }
 void sub(const Matrix& a, const Matrix& b, Matrix& out) {
-  elementwise(a, b, out, [](float x, float y) { return x - y; });
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  if (out.rows() != a.rows() || out.cols() != a.cols()) {
+    out.resize(a.rows(), a.cols());
+  }
+  simd::kernels().sub_f32(a.data(), b.data(), out.data(), a.size());
 }
 void hadamard(const Matrix& a, const Matrix& b, Matrix& out) {
-  elementwise(a, b, out, [](float x, float y) { return x * y; });
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  if (out.rows() != a.rows() || out.cols() != a.cols()) {
+    out.resize(a.rows(), a.cols());
+  }
+  simd::kernels().mul_f32(a.data(), b.data(), out.data(), a.size());
 }
 
 void axpy(float alpha, const Matrix& x, Matrix& y) {
   assert(x.rows() == y.rows() && x.cols() == y.cols());
-  const float* px = x.data();
-  float* py = y.data();
-  for (std::size_t i = 0; i < x.size(); ++i) py[i] += alpha * px[i];
+  simd::kernels().axpy_f32(alpha, x.data(), y.data(), x.size());
 }
 
 void scale(Matrix& m, float alpha) {
-  for (float& v : m.flat()) v *= alpha;
+  simd::kernels().scale_f32(alpha, m.data(), m.size());
 }
 
 void softmax_rows(Matrix& m, std::size_t col_begin, std::size_t col_end) {
   assert(col_begin < col_end && col_end <= m.cols());
   const std::size_t n = m.cols();
+  const std::size_t width = col_end - col_begin;
+  const simd::Kernels& kern = simd::kernels();
   util::parallel_for(
       0, m.rows(),
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-          float* row = m.data() + i * n;
-          float peak = row[col_begin];
-          for (std::size_t j = col_begin + 1; j < col_end; ++j) {
-            peak = std::max(peak, row[j]);
-          }
-          float sum = 0.0f;
-          for (std::size_t j = col_begin; j < col_end; ++j) {
-            row[j] = std::exp(row[j] - peak);
-            sum += row[j];
-          }
-          for (std::size_t j = col_begin; j < col_end; ++j) row[j] /= sum;
+          kern.softmax_row_f32(m.data() + i * n + col_begin, width);
         }
       },
       kRowGrain * 8);

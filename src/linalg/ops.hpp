@@ -1,7 +1,18 @@
 #pragma once
-// Dense kernels for the NN engine. GEMM variants are cache-blocked and run on
-// the global thread pool; everything takes explicit output matrices so the
-// training loop can reuse buffers and stay allocation-free in steady state.
+/// @file ops.hpp
+/// Dense kernels for the NN engine. The GEMM family is cache-blocked
+/// (fixed KC panels over the shared-memory micro-kernels in simd.hpp) and
+/// runs on the global thread pool; everything takes explicit output
+/// matrices so the training loop can reuse buffers and stay
+/// allocation-free in steady state.
+///
+/// All entry points dispatch through linalg::simd::kernels(), so the active
+/// instruction-set backend (scalar / AVX2 / NEON) is selected once at
+/// startup and can be pinned with `SURRO_SIMD`. Results are bitwise
+/// deterministic for a given backend regardless of thread count: parallel
+/// loops split over disjoint output rows and every output element's
+/// reduction order is fixed (k-ascending for GEMM, row-ascending for
+/// col_sums). See docs/PERFORMANCE.md for the full contract.
 
 #include <span>
 
@@ -16,18 +27,22 @@ void gemm_nt(const Matrix& a, const Matrix& b, Matrix& out);
 /// out = a^T * b.         a: (k,m)  b: (k,n)  out: (m,n)
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& out);
 
-/// out += a * b (accumulating variants used by gradient accumulation).
+/// out += a * b (accumulating variant used by gradient accumulation).
 void gemm_acc(const Matrix& a, const Matrix& b, Matrix& out);
+/// out += a^T * b (accumulating variant used by gradient accumulation).
 void gemm_tn_acc(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// Broadcast-add a row vector (bias) to every row of m.
 void add_row_vector(Matrix& m, std::span<const float> bias);
-/// Column sums of m accumulated into out (size = cols).
+/// Column sums of m accumulated into out (size = cols). Row-sequential, so
+/// the per-column add order never depends on threading.
 void col_sums(const Matrix& m, std::span<float> out);
 
-/// Elementwise out = a + b / a - b / a ⊙ b (shapes must match).
+/// Elementwise out = a + b (shapes must match).
 void add(const Matrix& a, const Matrix& b, Matrix& out);
+/// Elementwise out = a - b (shapes must match).
 void sub(const Matrix& a, const Matrix& b, Matrix& out);
+/// Elementwise out = a ⊙ b (shapes must match).
 void hadamard(const Matrix& a, const Matrix& b, Matrix& out);
 /// In-place axpy over the flat storage: y += alpha * x.
 void axpy(float alpha, const Matrix& x, Matrix& y);
@@ -38,8 +53,9 @@ void scale(Matrix& m, float alpha);
 /// Used for per-categorical-block softmax heads.
 void softmax_rows(Matrix& m, std::size_t col_begin, std::size_t col_end);
 
-/// Frobenius norm and mean of all elements.
+/// Frobenius norm of all elements (double accumulator).
 [[nodiscard]] float frobenius_norm(const Matrix& m) noexcept;
+/// Mean of all elements (double accumulator).
 [[nodiscard]] float mean_all(const Matrix& m) noexcept;
 
 /// Copy a contiguous block of rows [row_begin, row_end) into `out`.

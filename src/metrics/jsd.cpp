@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "linalg/simd.hpp"
 #include "tabular/stats.hpp"
 #include "util/mathx.hpp"
 #include "util/thread_pool.hpp"
@@ -14,14 +15,7 @@ double jensen_shannon(std::span<const double> p, std::span<const double> q) {
   if (p.size() != q.size()) {
     throw std::invalid_argument("jsd: length mismatch");
   }
-  const double log2e = 1.0 / std::log(2.0);
-  double jsd = 0.0;
-  for (std::size_t i = 0; i < p.size(); ++i) {
-    const double m = 0.5 * (p[i] + q[i]);
-    if (p[i] > 0.0) jsd += 0.5 * p[i] * std::log(p[i] / m) * log2e;
-    if (q[i] > 0.0) jsd += 0.5 * q[i] * std::log(q[i] / m) * log2e;
-  }
-  return jsd;
+  return linalg::simd::kernels().jsd_acc_f64(p.data(), q.data(), p.size());
 }
 
 double column_jsd(const tabular::Table& real, const tabular::Table& synthetic,

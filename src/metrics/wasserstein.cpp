@@ -4,7 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "preprocess/scalers.hpp"
+#include "linalg/simd.hpp"
 #include "util/mathx.hpp"
 #include "util/thread_pool.hpp"
 
@@ -54,10 +54,25 @@ std::vector<double> per_feature_wasserstein(const tabular::Table& real,
       0, cols.size(),
       [&](std::size_t i) {
         const std::size_t col = cols[i];
-        preprocess::MinMaxScaler scaler;
-        scaler.fit(real.numerical(col));
-        const auto rx = scaler.transform(real.numerical(col));
-        const auto sx = scaler.transform(synthetic.numerical(col));
+        // Min-max normalize both columns to the real column's range in one
+        // SoA kernel sweep each (same math as MinMaxScaler fit on real).
+        const auto& rc = real.numerical(col);
+        const auto& sc = synthetic.numerical(col);
+        if (rc.empty()) {
+          throw std::invalid_argument("wasserstein: empty column");
+        }
+        const double mn = *std::min_element(rc.begin(), rc.end());
+        const double mx = *std::max_element(rc.begin(), rc.end());
+        std::vector<double> rx(rc.size());
+        std::vector<double> sx(sc.size());
+        if (mx <= mn) {
+          std::fill(rx.begin(), rx.end(), 0.5);
+          std::fill(sx.begin(), sx.end(), 0.5);
+        } else {
+          const auto& kern = linalg::simd::kernels();
+          kern.normalize_f64(rc.data(), mn, mx - mn, rx.data(), rc.size());
+          kern.normalize_f64(sc.data(), mn, mx - mn, sx.data(), sc.size());
+        }
         out[i] = wasserstein1(rx, sx);
       },
       /*grain=*/1, threads);

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "linalg/simd.hpp"
 #include "util/json.hpp"
 #include "util/json_parse.hpp"
 
@@ -535,6 +536,7 @@ std::string RestApi::stats_json() {
   w.begin_object();
   w.kv("kind", "serve_http_stats");
   w.kv("schema_version", 1);
+  w.kv("simd_backend", linalg::simd::active_backend_name());
   w.kv("uptime_seconds", clock_.seconds());
 
   w.key("service").begin_object();

@@ -52,9 +52,11 @@ linalg::Matrix MixedEncoder::encode(const tabular::Table& table) const {
 
   for (std::size_t k = 0; k < numerical_cols_.size(); ++k) {
     const auto col = table.numerical(numerical_cols_[k]);
-    const auto& qt = transformers_[k];
+    // Batched SoA transform of the whole column (CDF sweep + probit sweep),
+    // then scatter into the row-major matrix.
+    const auto z = transformers_[k].transform(col);
     for (std::size_t r = 0; r < n; ++r) {
-      m(r, k) = static_cast<float>(qt.transform_one(col[r]));
+      m(r, k) = static_cast<float>(z[r]);
     }
   }
   for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
@@ -93,11 +95,24 @@ tabular::Table MixedEncoder::decode(const linalg::Matrix& m,
   std::vector<std::int32_t> cat_vals(blocks_.size());
   std::vector<double> probs;
 
+  // Gather each numerical column out of the row-major matrix and run the
+  // batched SoA inverse (normal-CDF sweep + vectorized grid interpolation)
+  // once per column instead of once per cell.
+  std::vector<std::vector<double>> num_cols(numerical_cols_.size());
+  {
+    std::vector<double> zcol(m.rows());
+    for (std::size_t k = 0; k < numerical_cols_.size(); ++k) {
+      for (std::size_t r = 0; r < m.rows(); ++r) {
+        zcol[r] = static_cast<double>(m(r, k));
+      }
+      num_cols[k] = transformers_[k].inverse(zcol);
+    }
+  }
+
   for (std::size_t r = 0; r < m.rows(); ++r) {
     const auto row = m.row(r);
     for (std::size_t k = 0; k < numerical_cols_.size(); ++k) {
-      num_vals[k] =
-          transformers_[k].inverse_one(static_cast<double>(row[k]));
+      num_vals[k] = num_cols[k][r];
     }
     for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
       const auto& b = blocks_[bi];

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/simd.hpp"
 #include "util/mathx.hpp"
 #include "util/serialize.hpp"
 
@@ -56,13 +57,13 @@ double QuantileTransformer::cdf(double v) const {
 }
 
 double QuantileTransformer::cdf_inverse(double p) const {
-  p = std::clamp(p, 0.0, 1.0);
-  // grid_ is uniform, so the cell index is direct.
-  const double pos = p * static_cast<double>(grid_.size() - 1);
-  const auto i = static_cast<std::size_t>(pos);
-  if (i + 1 >= grid_.size()) return quantiles_.back();
-  const double frac = pos - static_cast<double>(i);
-  return quantiles_[i] * (1.0 - frac) + quantiles_[i + 1] * frac;
+  // grid_ is uniform, so the kernel indexes cells directly (it also clamps
+  // p to [0,1]). One element through the same code path as the batched
+  // inverse() keeps the two bitwise consistent.
+  double out;
+  linalg::simd::kernels().interp_grid_f64(quantiles_.data(),
+                                          quantiles_.size(), &p, &out, 1);
+  return out;
 }
 
 double QuantileTransformer::transform_one(double v) const {
@@ -74,9 +75,15 @@ double QuantileTransformer::transform_one(double v) const {
 
 std::vector<double> QuantileTransformer::transform(
     std::span<const double> values) const {
-  std::vector<double> out;
-  out.reserve(values.size());
-  for (const double v : values) out.push_back(transform_one(v));
+  if (!fitted()) {
+    throw std::logic_error("quantile_transformer: transform before fit");
+  }
+  // SoA two-pass: the branchy empirical-CDF search and the polynomial
+  // probit each sweep a contiguous column, instead of alternating per
+  // element. Bitwise identical to transform_one in a loop.
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) out[i] = cdf(values[i]);
+  for (double& p : out) p = util::normal_quantile(p);
   return out;
 }
 
@@ -89,9 +96,17 @@ double QuantileTransformer::inverse_one(double z) const {
 
 std::vector<double> QuantileTransformer::inverse(
     std::span<const double> z) const {
-  std::vector<double> out;
-  out.reserve(z.size());
-  for (const double v : z) out.push_back(inverse_one(v));
+  if (!fitted()) {
+    throw std::logic_error("quantile_transformer: inverse before fit");
+  }
+  // SoA two-pass: normal CDF sweep, then one vectorized grid-interpolation
+  // kernel call over the whole column (gather + lerp on AVX2).
+  std::vector<double> p(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) p[i] = util::normal_cdf(z[i]);
+  std::vector<double> out(z.size());
+  linalg::simd::kernels().interp_grid_f64(quantiles_.data(),
+                                          quantiles_.size(), p.data(),
+                                          out.data(), p.size());
   return out;
 }
 

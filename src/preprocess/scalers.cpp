@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "linalg/simd.hpp"
 #include "util/mathx.hpp"
 
 namespace surro::preprocess {
@@ -26,16 +27,20 @@ double StandardScaler::inverse_one(double z) const noexcept {
 
 std::vector<double> StandardScaler::transform(
     std::span<const double> values) const {
-  std::vector<double> out;
-  out.reserve(values.size());
-  for (const double v : values) out.push_back(transform_one(v));
+  // Batched SoA path: one normalize kernel sweep. Division is a correctly
+  // rounded per-element op, so this is bitwise identical to transform_one
+  // in a loop on every backend.
+  std::vector<double> out(values.size());
+  linalg::simd::kernels().normalize_f64(values.data(), mean_, stddev_,
+                                        out.data(), values.size());
   return out;
 }
 std::vector<double> StandardScaler::inverse(
     std::span<const double> z) const {
-  std::vector<double> out;
-  out.reserve(z.size());
-  for (const double v : z) out.push_back(inverse_one(v));
+  // out = z * stddev + mean; mul-then-add matches inverse_one bitwise.
+  std::vector<double> out(z.size());
+  linalg::simd::kernels().madd_f64(z.data(), stddev_, mean_, out.data(),
+                                   z.size());
   return out;
 }
 
@@ -58,15 +63,18 @@ double MinMaxScaler::inverse_one(double u) const noexcept {
 
 std::vector<double> MinMaxScaler::transform(
     std::span<const double> values) const {
-  std::vector<double> out;
-  out.reserve(values.size());
-  for (const double v : values) out.push_back(transform_one(v));
+  if (max_ <= min_) return std::vector<double>(values.size(), 0.5);
+  std::vector<double> out(values.size());
+  linalg::simd::kernels().normalize_f64(values.data(), min_, max_ - min_,
+                                        out.data(), values.size());
   return out;
 }
 std::vector<double> MinMaxScaler::inverse(std::span<const double> u) const {
-  std::vector<double> out;
-  out.reserve(u.size());
-  for (const double v : u) out.push_back(inverse_one(v));
+  // inverse_one computes min + u * range; madd computes u * range + min.
+  // Addition is commutative (and correctly rounded), so the bytes match.
+  std::vector<double> out(u.size());
+  linalg::simd::kernels().madd_f64(u.data(), max_ - min_, min_, out.data(),
+                                   u.size());
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "linalg/simd.hpp"
 #include "util/json.hpp"
 #include "util/json_parse.hpp"
 #include "util/stringx.hpp"
@@ -289,6 +290,7 @@ std::string serve_stats_to_json(const SampleService& service,
   w.begin_object();
   w.kv("schema_version", 1);
   w.kv("kind", "serve_stats");
+  w.kv("simd_backend", linalg::simd::active_backend_name());
   w.key("config").begin_object();
   w.kv("capacity", s.host.capacity);
   w.kv("sample_threads", cfg.sample_threads);

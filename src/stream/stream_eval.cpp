@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "linalg/simd.hpp"
 #include "metrics/correlation.hpp"
 #include "metrics/dcr.hpp"
 #include "metrics/jsd.hpp"
@@ -283,6 +284,7 @@ std::string stream_to_json(const eval::ExperimentConfig& base,
   w.begin_object();
   w.kv("schema_version", 1);
   w.kv("kind", "stream_matrix");
+  w.kv("simd_backend", linalg::simd::active_backend_name());
   w.key("config").begin_object();
   w.kv("window_days", opts.window_days);
   w.kv("drift_intensity", opts.drift_intensity);

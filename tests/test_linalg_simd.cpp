@@ -1,0 +1,402 @@
+// SIMD kernel layer: scalar-vs-vectorized agreement for every kernel in the
+// dispatch table (bitwise for the axpy family, documented-ULP for the
+// dot/transcendental families), ragged tail sizes, backend selection API,
+// and per-backend thread-count bitwise determinism end to end.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/simd.hpp"
+#include "models/generator.hpp"
+#include "serve/replay.hpp"
+#include "tabular/table.hpp"
+#include "util/rng.hpp"
+
+namespace surro::linalg::simd {
+namespace {
+
+// Tail coverage: 1, primes, vector width +/- 1 for both 4- and 8-lane
+// backends, and a couple of larger composite sizes.
+const std::size_t kSizes[] = {1, 2, 3, 5, 7, 8, 9, 13, 16, 17, 31, 64, 67};
+
+std::vector<float> random_f32(std::size_t n, util::Rng& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+std::vector<double> random_f64(std::size_t n, util::Rng& rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.normal();
+  return v;
+}
+
+std::vector<Backend> vector_backends() {
+  std::vector<Backend> out;
+  for (const Backend b : available_backends()) {
+    if (b != Backend::kScalar) out.push_back(b);
+  }
+  return out;
+}
+
+// Restores the startup backend when a test that forces backends exits.
+struct BackendGuard {
+  Backend saved = active_backend();
+  ~BackendGuard() { force_backend(saved); }
+};
+
+// ------------------------------------------------------------ selection API
+
+TEST(SimdBackend, NamesRoundTrip) {
+  EXPECT_STREQ(backend_name(Backend::kScalar), "scalar");
+  EXPECT_STREQ(backend_name(Backend::kAvx2), "avx2");
+  EXPECT_STREQ(backend_name(Backend::kNeon), "neon");
+  EXPECT_EQ(parse_backend("scalar"), Backend::kScalar);
+  EXPECT_EQ(parse_backend("avx2"), Backend::kAvx2);
+  EXPECT_EQ(parse_backend("neon"), Backend::kNeon);
+  EXPECT_THROW((void)parse_backend("sse9"), std::invalid_argument);
+}
+
+TEST(SimdBackend, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(backend_available(Backend::kScalar));
+  const auto all = available_backends();
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(all.front(), Backend::kScalar);
+  // "auto" resolves to something available.
+  EXPECT_TRUE(backend_available(parse_backend("auto")));
+  // The active backend is available and its table is reachable.
+  EXPECT_TRUE(backend_available(active_backend()));
+  EXPECT_STREQ(active_backend_name(), backend_name(active_backend()));
+  (void)kernels_for(Backend::kScalar);
+}
+
+TEST(SimdBackend, ForceBackendSwitchesAndThrows) {
+  BackendGuard guard;
+  for (const Backend b : available_backends()) {
+    force_backend(b);
+    EXPECT_EQ(active_backend(), b);
+    EXPECT_EQ(&kernels(), &kernels_for(b));
+  }
+  for (const Backend b : {Backend::kAvx2, Backend::kNeon}) {
+    if (!backend_available(b)) {
+      EXPECT_THROW(force_backend(b), std::invalid_argument);
+      EXPECT_THROW((void)kernels_for(b), std::invalid_argument);
+    }
+  }
+}
+
+// -------------------------------------------- axpy family: bitwise-vs-scalar
+
+TEST(SimdKernels, AxpyFamilyBitwise) {
+  const Kernels& ref = kernels_for(Backend::kScalar);
+  util::Rng rng(11);
+  for (const Backend backend : vector_backends()) {
+    const Kernels& k = kernels_for(backend);
+    for (const std::size_t n : kSizes) {
+      const auto a = random_f32(n, rng);
+      const auto b = random_f32(n, rng);
+      const float alpha = static_cast<float>(rng.normal());
+
+      auto y0 = random_f32(n, rng);
+      auto y1 = y0;
+      ref.axpy_f32(alpha, a.data(), y0.data(), n);
+      k.axpy_f32(alpha, a.data(), y1.data(), n);
+      ASSERT_EQ(0, std::memcmp(y0.data(), y1.data(), n * sizeof(float)))
+          << "axpy n=" << n << " backend=" << backend_name(backend);
+
+      auto z0 = b;
+      auto z1 = b;
+      ref.acc_f32(a.data(), z0.data(), n);
+      k.acc_f32(a.data(), z1.data(), n);
+      ASSERT_EQ(0, std::memcmp(z0.data(), z1.data(), n * sizeof(float)));
+
+      std::vector<float> o0(n), o1(n);
+      ref.add_f32(a.data(), b.data(), o0.data(), n);
+      k.add_f32(a.data(), b.data(), o1.data(), n);
+      ASSERT_EQ(0, std::memcmp(o0.data(), o1.data(), n * sizeof(float)));
+      ref.sub_f32(a.data(), b.data(), o0.data(), n);
+      k.sub_f32(a.data(), b.data(), o1.data(), n);
+      ASSERT_EQ(0, std::memcmp(o0.data(), o1.data(), n * sizeof(float)));
+      ref.mul_f32(a.data(), b.data(), o0.data(), n);
+      k.mul_f32(a.data(), b.data(), o1.data(), n);
+      ASSERT_EQ(0, std::memcmp(o0.data(), o1.data(), n * sizeof(float)));
+
+      auto s0 = a;
+      auto s1 = a;
+      ref.scale_f32(alpha, s0.data(), n);
+      k.scale_f32(alpha, s1.data(), n);
+      ASSERT_EQ(0, std::memcmp(s0.data(), s1.data(), n * sizeof(float)));
+    }
+  }
+}
+
+// gemm_block is in the dot family: vector backends fuse multiply-add, so
+// agreement with scalar is close-with-tolerance, not bitwise. What IS
+// bitwise is thread-chunk independence, checked below: splitting the same
+// row panel at any tile-misaligned boundary must reproduce the unsplit
+// bytes exactly (the m-tail and the 4-row tile compute identical chains).
+TEST(SimdKernels, GemmBlockCloseToScalarAndChunkInvariant) {
+  const Kernels& ref = kernels_for(Backend::kScalar);
+  util::Rng rng(23);
+  const std::size_t ms[] = {1, 3, 4, 5, 9};
+  const std::size_t ns[] = {1, 7, 8, 9, 17, 33};
+  const std::size_t ks[] = {1, 5, 64};
+  for (const Backend backend : vector_backends()) {
+    const Kernels& kern = kernels_for(backend);
+    for (const std::size_t m : ms) {
+      for (const std::size_t n : ns) {
+        for (const std::size_t k : ks) {
+          auto a = random_f32(m * k, rng);
+          const auto b = random_f32(k * n, rng);
+          // Exercise the sparsity skip: zero out a fraction of A.
+          for (float& v : a) {
+            if (rng.uniform() < 0.3) v = 0.0f;
+          }
+          const auto cinit = random_f32(m * n, rng);
+          auto c0 = cinit;
+          auto c1 = cinit;
+          ref.gemm_block_f32(a.data(), k, b.data(), n, c0.data(), n, m, k, n);
+          kern.gemm_block_f32(a.data(), k, b.data(), n, c1.data(), n, m, k,
+                              n);
+          for (std::size_t e = 0; e < m * n; ++e) {
+            ASSERT_NEAR(c0[e], c1[e], 1e-4f * (1.0f + std::abs(c0[e])))
+                << "gemm_block m=" << m << " n=" << n << " k=" << k
+                << " backend=" << backend_name(backend);
+          }
+          // Chunk invariance: process rows [0,split) and [split,m) as two
+          // calls — how parallel callers hand out row ranges — and require
+          // bytes identical to the single-call result.
+          for (const std::size_t split : {std::size_t{1}, m / 2, m - 1}) {
+            if (split == 0 || split >= m) continue;
+            auto parts = cinit;
+            kern.gemm_block_f32(a.data(), k, b.data(), n, parts.data(), n,
+                                split, k, n);
+            kern.gemm_block_f32(a.data() + split * k, k, b.data(), n,
+                                parts.data() + split * n, n, m - split, k,
+                                n);
+            ASSERT_EQ(0, std::memcmp(c1.data(), parts.data(),
+                                     m * n * sizeof(float)))
+                << "split=" << split << " m=" << m << " n=" << n
+                << " k=" << k << " backend=" << backend_name(backend);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, F64ElementwiseBitwise) {
+  const Kernels& ref = kernels_for(Backend::kScalar);
+  util::Rng rng(31);
+  for (const Backend backend : vector_backends()) {
+    const Kernels& k = kernels_for(backend);
+    for (const std::size_t n : kSizes) {
+      const auto x = random_f64(n, rng);
+      const double shift = rng.normal();
+      const double denom = 1.0 + std::abs(rng.normal());
+      std::vector<double> o0(n), o1(n);
+      ref.normalize_f64(x.data(), shift, denom, o0.data(), n);
+      k.normalize_f64(x.data(), shift, denom, o1.data(), n);
+      ASSERT_EQ(0, std::memcmp(o0.data(), o1.data(), n * sizeof(double)))
+          << "normalize n=" << n;
+      ref.madd_f64(x.data(), denom, shift, o0.data(), n);
+      k.madd_f64(x.data(), denom, shift, o1.data(), n);
+      ASSERT_EQ(0, std::memcmp(o0.data(), o1.data(), n * sizeof(double)))
+          << "madd n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, InterpGridBitwise) {
+  const Kernels& ref = kernels_for(Backend::kScalar);
+  util::Rng rng(37);
+  // Ascending quantile grid, probabilities covering interior, clamped
+  // (<0, >1), and exact-boundary values.
+  for (const Backend backend : vector_backends()) {
+    const Kernels& k = kernels_for(backend);
+    for (const std::size_t grid_n : {2u, 5u, 100u, 1000u}) {
+      std::vector<double> q(grid_n);
+      double acc = -3.0;
+      for (double& v : q) {
+        acc += std::abs(rng.normal());
+        v = acc;
+      }
+      for (const std::size_t n : kSizes) {
+        std::vector<double> p(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          const double u = rng.uniform();
+          p[i] = u < 0.1 ? -0.5 : (u > 0.9 ? 1.5 : rng.uniform());
+        }
+        if (n > 2) {
+          p[0] = 0.0;
+          p[1] = 1.0;
+          p[2] = 0.5;
+        }
+        std::vector<double> o0(n), o1(n);
+        ref.interp_grid_f64(q.data(), grid_n, p.data(), o0.data(), n);
+        k.interp_grid_f64(q.data(), grid_n, p.data(), o1.data(), n);
+        ASSERT_EQ(0, std::memcmp(o0.data(), o1.data(), n * sizeof(double)))
+            << "interp grid_n=" << grid_n << " n=" << n;
+      }
+    }
+  }
+}
+
+// ------------------------------- dot/transcendental: documented-ULP classes
+
+TEST(SimdKernels, DotFamilyClose) {
+  const Kernels& ref = kernels_for(Backend::kScalar);
+  util::Rng rng(41);
+  for (const Backend backend : vector_backends()) {
+    const Kernels& k = kernels_for(backend);
+    for (const std::size_t n : kSizes) {
+      const auto a = random_f32(n, rng);
+      const auto b = random_f32(n, rng);
+      const float d0 = ref.dot_f32(a.data(), b.data(), n);
+      const float d1 = k.dot_f32(a.data(), b.data(), n);
+      EXPECT_NEAR(d0, d1, 1e-4f * (1.0f + std::abs(d0))) << "dot n=" << n;
+      const float s0 = ref.sq_l2_f32(a.data(), b.data(), n);
+      const float s1 = k.sq_l2_f32(a.data(), b.data(), n);
+      EXPECT_NEAR(s0, s1, 1e-4f * (1.0f + s0)) << "sq_l2 n=" << n;
+      EXPECT_GE(s1, 0.0f);
+    }
+  }
+}
+
+TEST(SimdKernels, SoftmaxRowCloseAndNormalized) {
+  const Kernels& ref = kernels_for(Backend::kScalar);
+  util::Rng rng(43);
+  for (const Backend backend : vector_backends()) {
+    const Kernels& k = kernels_for(backend);
+    for (const std::size_t n : kSizes) {
+      auto r0 = random_f32(n, rng);
+      for (float& v : r0) v *= 5.0f;  // spread the exponent range
+      auto r1 = r0;
+      ref.softmax_row_f32(r0.data(), n);
+      k.softmax_row_f32(r1.data(), n);
+      float sum = 0.0f;
+      for (std::size_t i = 0; i < n; ++i) {
+        // Documented-ULP class: polynomial exp vs libm expf.
+        EXPECT_NEAR(r0[i], r1[i], 2e-6f) << "softmax n=" << n << " i=" << i;
+        sum += r1[i];
+      }
+      EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+  }
+}
+
+TEST(SimdKernels, JsdAccClose) {
+  const Kernels& ref = kernels_for(Backend::kScalar);
+  util::Rng rng(47);
+  for (const Backend backend : vector_backends()) {
+    const Kernels& k = kernels_for(backend);
+    for (const std::size_t n : kSizes) {
+      std::vector<double> p(n), q(n);
+      double ps = 0.0, qs = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        // Sparse histograms: exercise the p>0 / q>0 masking.
+        p[i] = rng.uniform() < 0.3 ? 0.0 : rng.uniform();
+        q[i] = rng.uniform() < 0.3 ? 0.0 : rng.uniform();
+        ps += p[i];
+        qs += q[i];
+      }
+      if (ps > 0.0) {
+        for (double& v : p) v /= ps;
+      }
+      if (qs > 0.0) {
+        for (double& v : q) v /= qs;
+      }
+      const double j0 = ref.jsd_acc_f64(p.data(), q.data(), n);
+      const double j1 = k.jsd_acc_f64(p.data(), q.data(), n);
+      // Documented-ULP class: polynomial log vs libm log.
+      EXPECT_NEAR(j0, j1, 1e-12 * (1.0 + std::abs(j0))) << "jsd n=" << n;
+    }
+  }
+}
+
+// ---------------------------------------- ops layer: backends stay in sync
+
+TEST(SimdOps, GemmFamilyMatchesScalarBackend) {
+  BackendGuard guard;
+  util::Rng rng(53);
+  Matrix a(13, 37), b(37, 21), at(13, 37);
+  for (float& v : a.flat()) v = static_cast<float>(rng.normal());
+  for (float& v : b.flat()) v = rng.uniform() < 0.2 ? 0.0f
+                                 : static_cast<float>(rng.normal());
+  for (float& v : at.flat()) v = static_cast<float>(rng.normal());
+
+  force_backend(Backend::kScalar);
+  Matrix g0, tn0;
+  gemm(a, b, g0);
+  gemm_tn(at, b, tn0);
+  for (const Backend backend : vector_backends()) {
+    force_backend(backend);
+    Matrix g1, tn1;
+    gemm(a, b, g1);
+    gemm_tn(at, b, tn1);
+    // gemm dispatches gemm_block (dot family: FMA, close not bitwise);
+    // gemm_tn dispatches axpy (bitwise across backends).
+    for (std::size_t e = 0; e < g0.size(); ++e) {
+      ASSERT_NEAR(g0.data()[e], g1.data()[e],
+                  1e-4f * (1.0f + std::abs(g0.data()[e])))
+          << "gemm vs scalar, backend=" << backend_name(backend);
+    }
+    ASSERT_EQ(0, std::memcmp(tn0.data(), tn1.data(),
+                             tn0.size() * sizeof(float)))
+        << "gemm_tn vs scalar, backend=" << backend_name(backend);
+  }
+}
+
+// ------------------------------- thread-count determinism, per backend, e2e
+
+TEST(SimdDeterminism, SampledBytesIdenticalAcrossThreadCounts) {
+  BackendGuard guard;
+  // Tiny mixed training table.
+  tabular::Schema schema({{"x", tabular::ColumnKind::kNumerical},
+                          {"site", tabular::ColumnKind::kCategorical},
+                          {"y", tabular::ColumnKind::kNumerical}});
+  tabular::Table train(schema);
+  util::Rng rng(61);
+  for (std::size_t i = 0; i < 300; ++i) {
+    auto row = train.make_row();
+    row.set(0, rng.normal());
+    row.set(1, std::string(rng.bernoulli(0.5) ? "BNL" : "CERN"));
+    row.set(2, rng.normal(3.0, 0.5));
+    train.append_row(row);
+  }
+  models::TrainBudget budget;
+  budget.epochs = 2;
+  budget.batch_size = 64;
+
+  for (const Backend backend : available_backends()) {
+    force_backend(backend);
+    for (const char* key : {"tvae", "smote"}) {
+      auto model = models::make_generator(key, budget, 7);
+      model->fit(train);
+      std::uint64_t digests[3] = {};
+      std::size_t idx = 0;
+      for (const std::size_t threads : {1u, 2u, 4u}) {
+        models::SampleRequest req;
+        req.rows = 257;  // non-multiple of chunk size
+        req.seed = 99;
+        req.chunk_rows = 64;
+        req.threads = threads;
+        tabular::Table out;
+        model->sample_into(out, req);
+        digests[idx++] = serve::hash_table(out);
+      }
+      EXPECT_EQ(digests[0], digests[1])
+          << key << " backend=" << backend_name(backend);
+      EXPECT_EQ(digests[0], digests[2])
+          << key << " backend=" << backend_name(backend);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace surro::linalg::simd

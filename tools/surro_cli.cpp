@@ -72,6 +72,7 @@
 
 #include "core/surro.hpp"
 #include "eval/scenario.hpp"
+#include "linalg/simd.hpp"
 #include "net/client.hpp"
 #include "net/rest.hpp"
 #include "stream/stream_eval.hpp"
@@ -138,6 +139,10 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: surro_cli <command> [--key value ...] [--flag]\n"
+      "global: every command accepts --simd {auto|scalar|avx2|neon} to pin\n"
+      "        the kernel backend (same names as SURRO_SIMD env var;\n"
+      "        see docs/PERFORMANCE.md)\n"
+      "  version               print version and active SIMD backend\n"
       "  models                list registered surrogate models\n"
       "  generate     --days D --rate R --seed S --out FILE\n"
       "  profile      --data FILE\n"
@@ -581,12 +586,13 @@ int cmd_serve_listen(const Args& args, serve::ModelHost& host) {
   }
   endpoint.server.start();
   std::printf("serve: http on %s:%u — %zu models, %zu api keys%s, quota "
-              "%.0f rps, %zu workers\n",
+              "%.0f rps, %zu workers, simd %s\n",
               server_cfg.bind_address.c_str(),
               static_cast<unsigned>(endpoint.server.port()),
               host.keys().size(), endpoint.api.quotas().num_keys(),
               endpoint.api.quotas().open_access() ? " (open access)" : "",
-              rest_cfg.quota_rps, server_cfg.worker_threads);
+              rest_cfg.quota_rps, server_cfg.worker_threads,
+              linalg::simd::active_backend_name());
 
   if (args.flag("self-probe")) {
     // One loopback client across every endpoint; any failure throws and
@@ -732,11 +738,12 @@ int cmd_serve(const Args& args) {
   const auto result = serve::run_replay(service, script, opts);
   const auto& s = result.stats;
   std::printf("serve: %llu/%llu jobs completed (%llu rows) from %zu "
-              "clients over %zu models, %.2fs wall\n",
+              "clients over %zu models, %.2fs wall, simd %s\n",
               static_cast<unsigned long long>(result.completed),
               static_cast<unsigned long long>(result.jobs),
               static_cast<unsigned long long>(result.rows), opts.clients,
-              host.keys().size(), result.wall_seconds);
+              host.keys().size(), result.wall_seconds,
+              linalg::simd::active_backend_name());
   std::printf("  throughput      %.0f rows/s  (%.1f jobs/s)\n",
               result.wall_seconds > 0.0
                   ? static_cast<double>(result.rows) / result.wall_seconds
@@ -881,11 +888,32 @@ int cmd_simulate(const Args& args) {
 
 }  // namespace
 
+int cmd_version() {
+  namespace simd = linalg::simd;
+  std::string available;
+  for (const simd::Backend b : simd::available_backends()) {
+    if (!available.empty()) available += ",";
+    available += simd::backend_name(b);
+  }
+  std::printf("surro %s\n", kVersionString);
+  std::printf("simd backend: %s (available: %s)\n",
+              simd::active_backend_name(), available.c_str());
+  return 0;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   const Args args = parse_args(argc, argv, 2);
   try {
+    // Global backend pin — same names as SURRO_SIMD, applied before any
+    // kernel runs. A CLI flag (not an env prefix) so docs examples can
+    // exercise it portably.
+    if (args.kv.contains("simd")) {
+      linalg::simd::force_backend(
+          linalg::simd::parse_backend(args.get("simd")));
+    }
+    if (cmd == "version" || cmd == "--version") return cmd_version();
     if (cmd == "models") return cmd_models(args);
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "profile") return cmd_profile(args);
