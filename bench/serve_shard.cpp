@@ -1,0 +1,243 @@
+// serve_shard — the sharded-tier benchmark: sweep shards × replicas ×
+// clients through serve::ShardPool (each shard its own ModelHost +
+// SampleService behind the consistent-hash router) and compare against the
+// 1-shard baseline, replaying the identical request script at every point.
+//
+//   ./serve_shard --quick --json-out serve_shard.json
+//
+// The headline assertion is the routing-invariance contract: the replay
+// output hash must be byte-identical at EVERY (shards, replicas, clients)
+// point — placement never changes bytes. A digest mismatch is fatal
+// (exit 1), not a warning. Throughput per point is reported as
+// speedup_vs_one_shard so CI can watch the scaling trend without gating on
+// a machine-dependent absolute number.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "eval/experiment.hpp"
+#include "serve/replay.hpp"
+#include "serve/shard_pool.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace surro;
+
+struct SweepPoint {
+  std::size_t shards = 0;
+  std::size_t replicas = 0;
+  std::size_t clients = 0;
+  serve::ReplayResult result;
+  std::uint64_t routed = 0;
+  std::uint64_t rerouted = 0;
+};
+
+struct BenchScale {
+  std::vector<std::string> models;
+  std::size_t rows_per_job = 0;
+  std::size_t jobs_per_model = 0;
+  std::vector<std::size_t> shard_counts;
+  std::vector<std::size_t> replica_counts;
+  std::vector<std::size_t> client_counts;
+  std::size_t capacity_per_shard = 0;
+};
+
+BenchScale scale_for(bench::Profile profile) {
+  BenchScale s;
+  s.models = {"smote", "tvae", "ctabgan", "tabddpm"};
+  s.shard_counts = {1, 2, 4};
+  s.replica_counts = {1, 2};
+  s.capacity_per_shard = 4;
+  if (profile == bench::Profile::kQuick) {
+    s.rows_per_job = 2000;
+    s.jobs_per_model = 4;
+    s.client_counts = {4};
+  } else if (profile == bench::Profile::kMedium) {
+    s.rows_per_job = 5000;
+    s.jobs_per_model = 6;
+    s.client_counts = {4, 8};
+  } else {
+    s.rows_per_job = 20000;
+    s.jobs_per_model = 8;
+    s.client_counts = {4, 8, 16};
+  }
+  return s;
+}
+
+/// The request script every sweep point replays: per model, jobs_per_model
+/// requests on distinct derived seeds. Identical across points, so the
+/// output hash must be too — that is the whole point of this bench.
+serve::ReplayScript make_script(const BenchScale& s) {
+  serve::ReplayScript script;
+  for (std::size_t m = 0; m < s.models.size(); ++m) {
+    serve::ReplayRequest request;
+    request.job.model_key = s.models[m];
+    request.job.rows = s.rows_per_job;
+    request.job.seed = 1000 + 17 * m;
+    request.repeat = s.jobs_per_model;
+    request.seed_stride = 1;
+    script.requests.push_back(request);
+  }
+  return script;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv, bench::Profile::kQuick);
+  auto cfg = bench::experiment_config(opts.profile);
+  const auto scale = scale_for(opts.profile);
+
+  std::printf("== serve_shard (%s profile) ==\n",
+              bench::profile_name(opts.profile));
+  const auto data = eval::prepare_data(cfg);
+  std::printf("training %zu models on %zu rows...\n", scale.models.size(),
+              data.train.num_rows());
+
+  const auto archive_dir =
+      std::filesystem::temp_directory_path() /
+      ("surro_shard_bench_" + std::to_string(cfg.seed));
+  std::filesystem::create_directories(archive_dir);
+  for (const auto& key : scale.models) {
+    auto model = models::make_generator(key, cfg.budget, cfg.seed);
+    model->fit(data.train);
+    models::save_model_file(*model, (archive_dir / (key + ".bin")).string());
+  }
+
+  const auto script = make_script(scale);
+  std::vector<SweepPoint> sweep;
+  std::printf("%-7s %-9s %-8s %12s %9s %10s %10s %9s\n", "shards",
+              "replicas", "clients", "rows/s", "qps", "p50 ms", "p95 ms",
+              "rerouted");
+  for (const std::size_t shards : scale.shard_counts) {
+    for (const std::size_t replicas : scale.replica_counts) {
+      if (replicas > shards) continue;  // router would clamp: same point
+      for (const std::size_t clients : scale.client_counts) {
+        serve::ShardPoolConfig pool_cfg;
+        pool_cfg.shards = shards;
+        pool_cfg.replication = replicas;
+        pool_cfg.host.capacity = scale.capacity_per_shard;
+        serve::ShardPool pool(pool_cfg);
+        for (const auto& key : scale.models) {
+          pool.register_archive(key,
+                                (archive_dir / (key + ".bin")).string());
+        }
+        serve::ReplayOptions replay_opts;
+        replay_opts.clients = clients;
+        // Untimed warm-up round: steady-state shards have their working
+        // set resident, like the serve_throughput baseline.
+        (void)serve::run_replay(pool, script, replay_opts);
+        SweepPoint point;
+        point.shards = shards;
+        point.replicas = replicas;
+        point.clients = clients;
+        // Peak sustained throughput: best of three timed rounds (replays
+        // are deterministic; rounds differ only in scheduling noise).
+        point.result = serve::run_replay(pool, script, replay_opts);
+        for (int round = 0; round < 2; ++round) {
+          const auto again = serve::run_replay(pool, script, replay_opts);
+          point.result.stats = again.stats;
+          point.result.wall_seconds =
+              std::min(point.result.wall_seconds, again.wall_seconds);
+        }
+        const auto shard_stats = pool.shard_stats();
+        point.routed = shard_stats.routed;
+        point.rerouted = shard_stats.rerouted;
+        const auto& r = point.result;
+        std::printf("%-7zu %-9zu %-8zu %12.0f %9.1f %10.2f %10.2f %9llu\n",
+                    shards, replicas, clients,
+                    static_cast<double>(r.rows) / r.wall_seconds,
+                    static_cast<double>(r.jobs) / r.wall_seconds,
+                    r.stats.p50_latency_ms, r.stats.p95_latency_ms,
+                    static_cast<unsigned long long>(point.rerouted));
+        sweep.push_back(std::move(point));
+      }
+    }
+  }
+  std::filesystem::remove_all(archive_dir);
+
+  // ---- Routing invariance: same script => same bytes at every placement.
+  bool deterministic = true;
+  for (const auto& point : sweep) {
+    if (point.result.output_hash != sweep.front().result.output_hash) {
+      std::printf("FAIL: shards=%zu replicas=%zu clients=%zu output hash "
+                  "%016llx != baseline %016llx\n",
+                  point.shards, point.replicas, point.clients,
+                  static_cast<unsigned long long>(point.result.output_hash),
+                  static_cast<unsigned long long>(
+                      sweep.front().result.output_hash));
+      deterministic = false;
+    }
+    if (point.result.failures != 0) {
+      std::printf("FAIL: shards=%zu replicas=%zu clients=%zu had %llu "
+                  "failed requests\n",
+                  point.shards, point.replicas, point.clients,
+                  static_cast<unsigned long long>(point.result.failures));
+      deterministic = false;
+    }
+  }
+  std::printf("routing invariance: %s (output hash %016llx at every "
+              "placement)\n",
+              deterministic ? "ok" : "VIOLATED",
+              static_cast<unsigned long long>(
+                  sweep.front().result.output_hash));
+
+  // 1-shard baseline throughput per client count (the speedup denominator).
+  const auto one_shard_rows_per_sec =
+      [&sweep](std::size_t clients) -> double {
+    for (const auto& point : sweep) {
+      if (point.shards == 1 && point.clients == clients) {
+        return static_cast<double>(point.result.rows) /
+               point.result.wall_seconds;
+      }
+    }
+    return 0.0;
+  };
+
+  if (!opts.json_out.empty()) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.kv("schema_version", 1);
+    w.kv("kind", "serve_shard_bench");
+    w.kv("profile", bench::profile_name(opts.profile));
+    w.key("config").begin_object();
+    w.key("models").begin_array();
+    for (const auto& key : scale.models) w.value(key);
+    w.end_array();
+    w.kv("rows_per_job", scale.rows_per_job);
+    w.kv("jobs_per_model", scale.jobs_per_model);
+    w.kv("capacity_per_shard", scale.capacity_per_shard);
+    w.end_object();
+    w.kv("output_hash", sweep.front().result.output_hash);
+    w.kv("deterministic", deterministic);
+    w.key("sweep").begin_array();
+    for (const auto& point : sweep) {
+      const double rows_per_sec =
+          static_cast<double>(point.result.rows) / point.result.wall_seconds;
+      const double baseline = one_shard_rows_per_sec(point.clients);
+      w.begin_object();
+      w.kv("shards", point.shards);
+      w.kv("replicas", point.replicas);
+      w.kv("clients", point.clients);
+      w.kv("rows_per_sec", rows_per_sec);
+      w.kv("qps", static_cast<double>(point.result.jobs) /
+                      point.result.wall_seconds);
+      w.kv("p50_ms", point.result.stats.p50_latency_ms);
+      w.kv("p95_ms", point.result.stats.p95_latency_ms);
+      w.kv("routed", point.routed);
+      w.kv("rerouted", point.rerouted);
+      w.kv("speedup_vs_one_shard",
+           baseline > 0.0 ? rows_per_sec / baseline : 0.0);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    bench::write_text_file(opts.json_out, w.str() + "\n");
+  }
+  return deterministic ? 0 : 1;
+}

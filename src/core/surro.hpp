@@ -46,6 +46,8 @@
 #include "serve/model_host.hpp"
 #include "serve/replay.hpp"
 #include "serve/sample_service.hpp"
+#include "serve/shard_pool.hpp"
+#include "serve/shard_router.hpp"
 #include "serve/soak.hpp"
 #include "tabular/split.hpp"
 #include "tabular/stats.hpp"

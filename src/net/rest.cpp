@@ -79,7 +79,7 @@ const char* service_error_code(serve::ServiceError::Code code) noexcept {
   return "service_error";
 }
 
-RestApi::RestApi(serve::SampleService& service, RestConfig cfg)
+RestApi::RestApi(serve::SampleBackend& service, RestConfig cfg)
     : service_(service),
       cfg_(cfg),
       quotas_(cfg.quota_rps, cfg.quota_burst) {
@@ -187,15 +187,14 @@ HttpResponse RestApi::handle(const HttpRequest& request) {
 }
 
 HttpResponse RestApi::handle_models() {
-  auto& host = service_.host();
   JsonWriter w;
   w.begin_object();
   w.key("models").begin_array();
-  const auto keys = host.keys();
+  const auto keys = service_.model_keys();
   for (const auto& key : keys) {
     w.begin_object();
     w.kv("key", key);
-    w.kv("resident", host.resident(key));
+    w.kv("resident", service_.model_resident(key));
     w.end_object();
   }
   w.end_array();
@@ -289,7 +288,7 @@ HttpResponse RestApi::handle_submit(const HttpRequest& request) {
 
   // Unknown keys get a clean 404 here instead of an execution failure on
   // the future (the host registry is the source of truth either way).
-  if (!service_.host().contains(job.model_key)) {
+  if (!service_.has_model(job.model_key)) {
     return make_error(404, "unknown_model",
                       "no model registered under key '" + job.model_key + "'");
   }
@@ -299,7 +298,7 @@ HttpResponse RestApi::handle_submit(const HttpRequest& request) {
   const std::size_t effective_chunk =
       job.chunk_rows == 0 ? service_.config().chunk_rows : job.chunk_rows;
 
-  serve::SampleService::Submitted submitted;
+  serve::Submitted submitted;
   try {
     submitted = service_.submit_job(job);
   } catch (const serve::ServiceError& e) {
@@ -577,6 +576,8 @@ std::string RestApi::stats_json() {
   w.kv("loads", stats.host.loads);
   w.kv("load_failures", stats.host.load_failures);
   w.kv("evictions", stats.host.evictions);
+  w.kv("stale_reloads", stats.host.stale_reloads);
+  w.kv("invalidations", stats.host.invalidations);
   w.kv("hit_rate", stats.host.hit_rate());
   w.end_object();
 
@@ -621,6 +622,10 @@ std::string RestApi::stats_json() {
     w.end_object();
   }
 
+  // Backend-specific extras: a ShardPool appends its "shards" section
+  // (routing table, per-shard counters); a plain service appends nothing.
+  service_.append_stats_json(w);
+
   w.end_object();
   return w.str();
 }
@@ -639,7 +644,7 @@ ServerConfig with_body_cap(ServerConfig server_cfg, const RestConfig& rest) {
 }
 }  // namespace
 
-HttpEndpoint::HttpEndpoint(serve::SampleService& service, RestConfig rest_cfg,
+HttpEndpoint::HttpEndpoint(serve::SampleBackend& service, RestConfig rest_cfg,
                            ServerConfig server_cfg)
     : api(service, rest_cfg),
       server(with_body_cap(std::move(server_cfg), rest_cfg),

@@ -70,8 +70,11 @@ struct RestConfig {
 
 class RestApi {
  public:
-  /// The service (and its host) must outlive the API.
-  RestApi(serve::SampleService& service, RestConfig cfg = {});
+  /// The backend (and whatever hosts it wraps) must outlive the API.
+  /// Takes the abstract SampleBackend, so one SampleService and a sharded
+  /// ShardPool serve the same routes (a pool adds a "shards" section to
+  /// GET /v1/stats via append_stats_json).
+  RestApi(serve::SampleBackend& service, RestConfig cfg = {});
 
   RestApi(const RestApi&) = delete;
   RestApi& operator=(const RestApi&) = delete;
@@ -126,7 +129,7 @@ class RestApi {
   void harvest_locked(JobEntry& entry, double wait_ms);
   void purge_resolved_overflow();
 
-  serve::SampleService& service_;
+  serve::SampleBackend& service_;
   RestConfig cfg_;
   QuotaLedger quotas_;
   std::function<ServerStats()> server_stats_;
@@ -152,7 +155,7 @@ class RestApi {
 /// destruction) shuts the socket layer down before the service dies.
 struct HttpEndpoint {
   /// `service` must outlive the endpoint.
-  HttpEndpoint(serve::SampleService& service, RestConfig rest_cfg = {},
+  HttpEndpoint(serve::SampleBackend& service, RestConfig rest_cfg = {},
                ServerConfig server_cfg = {});
 
   RestApi api;

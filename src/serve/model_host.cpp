@@ -13,7 +13,8 @@ ModelHost::ModelHost(HostConfig cfg) : cfg_(cfg) {
   }
 }
 
-void ModelHost::register_archive(std::string key, std::string path) {
+void ModelHost::register_archive(std::string key, std::string path,
+                                 double ttl_ms) {
   if (key.empty()) throw std::invalid_argument("model host: empty key");
   if (path.empty()) {
     throw std::invalid_argument("model host: empty archive path");
@@ -21,6 +22,7 @@ void ModelHost::register_archive(std::string key, std::string path) {
   const std::lock_guard lock(mutex_);
   Entry entry;
   entry.archive_path = std::move(path);
+  entry.ttl_ms = ttl_ms < 0.0 ? cfg_.ttl_ms : ttl_ms;
   const auto [it, inserted] = entries_.emplace(std::move(key),
                                                std::move(entry));
   if (!inserted) {
@@ -69,9 +71,19 @@ std::shared_ptr<models::TabularGenerator> ModelHost::acquire(
     }
     Entry& entry = it->second;
     if (entry.model != nullptr) {
-      if (!counted_miss) ++tally_.hits;
-      entry.last_use = ++clock_;
-      return entry.model;
+      // TTL check first: a stale archive-backed resident is a miss — drop
+      // the host's copy (outstanding leases stay valid) and fall through to
+      // the load path below. Deterministic archives make the reload
+      // byte-transparent; only the counters can tell it happened.
+      if (!entry.archive_path.empty() && entry.ttl_ms > 0.0 &&
+          (age_clock_.seconds() - entry.loaded_at) * 1e3 > entry.ttl_ms) {
+        entry.model.reset();
+        ++tally_.stale_reloads;
+      } else {
+        if (!counted_miss) ++tally_.hits;
+        entry.last_use = ++clock_;
+        return entry.model;
+      }
     }
     if (!counted_miss) {
       ++tally_.misses;
@@ -133,6 +145,7 @@ std::shared_ptr<models::TabularGenerator> ModelHost::acquire(
     target.model = std::move(loaded);
     target.ever_loaded = true;
     target.last_use = ++clock_;
+    target.loaded_at = age_clock_.seconds();
     ++tally_.loads;
     enforce_capacity_locked(&target);
     cv_load_.notify_all();
@@ -177,6 +190,19 @@ void ModelHost::evict_idle() {
   }
 }
 
+bool ModelHost::invalidate(const std::string& key) {
+  const std::lock_guard lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  Entry& entry = it->second;
+  if (entry.archive_path.empty() || entry.model == nullptr || entry.loading) {
+    return false;  // nothing to reload from, nothing resident, or mid-load
+  }
+  entry.model.reset();
+  ++tally_.invalidations;
+  return true;
+}
+
 bool ModelHost::contains(const std::string& key) const {
   const std::lock_guard lock(mutex_);
   return entries_.contains(key);
@@ -194,6 +220,12 @@ std::vector<std::string> ModelHost::keys() const {
   out.reserve(entries_.size());
   for (const auto& [key, _] : entries_) out.push_back(key);
   return out;  // std::map iterates in sorted order
+}
+
+std::string ModelHost::archive_path(const std::string& key) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? std::string{} : it->second.archive_path;
 }
 
 HostStats ModelHost::stats() const {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "models/generator.hpp"
+#include "util/timer.hpp"
 
 namespace surro::serve {
 
@@ -36,6 +37,12 @@ struct HostConfig {
   /// the least-recently-used unpinned entry; when everything is pinned the
   /// host temporarily exceeds capacity rather than failing the request.
   std::size_t capacity = 4;
+  /// Default staleness bound for archive-backed entries: a resident model
+  /// older than this (since its load) is treated as a *miss* on the next
+  /// acquire() and reloaded from its archive. 0 = entries never go stale.
+  /// Archives are deterministic, so a stale reload never changes bytes —
+  /// the TTL exists for operators who overwrite archives in place.
+  double ttl_ms = 0.0;
 };
 
 /// Fault-injection knobs for archive loads (tests and the soak harness).
@@ -64,6 +71,8 @@ struct HostStats {
   std::uint64_t loads = 0;     ///< archive loads performed
   std::uint64_t load_failures = 0;  ///< archive loads that threw (incl. injected)
   std::uint64_t evictions = 0; ///< models dropped by the LRU policy
+  std::uint64_t stale_reloads = 0;  ///< TTL-expired residents reloaded
+  std::uint64_t invalidations = 0;  ///< invalidate() calls that dropped a copy
 
   /// hits / (hits + misses); 1.0 for an untouched host.
   [[nodiscard]] double hit_rate() const noexcept {
@@ -82,7 +91,10 @@ class ModelHost {
 
   /// Make `key` addressable, backed by a save_model archive at `path`.
   /// Nothing is loaded until the first acquire(). Throws on duplicate keys.
-  void register_archive(std::string key, std::string path);
+  /// `ttl_ms` overrides HostConfig::ttl_ms for this entry; negative (the
+  /// default) inherits the host-wide value, 0 means never stale.
+  void register_archive(std::string key, std::string path,
+                        double ttl_ms = -1.0);
 
   /// Make `key` addressable as an already-fitted in-memory instance. The
   /// model must be fitted. `pin` defaults to true because there is no
@@ -111,6 +123,13 @@ class ModelHost {
   /// evictions). Leases held by callers stay valid.
   void evict_idle();
 
+  /// Drop the resident copy of one archive-backed key so the next acquire()
+  /// reloads from disk (explicit cache invalidation; the shard pool fans
+  /// this out to every replica). Returns true when a resident copy was
+  /// dropped; in-memory (fitted) entries, unknown keys, non-resident
+  /// entries, and entries mid-load are left alone and return false.
+  bool invalidate(const std::string& key);
+
   /// Replace the fault-injection knobs (see HostFaults). Thread-safe;
   /// affects archive loads that *start* after the call.
   void inject_faults(HostFaults faults);
@@ -120,6 +139,9 @@ class ModelHost {
   [[nodiscard]] bool resident(const std::string& key) const;
   /// Sorted list of addressable keys.
   [[nodiscard]] std::vector<std::string> keys() const;
+  /// Archive path behind `key` — empty for in-memory (fitted) entries and
+  /// unknown keys. Lets a shard pool replicate this host's registrations.
+  [[nodiscard]] std::string archive_path(const std::string& key) const;
   [[nodiscard]] HostStats stats() const;
 
  private:
@@ -130,6 +152,8 @@ class ModelHost {
     bool loading = false;      // a thread is loading the archive right now
     bool ever_loaded = false;  // distinguishes "not yet" from "evicted"
     std::uint64_t last_use = 0;
+    double ttl_ms = 0.0;       // resolved at registration; 0 = never stale
+    double loaded_at = 0.0;    // age_clock_ seconds at the last (re)load
   };
 
   /// Evict LRU unpinned entries until residency fits capacity. Caller holds
@@ -143,6 +167,7 @@ class ModelHost {
   std::condition_variable cv_load_;  // a pending archive load finished
   std::map<std::string, Entry> entries_;
   std::uint64_t clock_ = 0;  // LRU clock, bumped on every touch
+  util::Stopwatch age_clock_;  // staleness clock for TTL checks
   HostStats tally_;          // counter part only (residency derived live)
 };
 

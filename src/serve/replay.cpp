@@ -176,7 +176,7 @@ std::uint64_t hash_table(const tabular::Table& table) {
   return h;
 }
 
-ReplayResult run_replay(SampleService& service, const ReplayScript& script,
+ReplayResult run_replay(SampleBackend& service, const ReplayScript& script,
                         const ReplayOptions& options) {
   std::vector<SampleJob> jobs;
   for (std::size_t round = 0; round < std::max<std::size_t>(options.rounds, 1);
@@ -277,7 +277,7 @@ ReplayResult run_replay(SampleService& service, const ReplayScript& script,
   return result;
 }
 
-std::string serve_stats_to_json(const SampleService& service,
+std::string serve_stats_to_json(const SampleBackend& service,
                                 const ReplayOptions& options,
                                 const ReplayResult& result) {
   const ServiceStats& s = result.stats;
@@ -350,8 +350,13 @@ std::string serve_stats_to_json(const SampleService& service,
   w.kv("loads", s.host.loads);
   w.kv("load_failures", s.host.load_failures);
   w.kv("evictions", s.host.evictions);
+  w.kv("stale_reloads", s.host.stale_reloads);
+  w.kv("invalidations", s.host.invalidations);
   w.kv("hit_rate", s.host.hit_rate());
   w.end_object();
+  // A sharded backend appends its "shards" section (routing table +
+  // per-shard counters); a plain service appends nothing.
+  service.append_stats_json(w);
   w.key("pool").begin_object();
   w.kv("workers", s.pool.workers);
   w.kv("queued", s.pool.queued);

@@ -73,12 +73,12 @@ struct ReplayResult {
 
 /// Expand the script (rounds × requests × repeat), interleave it over
 /// `clients` submitting threads, and wait for every future.
-[[nodiscard]] ReplayResult run_replay(SampleService& service,
+[[nodiscard]] ReplayResult run_replay(SampleBackend& service,
                                       const ReplayScript& script,
                                       const ReplayOptions& options);
 
 /// The `serve_stats` artifact (schema_version 1, kind "serve_stats").
-[[nodiscard]] std::string serve_stats_to_json(const SampleService& service,
+[[nodiscard]] std::string serve_stats_to_json(const SampleBackend& service,
                                               const ReplayOptions& options,
                                               const ReplayResult& result);
 

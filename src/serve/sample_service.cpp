@@ -33,6 +33,8 @@ std::exception_ptr service_error(ServiceError::Code code,
 
 }  // namespace
 
+void SampleBackend::append_stats_json(util::JsonWriter&) const {}
+
 /// Fail shed victims (already removed from the queue, promises moved into
 /// the caller's vector) with their promised kShed outcome. Called without
 /// the service lock — victims are locals by then.
@@ -85,7 +87,7 @@ bool SampleService::over_bounds_locked(std::size_t rows) const {
          queued_rows_ + rows > cfg_.max_queued_rows;
 }
 
-SampleService::Submitted SampleService::submit_job(SampleJob job) {
+Submitted SampleService::submit_job(SampleJob job) {
   Pending pending;
   pending.job = std::move(job);
   pending.cancel_flag = std::make_shared<std::atomic<bool>>(false);
@@ -102,14 +104,39 @@ SampleService::Submitted SampleService::submit_job(SampleJob job) {
         case AdmissionPolicy::kBlock: {
           ++blocked_;
           ++submit_waiters_;
+          // The id is assigned and the cancel flag published in live_
+          // *before* parking, so cancel() can reach a submitter that is
+          // still waiting for queue space.
+          pending.seq = seq_++;
+          out.job_id = pending.seq;
+          live_.emplace(pending.seq, pending.cancel_flag);
           cv_space_.wait(lock, [&] {
-            return stop_ || !over_bounds_locked(pending.job.rows);
+            return stop_ ||
+                   pending.cancel_flag->load(std::memory_order_relaxed) ||
+                   !over_bounds_locked(pending.job.rows);
           });
           --submit_waiters_;
           if (stop_) {
             // The destructor may be waiting for this thread to leave.
+            live_.erase(pending.seq);
             cv_idle_.notify_all();
             throw std::logic_error("sample service: submit after shutdown");
+          }
+          if (pending.cancel_flag->load(std::memory_order_relaxed)) {
+            // Cancelled while blocked at admission: the job resolves with
+            // kCancelled on its future — it never hangs and is never
+            // misfiled as an overload outcome. It was admitted as far as
+            // the caller can tell (it has an id), so it counts as
+            // submitted + cancelled, keeping the outcome partition intact.
+            live_.erase(pending.seq);
+            ++submitted_;
+            ++cancelled_;
+            lock.unlock();
+            cv_idle_.notify_all();
+            pending.promise.set_exception(service_error(
+                ServiceError::Code::kCancelled,
+                "sample service: job cancelled while blocked at admission"));
+            return out;
           }
           break;
         }
@@ -159,16 +186,18 @@ SampleService::Submitted SampleService::submit_job(SampleJob job) {
         }
       }
     }
-    pending.seq = seq_++;
+    if (pending.seq == 0) {  // not pre-assigned by the kBlock branch
+      pending.seq = seq_++;
+      out.job_id = pending.seq;
+      live_.emplace(pending.seq, pending.cancel_flag);
+    }
     pending.submitted_at = clock_.seconds();
     pending.deadline_at = pending.job.deadline_ms > 0.0
                               ? pending.submitted_at +
                                     pending.job.deadline_ms * 1e-3
                               : INFINITY;
-    out.job_id = pending.seq;
     ++submitted_;
     queued_rows_ += pending.job.rows;
-    live_.emplace(pending.seq, pending.cancel_flag);
     queue_.push_back(std::move(pending));
     // Notified under the lock: after releasing it this thread touches no
     // service member, so a destructor that has drained the blocked
@@ -207,12 +236,12 @@ bool SampleService::cancel(std::uint64_t job_id) {
     removed.promise.set_exception(service_error(
         ServiceError::Code::kCancelled,
         "sample service: job cancelled while queued"));
+  } else {
+    // Not in the queue: in flight (chunk workers poll the flag), or a
+    // submitter parked on backpressure — wake those so they re-check it.
+    cv_space_.notify_all();
   }
   return true;
-}
-
-tabular::Table SampleService::sample(SampleJob job) {
-  return submit(std::move(job)).get().table;
 }
 
 void SampleService::drain() {
@@ -573,6 +602,11 @@ void SampleService::run_batch(std::vector<Pending> batch) {
 std::size_t SampleService::queue_depth() const {
   const std::lock_guard lock(mutex_);
   return queue_.size() + in_flight_;
+}
+
+std::vector<double> SampleService::latency_snapshot() const {
+  const std::lock_guard lock(mutex_);
+  return latency_.snapshot();
 }
 
 ServiceStats SampleService::stats() const {

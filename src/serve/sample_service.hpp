@@ -34,6 +34,10 @@
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
+namespace surro::util {
+class JsonWriter;
+}
+
 namespace surro::serve {
 
 /// Typed failure surfaced by the overload-control layer: thrown
@@ -169,21 +173,22 @@ struct ServiceStats {
   util::PoolCounters pool;       ///< thread-pool load underneath the service
 };
 
-class SampleService {
+/// A submitted job's handle: the future plus the id cancel() takes.
+struct Submitted {
+  std::uint64_t job_id = 0;
+  std::future<SampleResult> future;
+};
+
+/// The abstract submission surface of the serving tier. SampleService is
+/// the single-worker implementation; ShardPool routes over many of them.
+/// Everything above this layer — the REST API, the replay/soak harnesses,
+/// the CLI — programs against SampleBackend, so a sharded tier drops in
+/// wherever a single service used to sit. The determinism contract is part
+/// of the interface: a job's bytes depend only on
+/// (model, rows, seed, chunk_rows), never on which backend ran it.
+class SampleBackend {
  public:
-  /// The host must outlive the service.
-  explicit SampleService(ModelHost& host, ServiceConfig cfg = {});
-  /// Drains already-queued jobs, then stops the dispatcher.
-  ~SampleService();
-
-  SampleService(const SampleService&) = delete;
-  SampleService& operator=(const SampleService&) = delete;
-
-  /// A submitted job's handle: the future plus the id cancel() takes.
-  struct Submitted {
-    std::uint64_t job_id = 0;
-    std::future<SampleResult> future;
-  };
+  virtual ~SampleBackend() = default;
 
   /// Enqueue a job through the admission gate. Execution errors (unknown
   /// model key, archive load failure) surface on the future; submitting
@@ -193,12 +198,7 @@ class SampleService {
   /// the lowest-priority queued job; ServiceError{kShed} if that is this
   /// one). A rows == 0 job is valid and resolves to an empty table
   /// (mirroring sample_into, which leaves its output untouched).
-  [[nodiscard]] Submitted submit_job(SampleJob job);
-
-  /// submit_job without the cancellation handle.
-  [[nodiscard]] std::future<SampleResult> submit(SampleJob job) {
-    return submit_job(std::move(job)).future;
-  }
+  [[nodiscard]] virtual Submitted submit_job(SampleJob job) = 0;
 
   /// Cooperatively cancel a job by id. A still-queued job is removed
   /// immediately; an in-flight job stops at its next chunk boundary and
@@ -206,13 +206,55 @@ class SampleService {
   /// ServiceError{kCancelled}. Returns false when the id is unknown or the
   /// job already resolved (cancellation raced completion — the future then
   /// holds whatever outcome won).
-  bool cancel(std::uint64_t job_id);
-
-  /// Blocking convenience: submit + wait, returning just the table.
-  [[nodiscard]] tabular::Table sample(SampleJob job);
+  virtual bool cancel(std::uint64_t job_id) = 0;
 
   /// Block until every submitted job has been fulfilled.
-  void drain();
+  virtual void drain() = 0;
+
+  [[nodiscard]] virtual ServiceStats stats() const = 0;
+  /// Cheap depth poll — no percentile sort (see SampleService::queue_depth).
+  [[nodiscard]] virtual std::size_t queue_depth() const = 0;
+  /// The effective service configuration (per-shard config for a pool).
+  [[nodiscard]] virtual const ServiceConfig& config() const noexcept = 0;
+
+  /// Model registry surface (what /v1/models renders).
+  [[nodiscard]] virtual std::vector<std::string> model_keys() const = 0;
+  [[nodiscard]] virtual bool has_model(const std::string& key) const = 0;
+  /// True when at least one replica of `key` is resident in memory.
+  [[nodiscard]] virtual bool model_resident(const std::string& key) const = 0;
+
+  /// Append backend-specific keys to a stats JSON object (the REST layer
+  /// calls this inside its /v1/stats object). Default: nothing.
+  virtual void append_stats_json(util::JsonWriter& w) const;
+
+  /// submit_job without the cancellation handle.
+  [[nodiscard]] std::future<SampleResult> submit(SampleJob job) {
+    return submit_job(std::move(job)).future;
+  }
+
+  /// Blocking convenience: submit + wait, returning just the table.
+  [[nodiscard]] tabular::Table sample(SampleJob job) {
+    return submit(std::move(job)).get().table;
+  }
+};
+
+class SampleService : public SampleBackend {
+ public:
+  /// The host must outlive the service.
+  explicit SampleService(ModelHost& host, ServiceConfig cfg = {});
+  /// Drains already-queued jobs, then stops the dispatcher.
+  ~SampleService() override;
+
+  SampleService(const SampleService&) = delete;
+  SampleService& operator=(const SampleService&) = delete;
+
+  /// Kept as a nested alias — call sites predating SampleBackend spell
+  /// this SampleService::Submitted.
+  using Submitted = serve::Submitted;
+
+  [[nodiscard]] Submitted submit_job(SampleJob job) override;
+  bool cancel(std::uint64_t job_id) override;
+  void drain() override;
 
   /// Hold/resume dispatching. While paused, submit() still queues; used to
   /// stage a burst so batching and priority order are deterministic (tests,
@@ -220,12 +262,26 @@ class SampleService {
   void pause();
   void resume();
 
-  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] ServiceStats stats() const override;
   /// Just queue_.size() + in-flight jobs — for hot pollers (the soak
   /// queue-depth monitor) that must not pay stats()'s percentile sort.
-  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::size_t queue_depth() const override;
   [[nodiscard]] ModelHost& host() noexcept { return host_; }
-  [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const ServiceConfig& config() const noexcept override {
+    return cfg_;
+  }
+  [[nodiscard]] std::vector<std::string> model_keys() const override {
+    return host_.keys();
+  }
+  [[nodiscard]] bool has_model(const std::string& key) const override {
+    return host_.contains(key);
+  }
+  [[nodiscard]] bool model_resident(const std::string& key) const override {
+    return host_.resident(key);
+  }
+  /// Unsorted copy of the completed-latency window, so an aggregator (the
+  /// shard pool) can merge windows before computing percentiles.
+  [[nodiscard]] std::vector<double> latency_snapshot() const;
 
  private:
   struct Pending {

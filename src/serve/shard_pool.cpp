@@ -1,0 +1,301 @@
+#include "serve/shard_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "serve/latency_window.hpp"
+#include "util/json.hpp"
+
+namespace surro::serve {
+
+namespace {
+
+// Pool job ids carry the shard in the top 16 bits, biased by one so the
+// all-zero id stays the "no job" sentinel and a local id can never be
+// mistaken for a pool id by cancel().
+constexpr unsigned kShardShift = 48;
+constexpr std::uint64_t kLocalMask = (1ULL << kShardShift) - 1;
+
+std::uint64_t encode_job_id(std::size_t shard, std::uint64_t local) {
+  return (static_cast<std::uint64_t>(shard + 1) << kShardShift) |
+         (local & kLocalMask);
+}
+
+}  // namespace
+
+ShardPool::ShardPool(ShardPoolConfig cfg)
+    : cfg_(cfg),
+      router_(RouterConfig{cfg.shards, cfg.replication, cfg.virtual_nodes}) {
+  if (cfg_.shards == 0) {
+    throw std::invalid_argument("shard pool: shards must be positive");
+  }
+  cfg_.replication = router_.config().replication;  // clamped
+  shards_.reserve(cfg_.shards);
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    Shard shard;
+    shard.host = std::make_unique<ModelHost>(cfg_.host);
+    shard.service =
+        std::make_unique<SampleService>(*shard.host, cfg_.service);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardPool::~ShardPool() = default;
+
+std::vector<std::size_t> ShardPool::owners_of(const std::string& key) const {
+  {
+    const std::lock_guard lock(mutex_);
+    const auto it = placement_.find(key);
+    if (it != placement_.end()) return it->second;
+  }
+  // Unregistered key: still route (the owning shard's service will fail the
+  // future with unknown-key, matching single-service behavior).
+  return router_.owners(key);
+}
+
+void ShardPool::register_archive(const std::string& key,
+                                 const std::string& path, double ttl_ms) {
+  const auto owners = router_.owners(key);
+  for (const std::size_t s : owners) {
+    shards_[s].host->register_archive(key, path, ttl_ms);
+  }
+  const std::lock_guard lock(mutex_);
+  placement_.emplace(key, owners);
+}
+
+void ShardPool::register_fitted(
+    const std::string& key, std::shared_ptr<models::TabularGenerator> model,
+    bool pin) {
+  if (model == nullptr || !model->fitted()) {
+    throw std::invalid_argument("shard pool: register_fitted needs a fitted "
+                                "model");
+  }
+  const auto owners = router_.owners(key);
+  for (std::size_t i = 1; i < owners.size(); ++i) {
+    // Clones first: if one throws, no shard has been mutated yet.
+    shards_[owners[i]].host->register_fitted(
+        key, std::shared_ptr<models::TabularGenerator>(model->clone()), pin);
+  }
+  shards_[owners.front()].host->register_fitted(key, std::move(model), pin);
+  const std::lock_guard lock(mutex_);
+  placement_.emplace(key, owners);
+}
+
+std::size_t ShardPool::invalidate(const std::string& key) {
+  std::size_t dropped = 0;
+  for (const std::size_t s : owners_of(key)) {
+    if (shards_[s].host->invalidate(key)) ++dropped;
+  }
+  return dropped;
+}
+
+Submitted ShardPool::submit_job(SampleJob job) {
+  const auto owners = owners_of(job.model_key);
+
+  // Least-depth replica first (the load-balanced lease); ties keep ring
+  // order so the pick is deterministic for a quiet pool.
+  std::vector<std::pair<std::size_t, std::size_t>> order;  // (depth, shard)
+  order.reserve(owners.size());
+  for (const std::size_t s : owners) {
+    order.emplace_back(shards_[s].service->queue_depth(), s);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+
+  std::exception_ptr refusal;
+  for (const auto& [depth, s] : order) {
+    try {
+      Submitted local = shards_[s].service->submit_job(job);
+      {
+        const std::lock_guard lock(mutex_);
+        ++routed_;
+        if (refusal != nullptr) ++rerouted_;
+      }
+      local.job_id = encode_job_id(s, local.job_id);
+      return local;
+    } catch (const ServiceError& e) {
+      if (e.code() != ServiceError::Code::kOverloaded &&
+          e.code() != ServiceError::Code::kShed) {
+        throw;
+      }
+      refusal = std::current_exception();  // try the next replica
+    }
+  }
+  std::rethrow_exception(refusal);  // every replica refused
+}
+
+std::pair<std::size_t, std::uint64_t> ShardPool::decode_job_id(
+    std::uint64_t pool_id) const noexcept {
+  const std::uint64_t biased = pool_id >> kShardShift;
+  if (biased == 0 || biased > shards_.size()) {
+    return {shards_.size(), 0};
+  }
+  return {static_cast<std::size_t>(biased - 1), pool_id & kLocalMask};
+}
+
+bool ShardPool::cancel(std::uint64_t job_id) {
+  const auto [shard, local] = decode_job_id(job_id);
+  if (shard >= shards_.size()) return false;
+  return shards_[shard].service->cancel(local);
+}
+
+void ShardPool::drain() {
+  for (auto& shard : shards_) shard.service->drain();
+}
+
+std::size_t ShardPool::queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& shard : shards_) depth += shard.service->queue_depth();
+  return depth;
+}
+
+std::vector<std::size_t> ShardPool::shard_depths() const {
+  std::vector<std::size_t> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    out.push_back(shard.service->queue_depth());
+  }
+  return out;
+}
+
+std::vector<std::string> ShardPool::model_keys() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(placement_.size());
+  for (const auto& [key, _] : placement_) out.push_back(key);
+  return out;  // std::map iterates in sorted order
+}
+
+bool ShardPool::has_model(const std::string& key) const {
+  const std::lock_guard lock(mutex_);
+  return placement_.contains(key);
+}
+
+bool ShardPool::model_resident(const std::string& key) const {
+  std::vector<std::size_t> owners;
+  {
+    const std::lock_guard lock(mutex_);
+    const auto it = placement_.find(key);
+    if (it == placement_.end()) return false;
+    owners = it->second;
+  }
+  for (const std::size_t s : owners) {
+    if (shards_[s].host->resident(key)) return true;
+  }
+  return false;
+}
+
+ServiceStats ShardPool::stats() const {
+  // Strict sums of the per-shard counters (tests assert this arithmetic);
+  // rates are recomputed over the pool's uptime, and percentiles come from
+  // the *merged* latency windows, not an average of per-shard percentiles.
+  // host.registered counts replica copies, so with R > 1 it exceeds the
+  // number of distinct keys by design.
+  ServiceStats agg;
+  std::vector<double> window;
+  double rows_weighted = 0.0;
+  std::uint64_t batched_jobs = 0;
+  for (const auto& shard : shards_) {
+    const ServiceStats s = shard.service->stats();
+    agg.submitted += s.submitted;
+    agg.completed += s.completed;
+    agg.failed += s.failed;
+    agg.rejected += s.rejected;
+    agg.shed += s.shed;
+    agg.cancelled += s.cancelled;
+    agg.deadline_missed += s.deadline_missed;
+    agg.blocked += s.blocked;
+    agg.queue_depth += s.queue_depth;
+    agg.queued_rows += s.queued_rows;
+    agg.batches += s.batches;
+    batched_jobs += static_cast<std::uint64_t>(
+        s.mean_batch_jobs * static_cast<double>(s.batches) + 0.5);
+    agg.uptime_seconds = std::max(agg.uptime_seconds, s.uptime_seconds);
+    rows_weighted += s.rows_per_sec * s.uptime_seconds;
+    agg.host.registered += s.host.registered;
+    agg.host.resident += s.host.resident;
+    agg.host.pinned += s.host.pinned;
+    agg.host.capacity += s.host.capacity;
+    agg.host.hits += s.host.hits;
+    agg.host.misses += s.host.misses;
+    agg.host.loads += s.host.loads;
+    agg.host.load_failures += s.host.load_failures;
+    agg.host.evictions += s.host.evictions;
+    agg.host.stale_reloads += s.host.stale_reloads;
+    agg.host.invalidations += s.host.invalidations;
+    const auto shard_window = shard.service->latency_snapshot();
+    window.insert(window.end(), shard_window.begin(), shard_window.end());
+  }
+  agg.mean_batch_jobs = agg.batches == 0
+                            ? 0.0
+                            : static_cast<double>(batched_jobs) /
+                                  static_cast<double>(agg.batches);
+  agg.qps = agg.uptime_seconds > 0.0
+                ? static_cast<double>(agg.completed) / agg.uptime_seconds
+                : 0.0;
+  agg.rows_per_sec =
+      agg.uptime_seconds > 0.0 ? rows_weighted / agg.uptime_seconds : 0.0;
+  std::sort(window.begin(), window.end());
+  agg.p50_latency_ms = LatencyWindow::percentile(window, 0.50);
+  agg.p95_latency_ms = LatencyWindow::percentile(window, 0.95);
+  agg.p99_latency_ms = LatencyWindow::percentile(window, 0.99);
+  agg.pool = util::ThreadPool::global().counters();
+  return agg;
+}
+
+ShardStats ShardPool::shard_stats() const {
+  ShardStats out;
+  out.per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    out.per_shard.push_back(shard.service->stats());
+  }
+  out.aggregate = stats();
+  const std::lock_guard lock(mutex_);
+  out.routed = routed_;
+  out.rerouted = rerouted_;
+  out.placement.assign(placement_.begin(), placement_.end());
+  return out;
+}
+
+void ShardPool::append_stats_json(util::JsonWriter& w) const {
+  const ShardStats ss = shard_stats();
+  w.key("shards").begin_object();
+  w.kv("count", shards_.size());
+  w.kv("replication", cfg_.replication);
+  w.kv("virtual_nodes", router_.config().virtual_nodes);
+  w.kv("routed", ss.routed);
+  w.kv("rerouted", ss.rerouted);
+  w.key("per_shard").begin_array();
+  for (std::size_t s = 0; s < ss.per_shard.size(); ++s) {
+    const ServiceStats& st = ss.per_shard[s];
+    w.begin_object();
+    w.kv("shard", s);
+    w.kv("queue_depth", st.queue_depth);
+    w.kv("submitted", st.submitted);
+    w.kv("completed", st.completed);
+    w.kv("rejected", st.rejected);
+    w.kv("shed", st.shed);
+    w.kv("cache_hits", st.host.hits);
+    w.kv("cache_misses", st.host.misses);
+    w.kv("cache_evictions", st.host.evictions);
+    w.kv("stale_reloads", st.host.stale_reloads);
+    w.kv("invalidations", st.host.invalidations);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("placement").begin_array();
+  for (const auto& [key, owners] : ss.placement) {
+    w.begin_object();
+    w.kv("model", key);
+    w.key("owners").begin_array();
+    for (const std::size_t s : owners) w.value(s);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace surro::serve

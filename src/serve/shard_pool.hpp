@@ -1,0 +1,128 @@
+#pragma once
+// ShardPool: N in-process worker shards — each its own ModelHost LRU and
+// SampleService (independent capacity and admission config) — behind one
+// SampleBackend face. A consistent-hash ShardRouter partitions the model
+// keyspace; replication factor R places every key on R distinct shards.
+//
+// Submission policy (the "lease"):
+//   1. Route to the key's owner shards, least current queue depth first
+//      (ties keep ring order), so replicas load-balance.
+//   2. If the chosen shard's admission gate refuses (kOverloaded / kShed),
+//      re-route to the next replica; only when *every* replica refuses does
+//      the caller see the error. Counted in ShardStats::rerouted.
+//
+// Determinism: placement never changes bytes. A job's output depends only
+// on (model, rows, seed, chunk_rows) — every replica loads the same
+// archive (or a clone of the same fitted instance) and SampleService
+// preserves the contract per shard, so any (shards, replicas, placement)
+// configuration returns bitwise-identical tables. tests/test_shard.cpp
+// machine-checks this across shards=1/2/4 × replicas=1/2.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/sample_service.hpp"
+#include "serve/shard_router.hpp"
+
+namespace surro::serve {
+
+struct ShardPoolConfig {
+  std::size_t shards = 1;
+  /// Distinct shards hosting each key (clamped to `shards`).
+  std::size_t replication = 1;
+  std::size_t virtual_nodes = 64;  ///< ring points per shard (ShardRouter)
+  /// Per-shard host and service configuration (every shard gets the same
+  /// knobs; capacity and admission bounds are therefore *per shard*).
+  HostConfig host;
+  ServiceConfig service;
+};
+
+/// The routing-layer picture: per-shard service stats plus pool tallies.
+struct ShardStats {
+  ServiceStats aggregate;               ///< strict sums (see ShardPool::stats)
+  std::vector<ServiceStats> per_shard;  ///< index = shard
+  std::uint64_t routed = 0;    ///< submits that landed on a shard
+  std::uint64_t rerouted = 0;  ///< submits re-placed after a replica refused
+  /// Routing table: model key -> owner shards (primary first).
+  std::vector<std::pair<std::string, std::vector<std::size_t>>> placement;
+};
+
+class ShardPool : public SampleBackend {
+ public:
+  explicit ShardPool(ShardPoolConfig cfg);
+  ~ShardPool() override;
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  /// Register `key` on its R owner shards, archive-backed. `ttl_ms` < 0
+  /// inherits the per-shard HostConfig::ttl_ms default.
+  void register_archive(const std::string& key, const std::string& path,
+                        double ttl_ms = -1.0);
+  /// Register a fitted in-memory model. The first owner shard takes the
+  /// given instance; further replicas take clone()s, so shards never share
+  /// one sampler (clones sample bitwise-identically by contract).
+  void register_fitted(const std::string& key,
+                       std::shared_ptr<models::TabularGenerator> model,
+                       bool pin = true);
+  /// Drop the resident copy on every replica (cache invalidation fan-out).
+  /// Returns how many replicas actually dropped a copy.
+  std::size_t invalidate(const std::string& key);
+
+  // SampleBackend surface.
+  [[nodiscard]] Submitted submit_job(SampleJob job) override;
+  bool cancel(std::uint64_t job_id) override;
+  void drain() override;
+  [[nodiscard]] ServiceStats stats() const override;
+  [[nodiscard]] std::size_t queue_depth() const override;
+  [[nodiscard]] const ServiceConfig& config() const noexcept override {
+    return cfg_.service;
+  }
+  [[nodiscard]] std::vector<std::string> model_keys() const override;
+  [[nodiscard]] bool has_model(const std::string& key) const override;
+  [[nodiscard]] bool model_resident(const std::string& key) const override;
+  void append_stats_json(util::JsonWriter& w) const override;
+
+  // Shard-level introspection (tests, the soak monitor, the CLI banner).
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+  [[nodiscard]] SampleService& service(std::size_t shard) {
+    return *shards_.at(shard).service;
+  }
+  [[nodiscard]] ModelHost& host(std::size_t shard) {
+    return *shards_.at(shard).host;
+  }
+  [[nodiscard]] const ShardRouter& router() const noexcept { return router_; }
+  /// Per-shard queue depths in one cheap sweep (soak depth monitor).
+  [[nodiscard]] std::vector<std::size_t> shard_depths() const;
+  [[nodiscard]] ShardStats shard_stats() const;
+
+  /// Decode a pool job id (used by tests; cancel() does this internally).
+  /// Returns {shard, local_id}; shard == shards() means "not a pool id".
+  [[nodiscard]] std::pair<std::size_t, std::uint64_t> decode_job_id(
+      std::uint64_t pool_id) const noexcept;
+
+ private:
+  struct Shard {
+    std::unique_ptr<ModelHost> host;       // declared before service: the
+    std::unique_ptr<SampleService> service;  // service dies first
+  };
+
+  [[nodiscard]] std::vector<std::size_t> owners_of(
+      const std::string& key) const;
+
+  ShardPoolConfig cfg_;
+  ShardRouter router_;
+  std::vector<Shard> shards_;
+
+  mutable std::mutex mutex_;  // placement_ + routing tallies
+  std::map<std::string, std::vector<std::size_t>> placement_;
+  std::uint64_t routed_ = 0;
+  std::uint64_t rerouted_ = 0;
+};
+
+}  // namespace surro::serve

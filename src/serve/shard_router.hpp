@@ -1,0 +1,68 @@
+#pragma once
+// ShardRouter: a consistent-hash ring over the model keyspace, mapping
+// every model key to its owning worker shard(s). Three properties matter:
+//
+//   * Stability. Each shard contributes `virtual_nodes` ring points whose
+//     positions are derived from (shard index, vnode index) alone — adding
+//     or removing a shard only adds/removes *its* points, so only ~K/N of
+//     K keys change owners (the classic consistent-hashing bound). No
+//     global reshuffle, ever.
+//   * Replication. owners(key) walks the ring clockwise from the key's
+//     position collecting the first R *distinct* shards, so replicas land
+//     on different shards by construction and the replica list is as
+//     stable as the ring itself.
+//   * Determinism. The ring is pure arithmetic (SplitMix64 over indices,
+//     FNV-1a over key bytes): two routers built from the same config agree
+//     on every key, on every platform. Equal-hash ring points (vanishing
+//     probability, but the tie-break must still be total) are ordered by
+//     rendezvous weight — splitmix64(key_hash ^ shard_seed), highest
+//     first — so ties resolve per-key, not by shard index bias.
+//
+// The router is routing policy only: it holds no models and no queues.
+// ShardPool owns the shards and consults the router per submit.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace surro::serve {
+
+struct RouterConfig {
+  std::size_t shards = 1;
+  /// Distinct owner shards per key (clamped to `shards`). Replica 0 is the
+  /// primary; the rest are where a pool may re-route under overload.
+  std::size_t replication = 1;
+  /// Ring points per shard. More points = smoother key balance and smaller
+  /// movement granularity on resize, at O(shards * vnodes) ring memory.
+  std::size_t virtual_nodes = 64;
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(RouterConfig cfg);
+
+  /// The first min(replication, shards) distinct shards clockwise from the
+  /// key's ring position; element 0 is the primary owner.
+  [[nodiscard]] std::vector<std::size_t> owners(std::string_view key) const;
+  [[nodiscard]] std::size_t primary(std::string_view key) const {
+    return owners(key).front();
+  }
+
+  [[nodiscard]] const RouterConfig& config() const noexcept { return cfg_; }
+
+  /// Position-independent hash of a model key (FNV-1a, SplitMix64 finish).
+  [[nodiscard]] static std::uint64_t key_hash(std::string_view key) noexcept;
+
+ private:
+  struct Point {
+    std::uint64_t hash = 0;
+    std::size_t shard = 0;
+    std::uint64_t shard_seed = 0;  // rendezvous salt, per shard
+  };
+
+  RouterConfig cfg_;
+  std::vector<Point> ring_;  // sorted by hash
+};
+
+}  // namespace surro::serve

@@ -12,6 +12,7 @@
 #include "net/client.hpp"
 #include "net/rest.hpp"
 #include "serve/latency_window.hpp"
+#include "serve/shard_pool.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -135,7 +136,10 @@ SoakResult run_soak(ModelHost& host, const SoakConfig& cfg) {
                 result.capacity_jobs_per_sec, num_models, cfg.rows_per_job);
   }
 
-  // ---- The bounded service under test.
+  // ---- The bounded backend under test: one SampleService, or a ShardPool
+  // of them. The pool replicates the caller's host registrations (archives
+  // by path, fitted models by clone), so the expected digests computed on
+  // the unsharded host above double as the cross-placement check.
   ServiceConfig svc_cfg;
   svc_cfg.sample_threads = cfg.sample_threads;
   svc_cfg.chunk_rows = cfg.chunk_rows;
@@ -143,7 +147,37 @@ SoakResult run_soak(ModelHost& host, const SoakConfig& cfg) {
   svc_cfg.admission = cfg.admission;
   svc_cfg.max_queue_depth = cfg.effective_queue_depth();
   svc_cfg.max_queued_rows = cfg.max_queued_rows;
-  SampleService service(host, svc_cfg);
+  std::unique_ptr<SampleService> single;
+  std::unique_ptr<ShardPool> pool;
+  SampleBackend* backend = nullptr;
+  if (cfg.shards > 1) {
+    ShardPoolConfig pool_cfg;
+    pool_cfg.shards = cfg.shards;
+    pool_cfg.replication = std::max<std::size_t>(cfg.replicas, 1);
+    pool_cfg.host.capacity = host.stats().capacity;
+    pool_cfg.host.ttl_ms = cfg.shard_ttl_ms;
+    pool_cfg.service = svc_cfg;
+    pool = std::make_unique<ShardPool>(pool_cfg);
+    for (const auto& key : cfg.models) {
+      const std::string path = host.archive_path(key);
+      if (!path.empty()) {
+        pool->register_archive(key, path);
+      } else {
+        pool->register_fitted(
+            key, std::shared_ptr<models::TabularGenerator>(
+                     host.acquire(key)->clone()));
+      }
+    }
+    backend = pool.get();
+    if (cfg.verbose) {
+      std::printf("soak: sharded tier — %zu shards, replication %zu\n",
+                  cfg.shards, pool_cfg.replication);
+    }
+  } else {
+    single = std::make_unique<SampleService>(host, svc_cfg);
+    backend = single.get();
+  }
+  SampleBackend& service = *backend;
 
   // Socket mode: the same bounded service, but behind the REST front end
   // on an ephemeral loopback port. Clients switch from submit()/future to
@@ -191,12 +225,23 @@ SoakResult run_soak(ModelHost& host, const SoakConfig& cfg) {
     };
     std::vector<ClientTally> tallies(cfg.clients);
 
-    // Queue-depth monitor: the "bounded queue under overload" probe.
+    // Queue-depth monitor: the "bounded queue under overload" probe. For a
+    // sharded run the admission bound is per shard, so the monitor tracks
+    // each shard's depth (and the headline max is the worst single shard).
     std::atomic<bool> monitor_stop{false};
     std::size_t max_depth = 0;
+    std::vector<std::size_t> shard_max(pool ? pool->shards() : 0, 0);
     std::thread monitor([&] {
       while (!monitor_stop.load(std::memory_order_relaxed)) {
-        max_depth = std::max(max_depth, service.queue_depth());
+        if (pool) {
+          const auto depths = pool->shard_depths();
+          for (std::size_t s = 0; s < depths.size(); ++s) {
+            shard_max[s] = std::max(shard_max[s], depths[s]);
+            max_depth = std::max(max_depth, depths[s]);
+          }
+        } else {
+          max_depth = std::max(max_depth, service.queue_depth());
+        }
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
       }
     });
@@ -357,6 +402,7 @@ SoakResult run_soak(ModelHost& host, const SoakConfig& cfg) {
     monitor_stop.store(true, std::memory_order_relaxed);
     monitor.join();
     point.max_queue_depth_seen = max_depth;
+    point.shard_max_depths = std::move(shard_max);
 
     std::vector<double> latencies;
     for (auto& tally : tallies) {
@@ -411,6 +457,12 @@ SoakResult run_soak(ModelHost& host, const SoakConfig& cfg) {
           : std::nan("");
 
   result.final_stats = service.stats();
+  if (pool) {
+    const ShardStats ss = pool->shard_stats();
+    result.shard_final_stats = ss.per_shard;
+    result.routed = ss.routed;
+    result.rerouted = ss.rerouted;
+  }
   if (endpoint) {
     const net::ServerStats server = endpoint->server.stats();
     result.http_connections = server.connections;
@@ -447,6 +499,14 @@ std::string render_soak(const SoakResult& result) {
                 result.deterministic ? "ok" : "VIOLATED",
                 static_cast<unsigned long long>(result.expected_hash));
   out += line;
+  if (!result.shard_final_stats.empty()) {
+    std::snprintf(line, sizeof(line),
+                  "shards: %zu (routed %llu, rerouted %llu)\n",
+                  result.shard_final_stats.size(),
+                  static_cast<unsigned long long>(result.routed),
+                  static_cast<unsigned long long>(result.rerouted));
+    out += line;
+  }
   return out;
 }
 
@@ -477,6 +537,9 @@ std::string soak_to_json(const SoakConfig& cfg, const SoakResult& result) {
   w.kv("sample_threads", cfg.sample_threads);
   w.kv("max_batch", cfg.max_batch);
   w.kv("over_socket", cfg.over_socket);
+  w.kv("shards", cfg.shards);
+  w.kv("replicas", cfg.replicas);
+  w.kv("shard_ttl_ms", cfg.shard_ttl_ms);
   w.end_object();
   w.kv("transport", cfg.over_socket ? "socket" : "in-process");
   w.kv("capacity_jobs_per_sec", result.capacity_jobs_per_sec);
@@ -498,6 +561,11 @@ std::string soak_to_json(const SoakConfig& cfg, const SoakResult& result) {
     w.kv("wall_seconds", point.wall_seconds);
     w.kv("accepted_rows_per_sec", point.accepted_rows_per_sec);
     w.kv("max_queue_depth_seen", point.max_queue_depth_seen);
+    if (!point.shard_max_depths.empty()) {
+      w.key("shard_max_depths").begin_array();
+      for (const std::size_t d : point.shard_max_depths) w.value(d);
+      w.end_array();
+    }
     w.kv("hashes_ok", point.hashes_ok);
     w.end_object();
   }
@@ -525,6 +593,30 @@ std::string soak_to_json(const SoakConfig& cfg, const SoakResult& result) {
   w.kv("evictions", s.host.evictions);
   w.kv("hit_rate", s.host.hit_rate());
   w.end_object();
+  if (!result.shard_final_stats.empty()) {
+    w.key("shards").begin_object();
+    w.kv("count", cfg.shards);
+    w.kv("replicas", cfg.replicas);
+    w.kv("routed", result.routed);
+    w.kv("rerouted", result.rerouted);
+    w.key("per_shard").begin_array();
+    for (std::size_t i = 0; i < result.shard_final_stats.size(); ++i) {
+      const ServiceStats& ss = result.shard_final_stats[i];
+      w.begin_object();
+      w.kv("shard", i);
+      w.kv("submitted", ss.submitted);
+      w.kv("completed", ss.completed);
+      w.kv("rejected", ss.rejected);
+      w.kv("shed", ss.shed);
+      w.kv("batches", ss.batches);
+      w.kv("cache_hits", ss.host.hits);
+      w.kv("cache_misses", ss.host.misses);
+      w.kv("stale_reloads", ss.host.stale_reloads);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
   if (cfg.over_socket) {
     w.key("http").begin_object();
     w.kv("connections", result.http_connections);

@@ -69,6 +69,19 @@ struct SoakConfig {
   /// Long-poll budget per GET /v1/jobs/{id} while a job is pending.
   double poll_wait_ms = 250.0;
 
+  /// Worker shards for the bounded service under test. 1 = the classic
+  /// single SampleService; > 1 stands up a serve::ShardPool (each shard
+  /// its own ModelHost + SampleService, admission bounds *per shard*) and
+  /// routes every submit through the consistent-hash router. Calibration
+  /// and the expected digests stay on the caller's unsharded host either
+  /// way — the expected_hash is placement-independent by contract, so a
+  /// 1-shard and an 8-shard run of the same config must agree on it.
+  std::size_t shards = 1;
+  /// Replication factor for the sharded tier (clamped to `shards`).
+  std::size_t replicas = 1;
+  /// Archive-cache TTL per shard (ModelHost staleness; 0 = never stale).
+  double shard_ttl_ms = 0.0;
+
   /// The queue-depth bound the sweep service actually enforces (resolves
   /// the 0 = clients default). Single source of truth for run_soak, the
   /// JSON artifact, and the CLI banner.
@@ -99,9 +112,12 @@ struct SoakPoint {
   double p99_ms = 0.0;
   double wall_seconds = 0.0;          ///< submission window + drain
   double accepted_rows_per_sec = 0.0;
-  /// Highest ServiceStats::queue_depth observed by the monitor thread —
-  /// the "bounded queue depth" check under overload.
+  /// Highest queue depth observed by the monitor thread — the "bounded
+  /// queue depth" check under overload. For a sharded run this is the
+  /// highest *single-shard* depth (the admission bound is per shard).
   std::size_t max_queue_depth_seen = 0;
+  /// Per-shard depth maxima (empty for unsharded runs); index = shard.
+  std::vector<std::size_t> shard_max_depths;
   bool hashes_ok = true;  ///< every accepted job matched its expected digest
 };
 
@@ -121,6 +137,10 @@ struct SoakResult {
   /// side is empty (degrades to null in JSON). The overload-SLO headline.
   double p95_ratio_vs_low_load = 0.0;
   ServiceStats final_stats;  ///< cumulative service stats after the sweep
+  /// Per-shard final stats + routing tallies (empty/zero when shards == 1).
+  std::vector<ServiceStats> shard_final_stats;
+  std::uint64_t routed = 0;    ///< submits the router placed on a shard
+  std::uint64_t rerouted = 0;  ///< submits re-placed after a replica refused
   double wall_seconds = 0.0;
   /// Socket-mode tallies (zero for in-process runs): the HTTP server's
   /// accepted connections and answered requests across the whole sweep.

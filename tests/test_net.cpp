@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -269,6 +270,98 @@ TEST(RequestParser, MalformedContentLengthIs400) {
   EXPECT_EQ(p.feed("POST / HTTP/1.1\r\ncontent-length: ten\r\n\r\n"),
             RequestParser::State::kError);
   EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(RequestParser, RandomizedSplitReadFuzz) {
+  // The parser contract: the final parse of a byte stream depends only on
+  // the BYTES, never on how the transport chunked them. For every corpus
+  // request — valid, error-terminal, and edge-shaped — the whole-feed
+  // outcome is the reference, and then (a) every two-part split at all
+  // 1..len-1 boundaries and (b) a seeded storm of random multi-chunk
+  // splits must land on the identical terminal state, request fields, and
+  // error status.
+  const std::vector<std::string> corpus = {
+      // Plain GET, query decoding, keep-alive default.
+      "GET /v1/models?cursor=3&k=a%20b HTTP/1.1\r\nhost: t\r\n\r\n",
+      // POST with a body (the body-phase boundary is the classic bug site).
+      "POST /v1/sample HTTP/1.1\r\nhost: t\r\ncontent-type: application/"
+      "json\r\ncontent-length: 26\r\n\r\n{\"model\":\"smote\","
+      "\"rows\":9}",
+      // Zero-length body, explicit close.
+      "POST /v1/sample HTTP/1.1\r\nhost: t\r\nconnection: close\r\n"
+      "content-length: 0\r\n\r\n",
+      // Header folding hazards: padded values, mixed case names.
+      "GET / HTTP/1.1\r\nHost: t\r\nX-API-Key:   spaced-key  \r\n"
+      "Accept: */*\r\n\r\n",
+      // HTTP/1.0 (keep_alive resolves false).
+      "GET /healthz HTTP/1.0\r\nhost: t\r\n\r\n",
+      // Error-terminal shapes: bad request line, bad version, framing.
+      "NONSENSE\r\n\r\n",
+      "GET / HTTP/2.0\r\n\r\n",
+      "POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+      "POST / HTTP/1.1\r\ncontent-length: ten\r\n\r\n",
+  };
+
+  struct Outcome {
+    RequestParser::State state = RequestParser::State::kNeedMore;
+    int error_status = 0;
+    HttpRequest request;
+  };
+  const auto run = [](const std::string& wire,
+                      const std::vector<std::size_t>& cuts) {
+    RequestParser parser;
+    std::size_t begin = 0;
+    for (const std::size_t cut : cuts) {
+      (void)parser.feed(std::string_view(wire).substr(begin, cut - begin));
+      begin = cut;
+    }
+    (void)parser.feed(std::string_view(wire).substr(begin));
+    Outcome out;
+    out.state = parser.state();
+    if (out.state == RequestParser::State::kError) {
+      out.error_status = parser.error_status();
+    } else if (out.state == RequestParser::State::kComplete) {
+      out.request = parser.request();
+    }
+    return out;
+  };
+  const auto expect_same = [](const Outcome& got, const Outcome& want) {
+    ASSERT_EQ(got.state, want.state);
+    ASSERT_EQ(got.error_status, want.error_status);
+    ASSERT_EQ(got.request.method, want.request.method);
+    ASSERT_EQ(got.request.target, want.request.target);
+    ASSERT_EQ(got.request.path, want.request.path);
+    ASSERT_EQ(got.request.body, want.request.body);
+    ASSERT_TRUE(got.request.headers == want.request.headers);
+    ASSERT_TRUE(got.request.query == want.request.query);
+    ASSERT_EQ(got.request.keep_alive, want.request.keep_alive);
+  };
+
+  util::Rng rng(0xF5A5u);  // seeded: failures reproduce exactly
+  for (const auto& wire : corpus) {
+    const Outcome want = run(wire, {});
+    // Exhaustive two-part splits: every boundary, including mid-CRLF and
+    // mid-body.
+    for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+      SCOPED_TRACE("two-part cut at " + std::to_string(cut) + " of " +
+                   wire.substr(0, 24));
+      expect_same(run(wire, {cut}), want);
+    }
+    // Random multi-chunk splits (1-6 cuts, anywhere).
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<std::size_t> cuts;
+      const auto n = static_cast<std::size_t>(rng.uniform_int(1, 6));
+      for (std::size_t i = 0; i < n; ++i) {
+        cuts.push_back(static_cast<std::size_t>(rng.uniform_int(
+            1, static_cast<std::int64_t>(wire.size()) - 1)));
+      }
+      std::sort(cuts.begin(), cuts.end());
+      cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+      SCOPED_TRACE("trial " + std::to_string(trial) + " of " +
+                   wire.substr(0, 24));
+      expect_same(run(wire, cuts), want);
+    }
+  }
 }
 
 // ---------------------------------------------------------------- quotas --

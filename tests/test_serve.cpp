@@ -671,6 +671,55 @@ TEST(AdmissionControl, BlockPolicyBackpressuresUntilSpaceFrees) {
   EXPECT_GE(service.stats().blocked, 1u);
 }
 
+TEST(AdmissionControl, CancelWhileBlockedAtAdmissionResolvesCancelled) {
+  // A kBlock submitter parked at the admission gate already has a job id
+  // (submit_job published it before blocking), so cancel() must reach it
+  // *there*: wake the waiter, resolve its future with kCancelled, and
+  // never enqueue it — not hang, and not misfile it as admitted work.
+  TempDir dir;
+  const auto path = fit_and_archive(dir, "smote");
+  ModelHost host;
+  host.register_archive("a", path);
+  ServiceConfig cfg;
+  cfg.admission = AdmissionPolicy::kBlock;
+  cfg.max_queue_depth = 1;
+  SampleService service(host, cfg);
+
+  service.pause();
+  auto occupying = service.submit_job(SampleJob{"a", 60, 1});
+  std::atomic<bool> returned{false};
+  Submitted blocked;
+  std::thread submitter([&] {
+    blocked = service.submit_job(SampleJob{"a", 60, 2});  // queue is full
+    returned.store(true);
+  });
+  // submit_job publishes the id + cancel flag under the lock *before*
+  // parking, so once the waiter shows up in the stats its id — sequential,
+  // occupying + 1 — is already cancellable.
+  while (service.stats().blocked == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(returned.load());
+  EXPECT_TRUE(service.cancel(occupying.job_id + 1));
+
+  // The service stays paused, so space never frees: only the cancel can
+  // have released the submitter.
+  submitter.join();
+  ASSERT_TRUE(returned.load());
+  EXPECT_EQ(blocked.job_id, occupying.job_id + 1);
+  try {
+    (void)blocked.future.get();
+    FAIL() << "expected cancellation";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceError::Code::kCancelled);
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.queue_depth, 1u);  // the cancelled job was never enqueued
+  service.resume();
+  EXPECT_EQ(occupying.future.get().table.num_rows(), 60u);
+}
+
 TEST(AdmissionControl, ShedPolicyDropsLowestPriorityIncludingIncoming) {
   TempDir dir;
   const auto path = fit_and_archive(dir, "smote");

@@ -66,6 +66,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -170,6 +171,7 @@ int usage() {
       "               --chunk-rows C --max-batch B\n"
       "               --admission {block|reject|shed} --max-queue D\n"
       "               --max-queued-rows R --json-out FILE [--verbose]\n"
+      "               [--shards N] [--replicas R] [--shard-ttl-ms MS]\n"
       "               HTTP mode: --listen PORT (0 = ephemeral)\n"
       "               [--api-keys-file FILE] [--quota-rps R] "
       "[--quota-burst B]\n"
@@ -187,7 +189,8 @@ int usage() {
       "               --chunk-rows C --max-batch B --seed S\n"
       "               --json-out FILE [--verbose] [--over-socket]\n"
       "               [--http-workers T] [--page-rows N] "
-      "[--poll-wait-ms MS]\n",
+      "[--poll-wait-ms MS]\n"
+      "               [--shards N] [--replicas R] [--shard-ttl-ms MS]\n",
       keys.c_str(), keys.c_str());
   return 2;
 }
@@ -550,20 +553,11 @@ void serve_signal_handler(int /*signum*/) { g_serve_stop.store(true); }
 /// exists so the documented example is executable: it binds an ephemeral
 /// port, exercises the API end to end — including a digest comparison
 /// against a direct in-process sample of the same job identity — and exits.
-int cmd_serve_listen(const Args& args, serve::ModelHost& host) {
+int cmd_serve_listen(const Args& args, serve::SampleBackend& service,
+                     serve::ModelHost& host, std::size_t shards) {
   const auto count = [&args](const std::string& key, double fallback) {
     return count_flag(args, key, fallback);
   };
-
-  serve::ServiceConfig svc_cfg;
-  svc_cfg.sample_threads = count("threads", 0.0);
-  svc_cfg.chunk_rows = count("chunk-rows", 4096.0);
-  svc_cfg.max_batch = count("max-batch", 8.0);
-  svc_cfg.admission =
-      serve::parse_admission_policy(args.get("admission", "block"));
-  svc_cfg.max_queue_depth = count("max-queue", 0.0);
-  svc_cfg.max_queued_rows = count("max-queued-rows", 0.0);
-  serve::SampleService service(host, svc_cfg);
 
   net::RestConfig rest_cfg;
   rest_cfg.max_body_bytes = count("max-body-bytes", 1 << 20);
@@ -585,11 +579,12 @@ int cmd_serve_listen(const Args& args, serve::ModelHost& host) {
     endpoint.api.quotas().load_file(args.get("api-keys-file"));
   }
   endpoint.server.start();
-  std::printf("serve: http on %s:%u — %zu models, %zu api keys%s, quota "
-              "%.0f rps, %zu workers, simd %s\n",
+  std::printf("serve: http on %s:%u — %zu models, %zu shard(s), %zu api "
+              "keys%s, quota %.0f rps, %zu workers, simd %s\n",
               server_cfg.bind_address.c_str(),
               static_cast<unsigned>(endpoint.server.port()),
-              host.keys().size(), endpoint.api.quotas().num_keys(),
+              host.keys().size(), shards,
+              endpoint.api.quotas().num_keys(),
               endpoint.api.quotas().open_access() ? " (open access)" : "",
               rest_cfg.quota_rps, server_cfg.worker_threads,
               linalg::simd::active_backend_name());
@@ -603,15 +598,16 @@ int cmd_serve_listen(const Args& args, serve::ModelHost& host) {
     if (keys.empty()) throw std::runtime_error("self-probe: no models");
     const std::size_t rows = std::max<std::size_t>(count("rows", 256.0), 1);
     const std::uint64_t seed = static_cast<std::uint64_t>(count("seed", 7.0));
-    const std::uint64_t job =
-        api.submit(keys.front(), rows, seed, svc_cfg.chunk_rows);
+    const std::size_t chunk_rows = service.config().chunk_rows;
+    const std::uint64_t job = api.submit(keys.front(), rows, seed, chunk_rows);
     const net::RemoteResult remote = api.wait_result(job, rows / 3 + 1);
     // The determinism contract over the wire: the paginated pages must
-    // reassemble to the exact bytes a direct in-process sample produces.
+    // reassemble to the exact bytes a direct in-process sample produces —
+    // and with --shards, that the placement never changed the bytes.
     models::SampleRequest direct;
     direct.rows = rows;
     direct.seed = seed;
-    direct.chunk_rows = svc_cfg.chunk_rows;
+    direct.chunk_rows = chunk_rows;
     tabular::Table local;
     host.acquire(keys.front())->sample_into(local, direct);
     if (serve::hash_table(remote.table) != serve::hash_table(local)) {
@@ -707,8 +703,6 @@ int cmd_serve(const Args& args) {
   serve::ModelHost host(host_cfg);
   register_serve_models(host, args);
 
-  if (args.has("listen")) return cmd_serve_listen(args, host);
-
   serve::ServiceConfig svc_cfg;
   svc_cfg.sample_threads = count("threads", 0.0);
   svc_cfg.chunk_rows = count("chunk-rows", 4096.0);
@@ -717,7 +711,37 @@ int cmd_serve(const Args& args) {
       args.get("admission", "block"));
   svc_cfg.max_queue_depth = count("max-queue", 0.0);
   svc_cfg.max_queued_rows = count("max-queued-rows", 0.0);
-  serve::SampleService service(host, svc_cfg);
+
+  // --shards N > 1 swaps the single SampleService for a ShardPool (each
+  // shard its own ModelHost + SampleService behind the consistent-hash
+  // router). The flat `host` stays the registry of record — and, in
+  // --listen --self-probe, the unsharded reference the socket digest is
+  // checked against, which is exactly the placement-invariance contract.
+  const std::size_t shards = std::max<std::size_t>(count("shards", 1.0), 1);
+  std::unique_ptr<serve::SampleService> single;
+  std::unique_ptr<serve::ShardPool> pool;
+  serve::SampleBackend* backend = nullptr;
+  if (shards > 1) {
+    serve::ShardPoolConfig pool_cfg;
+    pool_cfg.shards = shards;
+    pool_cfg.replication = std::max<std::size_t>(count("replicas", 1.0), 1);
+    pool_cfg.host.capacity = host_cfg.capacity;
+    pool_cfg.host.ttl_ms = args.num("shard-ttl-ms", 0.0);
+    pool_cfg.service = svc_cfg;
+    pool = std::make_unique<serve::ShardPool>(pool_cfg);
+    for (const auto& key : host.keys()) {
+      pool->register_archive(key, host.archive_path(key));
+    }
+    backend = pool.get();
+  } else {
+    single = std::make_unique<serve::SampleService>(host, svc_cfg);
+    backend = single.get();
+  }
+  serve::SampleBackend& service = *backend;
+
+  if (args.has("listen")) {
+    return cmd_serve_listen(args, service, host, shards);
+  }
 
   serve::ReplayScript script;
   if (args.has("script")) {
@@ -832,6 +856,9 @@ int cmd_soak(const Args& args) {
   soak.http_workers = count("http-workers", 0.0);
   soak.page_rows = count("page-rows", 0.0);
   soak.poll_wait_ms = args.num("poll-wait-ms", 250.0);
+  soak.shards = std::max<std::size_t>(count("shards", 1.0), 1);
+  soak.replicas = std::max<std::size_t>(count("replicas", 1.0), 1);
+  soak.shard_ttl_ms = args.num("shard-ttl-ms", 0.0);
   if (!(soak.duration_seconds > 0.0)) {
     throw std::invalid_argument("soak: --duration must be positive");
   }
