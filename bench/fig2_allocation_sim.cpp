@@ -4,14 +4,15 @@
 // event-driven multi-site simulator under four allocation policies, showing
 // the locality-vs-load trade-off the surrogate data is meant to optimize.
 // The run also demonstrates the paper's "calibrate event-based simulations"
-// use case: the same simulation driven by real vs. surrogate job streams.
+// use case: the same simulation driven by real vs. surrogate job streams —
+// now expressed as a single ScenarioTwin cell (disruption=none, drift=none),
+// so this figure and the full twin sweep share one code path.
 
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "models/smote.hpp"
-#include "sched/policies.hpp"
-#include "sched/simulator.hpp"
+#include "twin/twin.hpp"
 #include "util/stringx.hpp"
 
 int main(int argc, char** argv) {
@@ -27,34 +28,37 @@ int main(int argc, char** argv) {
   panda::RecordGenerator generator(cfg.data);
   const auto& catalog = generator.catalog();
 
-  sched::SimConfig sim_cfg;
-  sim_cfg.capacity_scale = 0.0002;
-  sched::ClusterSimulator sim(catalog, sim_cfg);
+  // Surrogate-driven calibration: the same simulation on SMOTE synthetic
+  // data, run through the undisrupted twin cell.
+  models::Smote surrogate;
+  surrogate.fit(data.train);
+  const auto synth_table = surrogate.sample(data.train.num_rows(), 99);
 
-  const auto real_jobs = sched::jobs_from_table(data.train, catalog, 1);
-
-  sched::RandomPolicy random;
-  sched::DataLocalityPolicy locality;
-  sched::LeastLoadedPolicy least;
-  sched::HybridPolicy hybrid(0.85);
-  sched::AllocationPolicy* policies[] = {&random, &locality, &least, &hybrid};
+  twin::TwinConfig twin_cfg;
+  twin_cfg.sim.capacity_scale = 0.0002;
+  twin_cfg.policies = {"random", "locality", "least-loaded", "hybrid"};
+  twin_cfg.disruptions = {twin::DisruptionKind::kNone};
+  twin_cfg.drifts = {stream::DriftKind::kNone};
+  const twin::ScenarioTwin runner(catalog, twin_cfg);
+  const auto result = runner.run(data.train, synth_table);
+  const twin::TwinCell& cell = result.cells.front();
 
   std::string csv = "stream,policy,mean_wait_h,p95_wait_h,utilization,"
                     "transferred_bytes\n";
-  const auto run_stream = [&](const char* stream,
-                              const std::vector<sched::SimJob>& jobs) {
-    std::printf("%s job stream (%zu jobs):\n", stream, jobs.size());
+  const auto print_stream = [&](const char* stream, bool synth) {
+    std::printf("%s job stream (%zu jobs):\n", stream,
+                synth ? synth_table.num_rows() : data.train.num_rows());
     std::printf("  %-14s %12s %12s %12s %16s\n", "policy", "mean wait h",
                 "p95 wait h", "utilization", "transferred");
-    for (auto* policy : policies) {
-      const auto m = sim.run(jobs, *policy, 7);
+    for (const twin::PolicyOutcome& outcome : cell.outcomes) {
+      const sched::SimMetrics& m = synth ? outcome.synth : outcome.real;
       std::printf("  %-14s %12.2f %12.2f %12.3f %16s\n",
-                  policy->name().c_str(), m.mean_wait_hours,
+                  outcome.policy.c_str(), m.mean_wait_hours,
                   m.p95_wait_hours, m.mean_utilization,
                   util::format_bytes(m.transferred_bytes).c_str());
       char buf[192];
       std::snprintf(buf, sizeof(buf), "%s,%s,%.4f,%.4f,%.4f,%.0f\n", stream,
-                    policy->name().c_str(), m.mean_wait_hours,
+                    outcome.policy.c_str(), m.mean_wait_hours,
                     m.p95_wait_hours, m.mean_utilization,
                     m.transferred_bytes);
       csv += buf;
@@ -62,15 +66,12 @@ int main(int argc, char** argv) {
     std::printf("\n");
   };
 
-  run_stream("real (simulated PanDA)", real_jobs);
+  print_stream("real (simulated PanDA)", false);
+  print_stream("surrogate (SMOTE)", true);
 
-  // Surrogate-driven calibration: same simulation on SMOTE synthetic data.
-  models::Smote surrogate;
-  surrogate.fit(data.train);
-  const auto synth_table = surrogate.sample(data.train.num_rows(), 99);
-  const auto synth_jobs = sched::jobs_from_table(synth_table, catalog, 2);
-  run_stream("surrogate (SMOTE)", synth_jobs);
-
+  std::printf("decision fidelity %.2f (best policy: real=%s, synth=%s)\n",
+              cell.decision_fidelity, cell.best_policy_real.c_str(),
+              cell.best_policy_synth.c_str());
   std::printf("Interpretation: policy rankings on the surrogate stream should "
               "match the real stream — the surrogate is good enough to "
               "calibrate allocation policies without real records.\n");

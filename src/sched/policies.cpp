@@ -12,48 +12,77 @@ double site_load(const ClusterState& state, std::size_t site) {
          capacity;
 }
 
-std::size_t RandomPolicy::place(const SimJob& /*job*/,
-                                const ClusterState& state, util::Rng& rng) {
-  return static_cast<std::size_t>(
-      rng.uniform_index(state.catalog->size()));
-}
-
-std::size_t DataLocalityPolicy::place(const SimJob& job,
-                                      const ClusterState& /*state*/,
-                                      util::Rng& /*rng*/) {
-  return job.home_site;
-}
-
-std::size_t LeastLoadedPolicy::place(const SimJob& /*job*/,
-                                     const ClusterState& state,
-                                     util::Rng& /*rng*/) {
-  std::size_t best = 0;
-  double best_load = site_load(state, 0);
-  for (std::size_t s = 1; s < state.catalog->size(); ++s) {
+std::size_t least_loaded_placeable(const SimJob& job,
+                                   const ClusterState& state,
+                                   std::size_t fallback) {
+  std::size_t best = state.catalog->size();  // sentinel
+  double best_load = 0.0;
+  for (std::size_t s = 0; s < state.catalog->size(); ++s) {
+    if (!state.placeable(job, s)) continue;
     const double load = site_load(state, s);
-    if (load < best_load) {
+    if (best == state.catalog->size() || load < best_load) {
       best_load = load;
       best = s;
     }
   }
-  return best;
+  return best < state.catalog->size() ? best : fallback;
+}
+
+std::size_t RandomPolicy::place(const SimJob& job, const ClusterState& state,
+                                util::Rng& rng) {
+  // Uniform over the *placeable* sites; only when nothing is placeable
+  // (grid-wide outage, or a core request wider than every site) does the
+  // strawman fall back to uniform-over-everything and let the simulator's
+  // guard clamp the job.
+  std::vector<std::size_t> candidates;
+  candidates.reserve(state.catalog->size());
+  for (std::size_t s = 0; s < state.catalog->size(); ++s) {
+    if (state.placeable(job, s)) candidates.push_back(s);
+  }
+  if (candidates.empty()) {
+    return static_cast<std::size_t>(
+        rng.uniform_index(state.catalog->size()));
+  }
+  return candidates[rng.uniform_index(candidates.size())];
+}
+
+std::size_t DataLocalityPolicy::place(const SimJob& job,
+                                      const ClusterState& state,
+                                      util::Rng& /*rng*/) {
+  if (state.placeable(job, job.home_site)) return job.home_site;
+  // Home can't run this job (down, or too small): nearest substitute is
+  // the least-loaded site that can, keeping the data-first spirit while
+  // never targeting an infeasible site.
+  return least_loaded_placeable(job, state, job.home_site);
+}
+
+std::size_t LeastLoadedPolicy::place(const SimJob& job,
+                                     const ClusterState& state,
+                                     util::Rng& /*rng*/) {
+  return least_loaded_placeable(job, state, 0);
 }
 
 std::size_t HybridPolicy::place(const SimJob& job, const ClusterState& state,
                                 util::Rng& /*rng*/) {
-  if (site_load(state, job.home_site) <= spill_threshold_) {
+  if (state.placeable(job, job.home_site) &&
+      site_load(state, job.home_site) <= spill_threshold_) {
     return job.home_site;
   }
-  std::size_t best = job.home_site;
-  double best_load = site_load(state, job.home_site);
+  std::size_t best = state.catalog->size();
+  double best_load = 0.0;
+  if (state.placeable(job, job.home_site)) {
+    best = job.home_site;
+    best_load = site_load(state, job.home_site);
+  }
   for (std::size_t s = 0; s < state.catalog->size(); ++s) {
+    if (!state.placeable(job, s)) continue;
     const double load = site_load(state, s);
-    if (load < best_load) {
+    if (best == state.catalog->size() || load < best_load) {
       best_load = load;
       best = s;
     }
   }
-  return best;
+  return best < state.catalog->size() ? best : job.home_site;
 }
 
 }  // namespace surro::sched

@@ -54,4 +54,11 @@ class HybridPolicy final : public AllocationPolicy {
 /// the site's share of popularity-weighted capacity).
 [[nodiscard]] double site_load(const ClusterState& state, std::size_t site);
 
+/// The least-loaded site that can actually run `job` (non-zero scaled
+/// capacity ≥ the core request, not inside an outage); `fallback` when no
+/// site qualifies. Shared by every feasibility-aware policy.
+[[nodiscard]] std::size_t least_loaded_placeable(const SimJob& job,
+                                                 const ClusterState& state,
+                                                 std::size_t fallback);
+
 }  // namespace surro::sched

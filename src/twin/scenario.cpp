@@ -1,0 +1,183 @@
+#include "twin/scenario.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "anomaly/inject.hpp"
+#include "panda/filters.hpp"
+#include "twin/workload_bridge.hpp"
+
+namespace surro::twin {
+
+const char* disruption_kind_name(DisruptionKind kind) noexcept {
+  switch (kind) {
+    case DisruptionKind::kSiteOutage: return "site_outage";
+    case DisruptionKind::kCampaignBurst: return "campaign_burst";
+    case DisruptionKind::kAnomalyStorm: return "anomaly_storm";
+    case DisruptionKind::kNone: break;
+  }
+  return "none";
+}
+
+DisruptionKind parse_disruption_kind(std::string_view name) {
+  for (const DisruptionKind kind : all_disruption_kinds()) {
+    if (name == disruption_kind_name(kind)) return kind;
+  }
+  // CLI-friendly short aliases.
+  if (name == "outage") return DisruptionKind::kSiteOutage;
+  if (name == "burst") return DisruptionKind::kCampaignBurst;
+  if (name == "storm") return DisruptionKind::kAnomalyStorm;
+  throw std::invalid_argument("unknown disruption scenario '" +
+                              std::string(name) + "'");
+}
+
+std::vector<DisruptionKind> all_disruption_kinds() {
+  return {DisruptionKind::kNone, DisruptionKind::kSiteOutage,
+          DisruptionKind::kCampaignBurst, DisruptionKind::kAnomalyStorm};
+}
+
+TimeSpan table_time_span(const tabular::Table& table) {
+  TimeSpan span;
+  if (table.num_rows() == 0) return span;
+  const auto times = table.numerical(
+      table.schema().index_of(panda::features::kCreationTime));
+  span.t0 = *std::min_element(times.begin(), times.end());
+  span.t1 = *std::max_element(times.begin(), times.end());
+  return span;
+}
+
+std::vector<sched::Outage> plan_outages(const TimeSpan& span,
+                                        const panda::SiteCatalog& catalog,
+                                        const DisruptionConfig& cfg) {
+  if (cfg.kind != DisruptionKind::kSiteOutage) return {};
+  if (cfg.outage_end_frac <= cfg.outage_start_frac) {
+    throw std::invalid_argument("disruption: outage window is empty");
+  }
+  // The K most popular sites go dark together: the disruption that hurts
+  // most, since popularity is where the data (and the jobs) live.
+  std::vector<std::size_t> order(catalog.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&catalog](std::size_t a, std::size_t b) {
+                     return catalog.site(a).popularity >
+                            catalog.site(b).popularity;
+                   });
+  const std::size_t k = std::min(cfg.outage_sites, catalog.size());
+  const double start = span.t0 + cfg.outage_start_frac * span.length();
+  const double end = span.t0 + cfg.outage_end_frac * span.length();
+  std::vector<sched::Outage> outages;
+  outages.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    outages.push_back({order[i], start, end});
+  }
+  return outages;
+}
+
+namespace {
+
+DisruptionResult copy_table(const tabular::Table& table) {
+  DisruptionResult out;
+  std::vector<std::size_t> all(table.num_rows());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  out.table = table.select_rows(all);
+  return out;
+}
+
+DisruptionResult apply_burst(const tabular::Table& table,
+                             const TimeSpan& span,
+                             const DisruptionConfig& cfg) {
+  DisruptionResult out = copy_table(table);
+  const std::size_t c_time =
+      out.table.schema().index_of(panda::features::kCreationTime);
+  auto times = out.table.numerical_mut(c_time);
+  const double center = span.t0 + cfg.burst_center_frac * span.length();
+  const double width = std::max(cfg.burst_width_days, 1e-6);
+  for (std::size_t r = 0; r < times.size(); ++r) {
+    if (row_uniform(cfg.seed, r, 1) >= cfg.intensity) continue;
+    // Affected arrivals re-land uniformly inside the burst window.
+    times[r] = center + (row_uniform(cfg.seed, r, 2) - 0.5) * width;
+    ++out.affected_rows;
+  }
+  return out;
+}
+
+DisruptionResult apply_storm(const tabular::Table& table,
+                             const TimeSpan& span,
+                             const DisruptionConfig& cfg) {
+  DisruptionResult out = copy_table(table);
+  if (cfg.storm_end_frac <= cfg.storm_start_frac) {
+    throw std::invalid_argument("disruption: storm window is empty");
+  }
+  const auto& schema = out.table.schema();
+  const std::size_t c_time = schema.index_of(panda::features::kCreationTime);
+  const double start = span.t0 + cfg.storm_start_frac * span.length();
+  const double end = span.t0 + cfg.storm_end_frac * span.length();
+
+  // Rows inside the storm window, in row order.
+  std::vector<std::size_t> in_window;
+  {
+    const auto times = out.table.numerical(c_time);
+    for (std::size_t r = 0; r < times.size(); ++r) {
+      if (times[r] >= start && times[r] <= end) in_window.push_back(r);
+    }
+  }
+  const double fraction = std::clamp(cfg.intensity, 0.0, 0.95);
+  if (in_window.empty() || fraction <= 0.0) return out;
+
+  // Corrupt the sub-window at storm density with the standard failure
+  // signatures, then write the corrupted columns back by position
+  // (select_rows preserves vocabularies, so codes map 1:1).
+  anomaly::InjectionConfig inject;
+  inject.fraction = fraction;
+  inject.seed = cfg.seed ^ 0x5702f61cf1a51a5bULL;
+  const auto injected =
+      anomaly::inject_anomalies(out.table.select_rows(in_window), inject);
+
+  const std::size_t c_workload = schema.index_of(panda::features::kWorkload);
+  const std::size_t c_bytes =
+      schema.index_of(panda::features::kInputFileBytes);
+  const std::size_t c_nfiles =
+      schema.index_of(panda::features::kNInputDataFiles);
+  const std::size_t c_site =
+      schema.index_of(panda::features::kComputingSite);
+
+  auto workload = out.table.numerical_mut(c_workload);
+  auto bytes = out.table.numerical_mut(c_bytes);
+  auto nfiles = out.table.numerical_mut(c_nfiles);
+  auto sites = out.table.categorical_mut(c_site);
+  const auto inj_workload = injected.table.numerical(c_workload);
+  const auto inj_bytes = injected.table.numerical(c_bytes);
+  const auto inj_nfiles = injected.table.numerical(c_nfiles);
+  const auto inj_sites = injected.table.categorical(c_site);
+
+  for (std::size_t i = 0; i < in_window.size(); ++i) {
+    if (injected.labels[i] == 0) continue;
+    const std::size_t r = in_window[i];
+    workload[r] = inj_workload[i];
+    bytes[r] = inj_bytes[i];
+    nfiles[r] = inj_nfiles[i];
+    sites[r] = inj_sites[i];
+    ++out.affected_rows;
+  }
+  return out;
+}
+
+}  // namespace
+
+DisruptionResult apply_disruption(const tabular::Table& table,
+                                  const TimeSpan& span,
+                                  const DisruptionConfig& cfg) {
+  switch (cfg.kind) {
+    case DisruptionKind::kCampaignBurst:
+      return apply_burst(table, span, cfg);
+    case DisruptionKind::kAnomalyStorm:
+      return apply_storm(table, span, cfg);
+    case DisruptionKind::kNone:
+    case DisruptionKind::kSiteOutage:
+      break;
+  }
+  return copy_table(table);
+}
+
+}  // namespace surro::twin

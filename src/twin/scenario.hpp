@@ -1,0 +1,100 @@
+#pragma once
+// Disruption scenarios for the digital twin — the scenario axis that grows
+// the evaluation matrix beyond feature-space drift (src/stream/drift) into
+// *operational* stress, the regimes a data-placement/job-allocation policy
+// actually has to survive:
+//
+//   * none           — the stream as sampled;
+//   * site_outage    — the most popular K sites go dark for a window of the
+//                      collection span (a multi-site availability mask fed
+//                      to sched::ClusterSimulator as Outage windows);
+//   * campaign_burst — a fraction of arrivals compresses into a narrow
+//                      burst window (a user campaign landing all at once);
+//   * anomaly_storm  — rows inside a storm window are corrupted with the
+//                      failure signatures of anomaly::inject_anomalies at
+//                      high density (anomalies correlated in time, not the
+//                      uniform sprinkle the eval matrix injects).
+//
+// Every scenario is deterministic in (table bytes, config): per-row
+// decisions derive from twin::row_derive, outage windows derive from the
+// real stream's time span, and the anomaly storm re-seeds
+// anomaly::inject on the storm sub-window. Identical outage masks are
+// applied to the real and the surrogate stream of a twin cell — the
+// disruption is environmental, so both streams must face the same world.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "panda/site_catalog.hpp"
+#include "sched/simulator.hpp"
+#include "tabular/table.hpp"
+
+namespace surro::twin {
+
+enum class DisruptionKind {
+  kNone,
+  kSiteOutage,
+  kCampaignBurst,
+  kAnomalyStorm,
+};
+
+/// Stable axis-value spelling ("none", "site_outage", ...).
+[[nodiscard]] const char* disruption_kind_name(DisruptionKind kind) noexcept;
+/// Inverse of disruption_kind_name; throws std::invalid_argument.
+[[nodiscard]] DisruptionKind parse_disruption_kind(std::string_view name);
+/// Every scenario kind, in declaration order (CLI listings, tests).
+[[nodiscard]] std::vector<DisruptionKind> all_disruption_kinds();
+
+struct DisruptionConfig {
+  DisruptionKind kind = DisruptionKind::kNone;
+  /// Scenario strength: affected-row fraction (campaign_burst), corrupted
+  /// in-window fraction (anomaly_storm). Ignored by site_outage, which is
+  /// sized by `outage_sites`.
+  double intensity = 0.3;
+  std::uint64_t seed = 7;
+  /// site_outage: the K most popular catalog sites go dark together...
+  std::size_t outage_sites = 2;
+  /// ...between these fractions of the stream's [min, max] creation span.
+  double outage_start_frac = 0.25;
+  double outage_end_frac = 0.55;
+  /// campaign_burst: affected rows land inside a window this wide (days),
+  /// centred at this fraction of the stream span.
+  double burst_center_frac = 0.5;
+  double burst_width_days = 0.25;
+  /// anomaly_storm: the storm window, as fractions of the stream span.
+  double storm_start_frac = 0.4;
+  double storm_end_frac = 0.6;
+};
+
+/// The [min, max] creation-time span of a job table (0,0 when empty) — the
+/// clock the window fractions are anchored to. Always taken from the twin
+/// cell's *real* stream so real and surrogate face identical windows.
+struct TimeSpan {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  [[nodiscard]] double length() const noexcept { return t1 - t0; }
+};
+[[nodiscard]] TimeSpan table_time_span(const tabular::Table& table);
+
+/// The outage mask a scenario imposes (empty for every kind but
+/// site_outage). Pure planning — no table involved — so the same mask can
+/// be applied to both streams of a twin cell.
+[[nodiscard]] std::vector<sched::Outage> plan_outages(
+    const TimeSpan& span, const panda::SiteCatalog& catalog,
+    const DisruptionConfig& cfg);
+
+struct DisruptionResult {
+  tabular::Table table;           // perturbed copy of the stream
+  std::size_t affected_rows = 0;  // rows moved (burst) or corrupted (storm)
+};
+
+/// Apply the table-perturbing half of a scenario (burst reshuffles
+/// creation times, storm corrupts feature rows; none/site_outage copy the
+/// table unchanged). Deterministic in (table bytes, span, cfg).
+[[nodiscard]] DisruptionResult apply_disruption(const tabular::Table& table,
+                                                const TimeSpan& span,
+                                                const DisruptionConfig& cfg);
+
+}  // namespace surro::twin

@@ -1,0 +1,153 @@
+#pragma once
+// ScenarioTwin — the closed-loop digital twin of the PanDA scheduler. It
+// streams a real and a surrogate job table through sched::ClusterSimulator
+// under every (disruption scenario × drift family) cell and every
+// allocation policy, and scores two things the fidelity metrics (WD / JSD /
+// DCR) cannot see:
+//
+//   * policy outcomes — mean/p95 queue wait, utilization, transferred
+//     bytes, and the per-site starvation index — as first-class metrics;
+//   * decision fidelity — run the *same* policies over the real and the
+//     surrogate stream and measure whether the surrogate would have led to
+//     the same scheduling decision: the pairwise rank agreement of the
+//     policy ordering plus the per-policy outcome gap. A surrogate can
+//     match every marginal and still rank policies differently; this is
+//     the number the paper's Sec. VI use case actually depends on.
+//
+// Determinism contract (ARCHITECTURE.md invariant): every TwinResult —
+// including the outcome digest — depends only on (model bytes, rows, seed,
+// policy set, scenario axes). Cells fan out over util::ThreadPool but each
+// writes its own slot, the simulator is deterministic per run, and the
+// digest folds cells in canonical expansion order, so any thread count
+// (and two same-seed processes) produce bitwise-identical outcomes.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/policies.hpp"
+#include "sched/simulator.hpp"
+#include "stream/drift.hpp"
+#include "twin/scenario.hpp"
+#include "twin/workload_bridge.hpp"
+
+namespace surro::twin {
+
+struct TwinConfig {
+  sched::SimConfig sim;
+  /// Policy names, each resolved via make_policy (fresh instance per
+  /// simulator run, so concurrent cells never share mutable state).
+  std::vector<std::string> policies{"random", "locality", "least-loaded",
+                                    "hybrid"};
+  /// Scenario axes: every disruption × drift pair becomes one twin cell.
+  std::vector<DisruptionKind> disruptions = all_disruption_kinds();
+  std::vector<stream::DriftKind> drifts{stream::DriftKind::kNone};
+  /// Per-cell templates; `kind` is overwritten by the axis value.
+  DisruptionConfig disruption;
+  stream::DriftConfig drift;
+  /// Window index handed to stream::apply_drift — the default reaches full
+  /// ramp strength so a drift cell realizes `drift.intensity` exactly.
+  std::size_t drift_window_index = 5;
+  /// Per-row derivation seed of the workload bridge.
+  BridgeConfig bridge;
+  /// Seed of every simulator run (policies with stochastic choices draw
+  /// from Rng(sim_seed) per run).
+  std::uint64_t sim_seed = 7;
+  /// Cell fan-out cap: 0 = every pool worker, 1 = serial. Outcome bytes
+  /// are identical for any value.
+  std::size_t threads = 0;
+  bool verbose = false;
+};
+
+/// One policy's paired outcome inside a cell.
+struct PolicyOutcome {
+  std::string policy;
+  sched::SimMetrics real;
+  sched::SimMetrics synth;
+  /// Mean relative gap over (mean wait, p95 wait, utilization,
+  /// transferred bytes, starvation index): 0 = surrogate reproduces the
+  /// real stream's outcome exactly.
+  double outcome_gap = 0.0;
+};
+
+/// Relative-gap arithmetic shared with tests: mean over the five headline
+/// metrics of |real − synth| / max(|real|, |synth|, eps).
+[[nodiscard]] double outcome_gap(const sched::SimMetrics& real,
+                                 const sched::SimMetrics& synth);
+
+/// One (disruption, drift) scenario cell.
+struct TwinCell {
+  std::string id;  ///< e.g. "site_outage|none"
+  DisruptionKind disruption = DisruptionKind::kNone;
+  stream::DriftKind drift = stream::DriftKind::kNone;
+  std::vector<sched::Outage> outages;      ///< shared by both streams
+  std::size_t affected_rows_real = 0;      ///< disruption + drift touches
+  std::size_t affected_rows_synth = 0;
+  std::vector<PolicyOutcome> outcomes;     ///< policy order = config order
+  /// Pairwise rank agreement (Kendall-style, ties concordant) of the
+  /// policy ordering by mean queue wait, real vs surrogate, in [0, 1].
+  double decision_fidelity = 0.0;
+  bool top1_match = false;  ///< same winning policy on both streams
+  std::string best_policy_real;
+  std::string best_policy_synth;
+};
+
+/// Rank-agreement arithmetic shared with tests.
+[[nodiscard]] double rank_agreement(const std::vector<double>& real,
+                                    const std::vector<double>& synth);
+
+struct TwinResult {
+  std::vector<TwinCell> cells;  ///< disruption-major, drift-minor order
+  double mean_decision_fidelity = 0.0;
+  double mean_outcome_gap = 0.0;
+  double wall_seconds = 0.0;
+  /// FNV-1a fold of every cell's metrics_digest pairs in canonical order —
+  /// the cross-run / cross-thread determinism probe.
+  std::uint64_t outcome_digest = 0;
+};
+
+/// Resolve a policy name ("random" | "locality" | "least-loaded" |
+/// "hybrid[:threshold]") to a fresh instance; throws std::invalid_argument
+/// for unknown names.
+[[nodiscard]] std::unique_ptr<sched::AllocationPolicy> make_policy(
+    const std::string& name);
+
+class ScenarioTwin {
+ public:
+  ScenarioTwin(const panda::SiteCatalog& catalog, TwinConfig cfg);
+
+  /// Run every (disruption × drift) cell over the paired streams. `real`
+  /// and `synth` must share the 9-column job schema.
+  [[nodiscard]] TwinResult run(const tabular::Table& real,
+                               const tabular::Table& synth) const;
+
+  [[nodiscard]] const TwinConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const panda::SiteCatalog& catalog() const noexcept {
+    return *catalog_;
+  }
+
+ private:
+  [[nodiscard]] TwinCell run_cell(DisruptionKind disruption,
+                                  stream::DriftKind drift,
+                                  const tabular::Table& real,
+                                  const tabular::Table& synth,
+                                  const TimeSpan& span) const;
+
+  const panda::SiteCatalog* catalog_;
+  TwinConfig cfg_;
+};
+
+/// Machine-readable twin artifact (kind "twin_matrix"): config echo, every
+/// cell with per-policy real/synth outcomes and gaps, decision-fidelity
+/// scores, and the outcome digest as a 16-hex-digit string.
+[[nodiscard]] std::string twin_to_json(const TwinConfig& cfg,
+                                       const TwinResult& result,
+                                       const std::string& model_key,
+                                       std::size_t real_rows,
+                                       std::size_t synth_rows);
+
+/// Compact ASCII summary (one block per cell, one line per policy).
+[[nodiscard]] std::string render_twin(const TwinResult& result);
+
+}  // namespace surro::twin

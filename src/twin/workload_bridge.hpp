@@ -1,0 +1,77 @@
+#pragma once
+// WorkloadBridge — the surrogate→simulator half of the closed loop (Fig. 2's
+// data-placement / job-allocation loop, Sec. VI's "more realistic workload
+// inputs to calibrate large-scale event-based simulations"). It converts
+// sampled job-table rows back into sched::SimJob streams with the serving
+// tier's determinism discipline: every per-row random decision (the core
+// count, the catalog slot of an invented site label) is drawn from a stream
+// derived from (bridge seed, row index) or hashed from the label itself —
+// never from a shared sequential RNG — so the resulting jobs depend only on
+// (table bytes, seed). Bridging a prefix of a table yields exactly the
+// prefix of the bridged jobs, and no amount of threading, chunking, or
+// placement upstream (the SampleBackend invariant) can change the stream.
+
+#include <cstdint>
+#include <vector>
+
+#include "panda/site_catalog.hpp"
+#include "sched/simulator.hpp"
+#include "tabular/table.hpp"
+
+namespace surro::serve {
+class SampleBackend;
+}
+
+namespace surro::twin {
+
+struct BridgeConfig {
+  /// Seed of the per-row derived streams (part of the twin determinism
+  /// key: outcomes depend only on model/rows/seed/policy/scenario).
+  std::uint64_t seed = 1;
+  /// Probability a bridged job requests an 8-core slot (the simulator's
+  /// multi-core mix; matches the legacy jobs_from_table default).
+  double p_eight_core = 0.4;
+};
+
+/// Stateless per-row hash: splitmix64 over (seed, index, salt). Exposed so
+/// disruption scenarios share the same derivation discipline.
+[[nodiscard]] std::uint64_t row_derive(std::uint64_t seed, std::uint64_t row,
+                                       std::uint64_t salt) noexcept;
+/// row_derive mapped to a uniform double in [0, 1).
+[[nodiscard]] double row_uniform(std::uint64_t seed, std::uint64_t row,
+                                 std::uint64_t salt) noexcept;
+
+class WorkloadBridge {
+ public:
+  WorkloadBridge(const panda::SiteCatalog& catalog, BridgeConfig cfg = {});
+
+  /// Convert every row of a 9-column job table into a SimJob. Site labels
+  /// unknown to the catalog scatter deterministically by label hash (the
+  /// same invented label always lands on the same catalog slot, whatever
+  /// the vocabulary order). Workload (GFLOP-hours) converts to CPU-hours
+  /// at the home site's per-core GFLOP rate.
+  [[nodiscard]] std::vector<sched::SimJob> jobs(
+      const tabular::Table& table) const;
+
+  [[nodiscard]] const panda::SiteCatalog& catalog() const noexcept {
+    return *catalog_;
+  }
+  [[nodiscard]] const BridgeConfig& config() const noexcept { return cfg_; }
+
+ private:
+  const panda::SiteCatalog* catalog_;
+  BridgeConfig cfg_;
+};
+
+/// Pull a synthetic table out of the serving tier: submits one SampleJob to
+/// the backend (a single SampleService or a whole ShardPool — bytes are
+/// identical either way) and waits for the table. The twin's way of closing
+/// the loop against the production serving path instead of an in-process
+/// generator.
+[[nodiscard]] tabular::Table sample_via_backend(serve::SampleBackend& backend,
+                                                const std::string& model_key,
+                                                std::size_t rows,
+                                                std::uint64_t seed,
+                                                std::size_t chunk_rows = 0);
+
+}  // namespace surro::twin

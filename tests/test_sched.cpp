@@ -146,6 +146,68 @@ TEST(JobsFromTable, ConvertsWorkloadTable) {
   }
 }
 
+// Always returns a fixed site — the adversarial probe for the simulator's
+// feasibility guard (real policies are feasibility-aware and never pick an
+// unplaceable site themselves).
+class StubbornPolicy final : public AllocationPolicy {
+ public:
+  explicit StubbornPolicy(std::size_t site) : site_(site) {}
+  [[nodiscard]] std::size_t place(const SimJob&, const ClusterState&,
+                                  util::Rng&) override {
+    return site_;
+  }
+  [[nodiscard]] std::string name() const override { return "stubborn"; }
+
+ private:
+  std::size_t site_;
+};
+
+TEST(FeasibilityGuard, ZeroCapacitySiteIsNeverAPlacementTarget) {
+  // capacity_scale 0.001 floors site C (500 cores) to zero: {1, 1, 0}.
+  const auto catalog = small_catalog();
+  SimConfig cfg;
+  cfg.capacity_scale = 0.001;
+  ClusterSimulator sim(catalog, cfg);
+  ASSERT_EQ(sim.capacity()[2], 0u);
+
+  // A feasibility-aware policy routes around the dead site on its own...
+  DataLocalityPolicy locality;
+  const auto m = sim.run(simple_jobs(60, 2), locality, 11);
+  EXPECT_EQ(m.completed_jobs, 60u);
+  EXPECT_EQ(m.site_completed[2], 0u);
+
+  // ...and an adversarial policy that insists on it is redirected
+  // deterministically instead of stalling the stream forever.
+  StubbornPolicy stubborn(2);
+  const auto m2 = sim.run(simple_jobs(60, 2), stubborn, 11);
+  EXPECT_EQ(m2.completed_jobs, 60u);
+  EXPECT_EQ(m2.site_completed[2], 0u);
+  EXPECT_EQ(m2.redirected_jobs, 60u);
+}
+
+TEST(FeasibilityGuard, AllSitesZeroCapacityThrows) {
+  const auto catalog = small_catalog();
+  SimConfig cfg;
+  cfg.capacity_scale = 1e-6;  // every site floors to zero
+  EXPECT_THROW(ClusterSimulator(catalog, cfg), std::invalid_argument);
+}
+
+TEST(FeasibilityGuard, OversizeCoreRequestIsClampedNotStalled) {
+  // Caps {1, 1, 0}: an 8-core request fits nowhere and must be clamped to
+  // the widest feasible site so the job still completes.
+  const auto catalog = small_catalog();
+  SimConfig cfg;
+  cfg.capacity_scale = 0.001;
+  ClusterSimulator sim(catalog, cfg);
+  auto jobs = simple_jobs(20, 0, 0.5);
+  for (auto& j : jobs) j.cores = 8;
+  DataLocalityPolicy policy;
+  const auto m = sim.run(jobs, policy, 12);
+  EXPECT_EQ(m.completed_jobs, 20u);
+  EXPECT_EQ(m.clamped_jobs, 20u);
+  EXPECT_EQ(m.redirected_jobs, 20u);
+}
+
 TEST(SiteLoad, ReflectsBusyAndQueued) {
   const auto catalog = small_catalog();
   ClusterState state;

@@ -11,6 +11,10 @@
 //                          --threads 8 --out synth.csv
 //   surro_cli evaluate     --real jobs.csv --synth synth.csv
 //   surro_cli simulate     --data jobs.csv --policy hybrid
+//   surro_cli twin         --data jobs.csv --model smote --rows 2000
+//                          --policies "random,locality,least-loaded,hybrid"
+//                          --scenarios "none,outage,burst,storm"
+//                          --drifts none --json-out twin_matrix.json
 //   surro_cli matrix       --axes "days=10,21;anomaly=0,0.05;rows=1000"
 //                          --json-out matrix.json --threads 4 --epochs 12
 //   surro_cli stream       --axes "stride=1,7;drift=none,mean_shift;
@@ -55,6 +59,15 @@
 // verifies the overload SLOs plus per-job output determinism (serve_soak
 // artifact); --over-socket runs the same sweep through the HTTP front end
 // so the SLOs and the determinism digest are asserted over the wire.
+// `twin` closes the loop the paper motivates: it trains a surrogate on the
+// real stream, samples a synthetic twin stream, and runs BOTH through the
+// cluster simulator under every (disruption scenario × drift family) cell
+// and every allocation policy — scoring decision fidelity (would the
+// surrogate have picked the same policy?) next to the per-policy outcome
+// gap, and writing the twin_matrix JSON artifact with a thread-count-
+// invariant outcome digest. --via-service samples through the serving
+// tier's SampleBackend instead of the model directly (same bytes — the
+// serving determinism contract is part of the loop).
 // See docs/CLI.md for the full reference.
 
 #include <algorithm>
@@ -77,6 +90,7 @@
 #include "net/client.hpp"
 #include "net/rest.hpp"
 #include "stream/stream_eval.hpp"
+#include "twin/twin.hpp"
 #include "util/logging.hpp"
 #include "util/stringx.hpp"
 
@@ -155,6 +169,16 @@ int usage() {
       "               --chunk-rows C --out FILE\n"
       "  evaluate     --real FILE --synth FILE\n"
       "  simulate     --data FILE --policy {random|locality|least|hybrid}\n"
+      "  twin         --data FILE | --days D --rate R\n"
+      "               --model {%s}\n"
+      "               --rows N --epochs E --seed S\n"
+      "               --policies \"random,locality,least-loaded,"
+      "hybrid[:T]\"\n"
+      "               --scenarios \"none,outage,burst,storm\"\n"
+      "               --drifts \"none,mean_shift,...\" --intensity I\n"
+      "               --outage-sites K --capacity-scale C --threads T\n"
+      "               --json-out FILE [--serial] [--via-service] "
+      "[--verbose]\n"
       "  matrix       --axes \"days=D1,D2;anomaly=F1,F2;rows=N1,N2;"
       "models=K1,K2\"\n"
       "               --json-out FILE --threads T --epochs E --seed S\n"
@@ -191,7 +215,7 @@ int usage() {
       "               [--http-workers T] [--page-rows N] "
       "[--poll-wait-ms MS]\n"
       "               [--shards N] [--replicas R] [--shard-ttl-ms MS]\n",
-      keys.c_str(), keys.c_str());
+      keys.c_str(), keys.c_str(), keys.c_str());
   return 2;
 }
 
@@ -913,6 +937,120 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+/// Comma-separated CLI list -> trimmed entries (empty entries dropped).
+std::vector<std::string> parse_list(const std::string& csv) {
+  std::vector<std::string> out;
+  for (const auto part : util::split(csv, ',')) {
+    if (!part.empty()) out.emplace_back(part);
+  }
+  return out;
+}
+
+int cmd_twin(const Args& args) {
+  // 1. The real stream: a CSV capture, or the PanDA record generator.
+  tabular::Table real;
+  if (args.kv.contains("data")) {
+    real = tabular::read_csv(panda::job_table_schema(), args.get("data"));
+  } else {
+    panda::GeneratorConfig gcfg;
+    gcfg.model.days = args.num("days", 14.0);
+    gcfg.model.base_jobs_per_day = args.num("rate", 120.0);
+    gcfg.seed = static_cast<std::uint64_t>(args.num("seed", 7.0));
+    panda::RecordGenerator gen(gcfg);
+    real = panda::build_job_table(gen.generate(), gen.catalog(), nullptr);
+  }
+  if (real.num_rows() == 0) {
+    throw std::invalid_argument("twin: real stream is empty");
+  }
+
+  // 2. Fit the surrogate on the real stream.
+  models::TrainBudget budget;
+  budget.epochs = static_cast<std::size_t>(args.num("epochs", 12.0));
+  budget.log_every_epochs = args.flag("verbose") ? 1 : 1000;
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 7.0));
+  const std::string key = args.get("model", "smote");
+  (void)model_info_or_throw(key);
+  auto model = models::make_generator(key, budget, seed);
+  std::printf("twin: training %s on %zu real rows...\n",
+              model->name().c_str(), real.num_rows());
+  model->fit(real);
+
+  // 3. The surrogate stream — sampled directly, or through the serving
+  // tier's SampleBackend (--via-service). Same bytes either way: the
+  // serving determinism contract says a job's output depends only on
+  // (model, rows, seed, chunk_rows).
+  models::SampleRequest request;
+  request.rows = static_cast<std::size_t>(
+      args.num("rows", static_cast<double>(real.num_rows())));
+  request.seed = seed ^ 0xFEEDULL;
+  request.chunk_rows =
+      static_cast<std::size_t>(args.num("chunk-rows", 4096.0));
+  request.threads = static_cast<std::size_t>(args.num("threads", 0.0));
+  tabular::Table synth;
+  if (args.flag("via-service")) {
+    serve::ModelHost host;
+    host.register_fitted(key, std::shared_ptr<models::TabularGenerator>(
+                                  std::move(model)));
+    serve::SampleService service(host);
+    synth = twin::sample_via_backend(service, key, request.rows,
+                                     request.seed, request.chunk_rows);
+  } else {
+    model->sample_into(synth, request);
+  }
+  std::printf("twin: %zu synthetic rows (%s)\n", synth.num_rows(),
+              args.flag("via-service") ? "via serving tier" : "direct");
+
+  // 4. The scenario sweep.
+  twin::TwinConfig cfg;
+  cfg.sim.capacity_scale = args.num("capacity-scale", 0.0002);
+  if (args.kv.contains("policies")) {
+    cfg.policies = parse_list(args.get("policies"));
+  }
+  if (args.kv.contains("scenarios")) {
+    cfg.disruptions.clear();
+    for (const auto& name : parse_list(args.get("scenarios"))) {
+      cfg.disruptions.push_back(twin::parse_disruption_kind(name));
+    }
+  }
+  if (args.kv.contains("drifts")) {
+    cfg.drifts.clear();
+    for (const auto& name : parse_list(args.get("drifts"))) {
+      cfg.drifts.push_back(stream::parse_drift_kind(name));
+    }
+  }
+  cfg.disruption.intensity = args.num("intensity", 0.3);
+  cfg.disruption.seed = seed;
+  cfg.disruption.outage_sites =
+      static_cast<std::size_t>(args.num("outage-sites", 2.0));
+  cfg.drift.intensity = args.num("drift-intensity", 0.15);
+  cfg.drift.seed = seed;
+  cfg.bridge.seed = static_cast<std::uint64_t>(args.num("bridge-seed", 1.0));
+  cfg.sim_seed = static_cast<std::uint64_t>(args.num("sim-seed", 7.0));
+  cfg.threads = args.flag("serial")
+                    ? 1
+                    : static_cast<std::size_t>(args.num("threads", 0.0));
+  cfg.verbose = args.flag("verbose");
+
+  const auto catalog = panda::SiteCatalog::make_default();
+  const twin::ScenarioTwin runner(catalog, cfg);
+  const auto result = runner.run(real, synth);
+
+  std::printf("twin matrix: %zu cells (%zu scenarios x %zu drifts), "
+              "%zu policies, %.1f s\n",
+              result.cells.size(), cfg.disruptions.size(),
+              cfg.drifts.size(), cfg.policies.size(), result.wall_seconds);
+  std::printf("%s", twin::render_twin(result).c_str());
+
+  const std::string out = args.get("json-out", "twin_matrix.json");
+  std::ofstream file(out, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot write " + out);
+  file << twin::twin_to_json(cfg, result, key, real.num_rows(),
+                             synth.num_rows())
+       << '\n';
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int cmd_version() {
@@ -949,6 +1087,7 @@ int main(int argc, char** argv) {
     if (cmd == "sample-model") return cmd_sample_model(args);
     if (cmd == "evaluate") return cmd_evaluate(args);
     if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "twin") return cmd_twin(args);
     if (cmd == "matrix") return cmd_matrix(args);
     if (cmd == "stream") return cmd_stream(args);
     if (cmd == "serve") return cmd_serve(args);
