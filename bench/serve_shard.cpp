@@ -11,6 +11,19 @@
 // (exit 1), not a warning. Throughput per point is reported as
 // speedup_vs_one_shard so CI can watch the scaling trend without gating on
 // a machine-dependent absolute number.
+//
+// --remote extends the sweep across the process boundary: fleets of 1/2/4
+// `surro_cli serve --worker` processes (spawned from the surro_cli next to
+// this binary; override with --cli PATH) replay the SAME script through
+// remote-only ShardPools, and their output hash must equal the in-process
+// baseline's — the placement-invariance contract, multi-process edition.
+// Remote points land in the same sweep array with "transport":
+// "multi-process" and a "workers" count. (Remote shards do not merge
+// latency windows — a worker's percentile state lives in its process — so
+// remote points report throughput and the digest; p50/p95 degrade to
+// null.)
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -22,6 +35,7 @@
 #include "eval/experiment.hpp"
 #include "serve/replay.hpp"
 #include "serve/shard_pool.hpp"
+#include "serve/worker_fleet.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -32,9 +46,11 @@ struct SweepPoint {
   std::size_t shards = 0;
   std::size_t replicas = 0;
   std::size_t clients = 0;
+  std::size_t workers = 0;  ///< worker processes (0 = in-process point)
   serve::ReplayResult result;
   std::uint64_t routed = 0;
   std::uint64_t rerouted = 0;
+  std::uint64_t rerouted_transport = 0;
 };
 
 struct BenchScale {
@@ -86,6 +102,42 @@ serve::ReplayScript make_script(const BenchScale& s) {
   return script;
 }
 
+/// Three timed replay rounds after one warm-up, best wall time kept
+/// (replays are deterministic; rounds differ only in scheduling noise).
+serve::ReplayResult timed_replay(serve::SampleBackend& backend,
+                                 const serve::ReplayScript& script,
+                                 const serve::ReplayOptions& opts) {
+  (void)serve::run_replay(backend, script, opts);
+  serve::ReplayResult result = serve::run_replay(backend, script, opts);
+  for (int round = 0; round < 2; ++round) {
+    const auto again = serve::run_replay(backend, script, opts);
+    result.stats = again.stats;
+    result.wall_seconds = std::min(result.wall_seconds, again.wall_seconds);
+  }
+  return result;
+}
+
+/// The surro_cli to exec fleet workers from: --cli PATH wins, otherwise
+/// the binary sitting next to this bench (both live in the build dir).
+std::string worker_cli_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--cli") return argv[i + 1];
+  }
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  std::filesystem::path self =
+      n > 0 ? std::filesystem::path(std::string(buf, static_cast<std::size_t>(n)))
+            : std::filesystem::path(argv[0]);
+  return (self.parent_path() / "surro_cli").string();
+}
+
+bool flag_present(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == name) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -129,25 +181,15 @@ int main(int argc, char** argv) {
         }
         serve::ReplayOptions replay_opts;
         replay_opts.clients = clients;
-        // Untimed warm-up round: steady-state shards have their working
-        // set resident, like the serve_throughput baseline.
-        (void)serve::run_replay(pool, script, replay_opts);
         SweepPoint point;
         point.shards = shards;
         point.replicas = replicas;
         point.clients = clients;
-        // Peak sustained throughput: best of three timed rounds (replays
-        // are deterministic; rounds differ only in scheduling noise).
-        point.result = serve::run_replay(pool, script, replay_opts);
-        for (int round = 0; round < 2; ++round) {
-          const auto again = serve::run_replay(pool, script, replay_opts);
-          point.result.stats = again.stats;
-          point.result.wall_seconds =
-              std::min(point.result.wall_seconds, again.wall_seconds);
-        }
+        point.result = timed_replay(pool, script, replay_opts);
         const auto shard_stats = pool.shard_stats();
         point.routed = shard_stats.routed;
         point.rerouted = shard_stats.rerouted;
+        point.rerouted_transport = shard_stats.rerouted_transport;
         const auto& r = point.result;
         std::printf("%-7zu %-9zu %-8zu %12.0f %9.1f %10.2f %10.2f %9llu\n",
                     shards, replicas, clients,
@@ -156,6 +198,76 @@ int main(int argc, char** argv) {
                     r.stats.p50_latency_ms, r.stats.p95_latency_ms,
                     static_cast<unsigned long long>(point.rerouted));
         sweep.push_back(std::move(point));
+      }
+    }
+  }
+
+  // ---- --remote: the same script through fleets of worker *processes*.
+  // Workers load the same archives (--models-dir), the pool is remote-only
+  // (local shards are the in-process sweep above), and the output hash is
+  // held to the in-process baseline — placement invariance across the
+  // process boundary, measured instead of assumed.
+  const bool remote = flag_present(argc, argv, "--remote");
+  if (remote) {
+    const std::string cli = worker_cli_path(argc, argv);
+    const std::size_t clients = scale.client_counts.back();
+    std::printf("-- multi-process (workers exec'd from %s) --\n",
+                cli.c_str());
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}}) {
+      serve::WorkerFleetConfig fleet_cfg;
+      fleet_cfg.cli_path = cli;
+      fleet_cfg.workers = workers;
+      fleet_cfg.serve_args = {"--models-dir", archive_dir.string(),
+                              "--capacity",
+                              std::to_string(scale.capacity_per_shard),
+                              "--serve-seconds", "900"};
+      serve::WorkerFleet fleet(fleet_cfg);
+      fleet.start();
+
+      serve::ShardPoolConfig pool_cfg;
+      pool_cfg.shards = 0;  // remote-only: every shard is a worker process
+      pool_cfg.replication = 1;
+      pool_cfg.host.capacity = scale.capacity_per_shard;
+      for (std::size_t i = 0; i < fleet.size(); ++i) {
+        serve::RemoteShardConfig rc;
+        rc.port = fleet.port(i);
+        // Enough harvesters that clients never serialize on result pickup.
+        rc.harvest_threads = std::max<std::size_t>(clients / workers, 2);
+        pool_cfg.remotes.push_back(rc);
+      }
+      serve::ShardPool pool(pool_cfg);
+      for (const auto& key : scale.models) {
+        pool.register_archive(key, (archive_dir / (key + ".bin")).string());
+      }
+
+      serve::ReplayOptions replay_opts;
+      replay_opts.clients = clients;
+      SweepPoint point;
+      point.shards = workers;
+      point.replicas = 1;
+      point.clients = clients;
+      point.workers = workers;
+      point.result = timed_replay(pool, script, replay_opts);
+      const auto shard_stats = pool.shard_stats();
+      point.routed = shard_stats.routed;
+      point.rerouted = shard_stats.rerouted;
+      point.rerouted_transport = shard_stats.rerouted_transport;
+      const auto& r = point.result;
+      std::printf("%-7zu %-9zu %-8zu %12.0f %9.1f %10.2f %10.2f %9llu\n",
+                  workers, point.replicas, clients,
+                  static_cast<double>(r.rows) / r.wall_seconds,
+                  static_cast<double>(r.jobs) / r.wall_seconds,
+                  r.stats.p50_latency_ms, r.stats.p95_latency_ms,
+                  static_cast<unsigned long long>(point.rerouted));
+      sweep.push_back(std::move(point));
+
+      const int worst = fleet.shutdown();
+      if (worst != 0) {
+        std::printf("FAIL: a worker exited with status %d during graceful "
+                    "shutdown (see %s)\n",
+                    worst, fleet.scratch_dir().c_str());
+        return 1;
       }
     }
   }
@@ -224,6 +336,9 @@ int main(int argc, char** argv) {
       w.kv("shards", point.shards);
       w.kv("replicas", point.replicas);
       w.kv("clients", point.clients);
+      w.kv("workers", point.workers);
+      w.kv("transport",
+           point.workers != 0 ? "multi-process" : "in-process");
       w.kv("rows_per_sec", rows_per_sec);
       w.kv("qps", static_cast<double>(point.result.jobs) /
                       point.result.wall_seconds);
@@ -231,6 +346,7 @@ int main(int argc, char** argv) {
       w.kv("p95_ms", point.result.stats.p95_latency_ms);
       w.kv("routed", point.routed);
       w.kv("rerouted", point.rerouted);
+      w.kv("rerouted_transport", point.rerouted_transport);
       w.kv("speedup_vs_one_shard",
            baseline > 0.0 ? rows_per_sec / baseline : 0.0);
       w.end_object();

@@ -6,8 +6,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -30,9 +32,28 @@ std::string to_lower(std::string s) {
 
 }  // namespace
 
+const char* transport_error_kind_name(TransportError::Kind kind) noexcept {
+  switch (kind) {
+    case TransportError::Kind::kConnect: return "connect";
+    case TransportError::Kind::kTimeout: return "timeout";
+    case TransportError::Kind::kClosed: return "closed";
+    case TransportError::Kind::kMalformed: return "malformed";
+  }
+  return "transport";
+}
+
+const char* TransportError::kind_name() const noexcept {
+  return transport_error_kind_name(kind_);
+}
+
 HttpClient::HttpClient(std::string host, std::uint16_t port,
                        double timeout_seconds)
-    : host_(std::move(host)), port_(port), timeout_seconds_(timeout_seconds) {}
+    : host_(std::move(host)), port_(port) {
+  cfg_.timeout_seconds = timeout_seconds;
+}
+
+HttpClient::HttpClient(std::string host, std::uint16_t port, ClientConfig cfg)
+    : host_(std::move(host)), port_(port), cfg_(cfg) {}
 
 HttpClient::~HttpClient() { disconnect(); }
 
@@ -41,40 +62,66 @@ void HttpClient::disconnect() {
     ::close(fd_);
     fd_ = -1;
   }
+  fd_timeout_ = -1.0;
   rx_.clear();
 }
 
-void HttpClient::connect() {
-  disconnect();
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw std::runtime_error("HttpClient: socket() failed: " +
-                             std::string(std::strerror(errno)));
+void HttpClient::apply_timeout(double seconds) {
+  if (fd_ < 0 || seconds == fd_timeout_) return;
+  timeval tv{};
+  if (seconds > 0.0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(std::fmod(seconds, 1.0) * 1e6);
   }
-  if (timeout_seconds_ > 0.0) {
-    timeval tv{};
-    tv.tv_sec = static_cast<time_t>(timeout_seconds_);
-    tv.tv_usec =
-        static_cast<suseconds_t>(std::fmod(timeout_seconds_, 1.0) * 1e6);
-    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  }
-  const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  fd_timeout_ = seconds;
+}
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port_);
-  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+void HttpClient::connect() {
+  // Reconnect-with-backoff: a refused/unreachable connect is retried with
+  // exponential delays, so a worker that is mid-spawn or mid-restart gets
+  // a grace window. The per-attempt errors fold into the final throw.
+  const std::size_t attempts = std::max<std::size_t>(cfg_.connect_attempts, 1);
+  double delay_ms = cfg_.backoff_ms;
+  std::string last_why;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt != 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+      delay_ms = std::min(delay_ms * 2.0, cfg_.max_backoff_ms);
+    }
     disconnect();
-    throw std::runtime_error("HttpClient: bad address '" + host_ + "'");
-  }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string why = std::strerror(errno);
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      last_why = std::string("socket() failed: ") + std::strerror(errno);
+      continue;
+    }
+    apply_timeout(cfg_.timeout_seconds);
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port_);
+    if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+      disconnect();
+      // Not retryable: the address can never resolve.
+      throw TransportError(TransportError::Kind::kConnect,
+                           "HttpClient: bad address '" + host_ + "'");
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      return;
+    }
+    last_why = std::strerror(errno);
     disconnect();
-    throw std::runtime_error("HttpClient: cannot connect to " + host_ + ":" +
-                             std::to_string(port_) + ": " + why);
   }
+  throw TransportError(TransportError::Kind::kConnect,
+                       "HttpClient: cannot connect to " + host_ + ":" +
+                           std::to_string(port_) + " after " +
+                           std::to_string(attempts) +
+                           " attempt(s): " + last_why);
 }
 
 bool HttpClient::send_request(const std::string& wire) {
@@ -84,6 +131,10 @@ bool HttpClient::send_request(const std::string& wire) {
         ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        throw TransportError(TransportError::Kind::kTimeout,
+                             "HttpClient: send timed out");
+      }
       return false;
     }
     sent += static_cast<std::size_t>(n);
@@ -107,11 +158,17 @@ bool HttpClient::read_response(HttpResponse& out) {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n == 0) {
       if (buf.empty()) return false;
-      throw std::runtime_error("HttpClient: connection closed mid-response");
+      throw TransportError(TransportError::Kind::kClosed,
+                           "HttpClient: connection closed mid-response");
     }
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw std::runtime_error("HttpClient: recv failed: " +
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw TransportError(TransportError::Kind::kTimeout,
+                             "HttpClient: response timed out");
+      }
+      throw TransportError(TransportError::Kind::kClosed,
+                           "HttpClient: recv failed: " +
                                std::string(std::strerror(errno)));
     }
     buf.append(chunk, static_cast<std::size_t>(n));
@@ -121,8 +178,9 @@ bool HttpClient::read_response(HttpResponse& out) {
   const std::size_t line_end = buf.find("\r\n");
   const std::string status_line = buf.substr(0, line_end);
   if (status_line.size() < 12 || status_line.compare(0, 5, "HTTP/") != 0) {
-    throw std::runtime_error("HttpClient: malformed status line '" +
-                             status_line + "'");
+    throw TransportError(TransportError::Kind::kMalformed,
+                         "HttpClient: malformed status line '" + status_line +
+                             "'");
   }
   const std::size_t sp = status_line.find(' ');
   int status = 0;
@@ -130,7 +188,8 @@ bool HttpClient::read_response(HttpResponse& out) {
     const char* begin = status_line.data() + sp + 1;
     const auto res = std::from_chars(begin, begin + 3, status);
     if (res.ec != std::errc{}) {
-      throw std::runtime_error("HttpClient: malformed status code");
+      throw TransportError(TransportError::Kind::kMalformed,
+                           "HttpClient: malformed status code");
     }
   }
   out = HttpResponse{};
@@ -158,7 +217,8 @@ bool HttpClient::read_response(HttpResponse& out) {
     const auto res = std::from_chars(
         it->second.data(), it->second.data() + it->second.size(), body_len);
     if (res.ec != std::errc{}) {
-      throw std::runtime_error("HttpClient: malformed content-length");
+      throw TransportError(TransportError::Kind::kMalformed,
+                           "HttpClient: malformed content-length");
     }
   }
 
@@ -166,11 +226,17 @@ bool HttpClient::read_response(HttpResponse& out) {
   while (buf.size() < body_start + body_len) {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n == 0) {
-      throw std::runtime_error("HttpClient: connection closed mid-body");
+      throw TransportError(TransportError::Kind::kClosed,
+                           "HttpClient: connection closed mid-body");
     }
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw std::runtime_error("HttpClient: recv failed: " +
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw TransportError(TransportError::Kind::kTimeout,
+                             "HttpClient: response body timed out");
+      }
+      throw TransportError(TransportError::Kind::kClosed,
+                           "HttpClient: recv failed: " +
                                std::string(std::strerror(errno)));
     }
     buf.append(chunk, static_cast<std::size_t>(n));
@@ -187,8 +253,8 @@ bool HttpClient::read_response(HttpResponse& out) {
 
 HttpResponse HttpClient::request(
     const std::string& method, const std::string& target,
-    const std::string& body,
-    const std::map<std::string, std::string>& headers) {
+    const std::string& body, const std::map<std::string, std::string>& headers,
+    double timeout_seconds) {
   std::string wire = method + " " + target + " HTTP/1.1\r\n";
   wire += "host: " + host_ + ":" + std::to_string(port_) + "\r\n";
   for (const auto& [name, value] : headers) {
@@ -200,31 +266,63 @@ HttpResponse HttpClient::request(
   wire += "\r\n";
   wire += body;
 
+  const double budget =
+      timeout_seconds > 0.0 ? timeout_seconds : cfg_.timeout_seconds;
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (fd_ < 0) connect();
+    apply_timeout(budget);
     HttpResponse response;
     if (send_request(wire) && read_response(response)) return response;
     // Dead keep-alive connection: reconnect once and retry. Safe for this
     // API because the failure happened before any response byte arrived.
     disconnect();
   }
-  throw std::runtime_error("HttpClient: server closed the connection twice");
+  throw TransportError(TransportError::Kind::kClosed,
+                       "HttpClient: server closed the connection twice");
 }
 
 // --- ApiClient --------------------------------------------------------------
+
+namespace {
+
+/// A 2xx answer whose body does not decode is a transport-level failure
+/// (truncated or corrupt bytes), not a protocol refusal: surface it as
+/// TransportError{kMalformed} so callers never mistake it for job state.
+template <typename Fn>
+auto decode_or_malformed(const char* what, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const ApiError&) {
+    throw;
+  } catch (const TransportError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw TransportError(
+        TransportError::Kind::kMalformed,
+        std::string("ApiClient: malformed ") + what + ": " + e.what());
+  }
+}
+
+}  // namespace
 
 ApiClient::ApiClient(std::string host, std::uint16_t port, std::string api_key,
                      double timeout_seconds)
     : http_(std::move(host), port, timeout_seconds),
       api_key_(std::move(api_key)) {}
 
+ApiClient::ApiClient(std::string host, std::uint16_t port, std::string api_key,
+                     ClientConfig cfg)
+    : http_(std::move(host), port, cfg), api_key_(std::move(api_key)) {}
+
 HttpResponse ApiClient::call(const std::string& method,
                              const std::string& target,
-                             const std::string& body) {
+                             const std::string& body,
+                             double timeout_seconds) {
   std::map<std::string, std::string> headers;
   if (!api_key_.empty()) headers["x-api-key"] = api_key_;
   if (!body.empty()) headers["content-type"] = "application/json";
-  HttpResponse response = http_.request(method, target, body, headers);
+  HttpResponse response =
+      http_.request(method, target, body, headers, timeout_seconds);
   if (response.status >= 200 && response.status < 300) return response;
 
   std::string code = "http_" + std::to_string(response.status);
@@ -263,14 +361,17 @@ std::uint64_t ApiClient::submit(const std::string& model, std::size_t rows,
   w.end_object();
 
   const HttpResponse response = call("POST", "/v1/sample", w.str());
-  const auto doc = util::parse_json(response.body);
-  std::uint64_t id = 0;
-  const std::string& text = doc.at("job_id").as_string();
-  const auto res = std::from_chars(text.data(), text.data() + text.size(), id);
-  if (res.ec != std::errc{} || id == 0) {
-    throw std::runtime_error("ApiClient: malformed job_id '" + text + "'");
-  }
-  return id;
+  return decode_or_malformed("submit response", [&] {
+    const auto doc = util::parse_json(response.body);
+    std::uint64_t id = 0;
+    const std::string& text = doc.at("job_id").as_string();
+    const auto res =
+        std::from_chars(text.data(), text.data() + text.size(), id);
+    if (res.ec != std::errc{} || id == 0) {
+      throw std::runtime_error("bad job_id '" + text + "'");
+    }
+    return id;
+  });
 }
 
 RemoteResult ApiClient::wait_result(std::uint64_t job_id,
@@ -289,57 +390,64 @@ RemoteResult ApiClient::wait_result(std::uint64_t job_id,
                 std::to_string(static_cast<std::uint64_t>(poll_wait_ms));
     }
     const HttpResponse response = call("GET", target);
-    const auto doc = util::parse_json(response.body);
-    const std::string status = doc.at("status").as_string();
-    if (status == "pending") continue;  // long-poll timed out; ask again
-    if (status == "failed") {
-      const auto& err = doc.at("error");
-      throw ApiError(200, err.at("code").as_string(),
-                     err.at("message").as_string(), -1.0);
-    }
-
-    if (!have_schema) {
-      std::vector<tabular::ColumnSpec> specs;
-      for (const auto& col : doc.at("schema").array) {
-        tabular::ColumnSpec spec;
-        spec.name = col.at("name").as_string();
-        spec.kind = col.at("kind").as_string() == "numerical"
-                        ? tabular::ColumnKind::kNumerical
-                        : tabular::ColumnKind::kCategorical;
-        specs.push_back(std::move(spec));
+    enum class Page { kPending, kMore, kDone };
+    std::uint64_t next_cursor = 0;
+    const Page page = decode_or_malformed("job page", [&]() -> Page {
+      const auto doc = util::parse_json(response.body);
+      const std::string status = doc.at("status").as_string();
+      if (status == "pending") return Page::kPending;  // long-poll timed out
+      if (status == "failed") {
+        const auto& err = doc.at("error");
+        throw ApiError(200, err.at("code").as_string(),
+                       err.at("message").as_string(), -1.0);
       }
-      out.table = tabular::Table(tabular::Schema(std::move(specs)));
-      out.model_key = doc.at("model").as_string();
-      out.queue_seconds = doc.number_or("queue_seconds", 0.0);
-      out.sample_seconds = doc.number_or("sample_seconds", 0.0);
-      out.total_seconds = doc.number_or("total_seconds", 0.0);
-      out.cache_hit = doc.has("cache_hit") && doc.at("cache_hit").as_bool();
-      have_schema = true;
-    }
 
-    const auto& schema = out.table.schema();
-    for (const auto& row : doc.at("data").array) {
-      if (row.array.size() != schema.num_columns()) {
-        throw std::runtime_error("ApiClient: row width mismatch");
-      }
-      auto rb = out.table.make_row();
-      for (std::size_t c = 0; c < row.array.size(); ++c) {
-        const auto& cell = row.array[c];
-        if (schema.column(c).kind == tabular::ColumnKind::kNumerical) {
-          // null is the JSON image of NaN (json_number degrades it).
-          rb.set(c, cell.is_null() ? std::numeric_limits<double>::quiet_NaN()
-                                   : cell.as_number());
-        } else {
-          rb.set(c, cell.as_string());
+      if (!have_schema) {
+        std::vector<tabular::ColumnSpec> specs;
+        for (const auto& col : doc.at("schema").array) {
+          tabular::ColumnSpec spec;
+          spec.name = col.at("name").as_string();
+          spec.kind = col.at("kind").as_string() == "numerical"
+                          ? tabular::ColumnKind::kNumerical
+                          : tabular::ColumnKind::kCategorical;
+          specs.push_back(std::move(spec));
         }
+        out.table = tabular::Table(tabular::Schema(std::move(specs)));
+        out.model_key = doc.at("model").as_string();
+        out.queue_seconds = doc.number_or("queue_seconds", 0.0);
+        out.sample_seconds = doc.number_or("sample_seconds", 0.0);
+        out.total_seconds = doc.number_or("total_seconds", 0.0);
+        out.cache_hit = doc.has("cache_hit") && doc.at("cache_hit").as_bool();
+        have_schema = true;
       }
-      out.table.append_row(rb);
-    }
-    ++out.pages;
 
-    const auto& next = doc.at("next_cursor");
-    if (next.is_null()) break;
-    cursor = static_cast<std::uint64_t>(next.as_number());
+      const auto& schema = out.table.schema();
+      for (const auto& row : doc.at("data").array) {
+        if (row.array.size() != schema.num_columns()) {
+          throw std::runtime_error("row width mismatch");
+        }
+        auto rb = out.table.make_row();
+        for (std::size_t c = 0; c < row.array.size(); ++c) {
+          const auto& cell = row.array[c];
+          if (schema.column(c).kind == tabular::ColumnKind::kNumerical) {
+            // null is the JSON image of NaN (json_number degrades it).
+            rb.set(c, cell.is_null() ? std::numeric_limits<double>::quiet_NaN()
+                                     : cell.as_number());
+          } else {
+            rb.set(c, cell.as_string());
+          }
+        }
+        out.table.append_row(rb);
+      }
+      ++out.pages;
+
+      const auto& next = doc.at("next_cursor");
+      if (next.is_null()) return Page::kDone;
+      next_cursor = static_cast<std::uint64_t>(next.as_number());
+      return Page::kMore;
+    });
+    if (page == Page::kDone) break;
+    if (page == Page::kMore) cursor = next_cursor;
   }
   return out;
 }
@@ -347,27 +455,30 @@ RemoteResult ApiClient::wait_result(std::uint64_t job_id,
 bool ApiClient::cancel(std::uint64_t job_id) {
   const HttpResponse response =
       call("DELETE", "/v1/jobs/" + std::to_string(job_id));
-  const auto doc = util::parse_json(response.body);
-  return doc.at("cancelled").as_bool();
+  return decode_or_malformed("cancel response", [&] {
+    return util::parse_json(response.body).at("cancelled").as_bool();
+  });
 }
 
 std::vector<std::string> ApiClient::models() {
   const HttpResponse response = call("GET", "/v1/models");
-  const auto doc = util::parse_json(response.body);
-  std::vector<std::string> keys;
-  for (const auto& model : doc.at("models").array) {
-    keys.push_back(model.at("key").as_string());
-  }
-  return keys;
+  return decode_or_malformed("models response", [&] {
+    const auto doc = util::parse_json(response.body);
+    std::vector<std::string> keys;
+    for (const auto& model : doc.at("models").array) {
+      keys.push_back(model.at("key").as_string());
+    }
+    return keys;
+  });
 }
 
 std::string ApiClient::stats_json() {
   return call("GET", "/v1/stats").body;
 }
 
-bool ApiClient::healthy() {
+bool ApiClient::healthy(double timeout_seconds) {
   try {
-    return call("GET", "/healthz").status == 200;
+    return call("GET", "/healthz", "", timeout_seconds).status == 200;
   } catch (const std::exception&) {
     return false;
   }

@@ -12,6 +12,10 @@
 //     results back into a tabular::Table (the bytes the determinism
 //     digest hashes), cancel, stats. Non-2xx answers throw ApiError
 //     carrying the structured {code, message} body and any Retry-After.
+//
+// Failures below the protocol (connect refused, request timeout, peer
+// hangup mid-response, unparseable bytes) throw the typed TransportError —
+// the signal serve::RemoteShard and the ShardPool replica re-route key on.
 
 #include <cstdint>
 #include <map>
@@ -24,32 +28,77 @@
 
 namespace surro::net {
 
+/// The transport failed underneath the REST protocol: the peer was
+/// unreachable, went silent past the request budget, hung up mid-response,
+/// or answered bytes that do not parse. Distinct from ApiError (the server
+/// answered, with a structured refusal) and from serve::ServiceError (the
+/// service itself refused or failed the job) — callers that re-route on
+/// placement failure (ShardPool replica leases) catch exactly this type.
+class TransportError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kConnect,    ///< TCP connect failed (refused, unreachable, bad address)
+    kTimeout,    ///< the per-request socket budget expired (send or recv)
+    kClosed,     ///< the peer closed the connection mid-response
+    kMalformed,  ///< response framing or body did not parse
+  };
+
+  TransportError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] const char* kind_name() const noexcept;
+
+ private:
+  Kind kind_;
+};
+
+/// "connect" | "timeout" | "closed" | "malformed".
+[[nodiscard]] const char* transport_error_kind_name(
+    TransportError::Kind kind) noexcept;
+
+/// Connection behavior shared by HttpClient and ApiClient.
+struct ClientConfig {
+  /// Socket send/recv budget per request; 0 = unbounded (tests only).
+  double timeout_seconds = 30.0;
+  /// TCP connect attempts per request, with exponential backoff between
+  /// them. 1 = fail fast on the first refusal; worker fleets use 2-3 so a
+  /// just-spawned or briefly-restarting peer gets a grace window.
+  std::size_t connect_attempts = 1;
+  double backoff_ms = 50.0;      ///< delay before the second attempt
+  double max_backoff_ms = 2000.0;  ///< backoff doubles up to this ceiling
+};
+
 /// One keep-alive HTTP/1.1 connection to host:port. Not thread-safe; give
 /// each client thread its own instance (exactly like one remote user).
 class HttpClient {
  public:
   HttpClient(std::string host, std::uint16_t port,
              double timeout_seconds = 30.0);
+  HttpClient(std::string host, std::uint16_t port, ClientConfig cfg);
   ~HttpClient();
 
   HttpClient(const HttpClient&) = delete;
   HttpClient& operator=(const HttpClient&) = delete;
 
-  /// Issue one request and read the full response. Connects lazily and
-  /// retries once on a dead keep-alive connection. Throws
-  /// std::runtime_error on connect/send/recv failure or a malformed
-  /// response.
+  /// Issue one request and read the full response. Connects lazily (with
+  /// the configured reconnect-with-backoff) and retries once on a dead
+  /// keep-alive connection. Throws TransportError on connect/send/recv
+  /// failure or a malformed response. `timeout_seconds` > 0 overrides the
+  /// client-wide budget for this request only (readiness probes poll with
+  /// a short budget without committing the connection to it).
   HttpResponse request(const std::string& method, const std::string& target,
                        const std::string& body = "",
-                       const std::map<std::string, std::string>& headers = {});
+                       const std::map<std::string, std::string>& headers = {},
+                       double timeout_seconds = 0.0);
 
   /// Drop the connection (the next request reconnects).
   void disconnect();
 
  private:
   void connect();
+  void apply_timeout(double seconds);
   /// Send the serialized request; false when the peer hung up (caller
-  /// reconnects and retries once).
+  /// reconnects and retries once). Throws TransportError on send timeout.
   bool send_request(const std::string& wire);
   /// Read one response; false on a clean EOF before any byte (dead
   /// keep-alive connection).
@@ -57,8 +106,9 @@ class HttpClient {
 
   std::string host_;
   std::uint16_t port_;
-  double timeout_seconds_;
+  ClientConfig cfg_;
   int fd_ = -1;
+  double fd_timeout_ = -1.0;  // budget currently applied to fd_
   std::string rx_;  // bytes past the previous response (rare, kept anyway)
 };
 
@@ -101,6 +151,9 @@ class ApiClient {
   /// `api_key` empty = anonymous (works when the server is open-access).
   ApiClient(std::string host, std::uint16_t port, std::string api_key = "",
             double timeout_seconds = 30.0);
+  /// Full connection config (reconnect-with-backoff, request budgets).
+  ApiClient(std::string host, std::uint16_t port, std::string api_key,
+            ClientConfig cfg);
 
   /// POST /v1/sample. Returns the job id. Throws ApiError on refusal
   /// (quota, auth, admission) — "overloaded"/"shed" map from the typed
@@ -124,15 +177,19 @@ class ApiClient {
   /// Raw GET /v1/stats document.
   std::string stats_json();
 
-  /// GET /healthz round-trip succeeded.
-  bool healthy();
+  /// GET /healthz round-trip succeeded. `timeout_seconds` > 0 bounds just
+  /// this probe (fleet readiness polls fast without shrinking the budget
+  /// configured for real requests).
+  bool healthy(double timeout_seconds = 0.0);
 
   [[nodiscard]] HttpClient& http() noexcept { return http_; }
 
  private:
   /// Issue + decode: non-2xx throws ApiError (parsing the error body).
+  /// `timeout_seconds` > 0 overrides the client budget for this call.
   HttpResponse call(const std::string& method, const std::string& target,
-                    const std::string& body = "");
+                    const std::string& body = "",
+                    double timeout_seconds = 0.0);
 
   HttpClient http_;
   std::string api_key_;

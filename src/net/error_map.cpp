@@ -1,0 +1,43 @@
+#include "net/error_map.hpp"
+
+namespace surro::net {
+
+const std::array<ServiceErrorMapping, 4>& service_error_table() noexcept {
+  // Admission refusals answer 503 + Retry-After (the client should try
+  // again); deadline maps to 504 and cancellation to 409 should they ever
+  // surface synchronously.
+  static const std::array<ServiceErrorMapping, 4> kTable = {{
+      {serve::ServiceError::Code::kOverloaded, "overloaded", 503},
+      {serve::ServiceError::Code::kShed, "shed", 503},
+      {serve::ServiceError::Code::kDeadline, "deadline", 504},
+      {serve::ServiceError::Code::kCancelled, "cancelled", 409},
+  }};
+  return kTable;
+}
+
+const char* service_error_code(serve::ServiceError::Code code) noexcept {
+  for (const auto& entry : service_error_table()) {
+    if (entry.code == code) return entry.wire;
+  }
+  return "service_error";  // unreachable: the table covers the enum
+}
+
+int service_error_status(serve::ServiceError::Code code) noexcept {
+  for (const auto& entry : service_error_table()) {
+    if (entry.code == code) return entry.http_status;
+  }
+  return 500;  // unreachable: the table covers the enum
+}
+
+bool parse_service_error_code(std::string_view wire,
+                              serve::ServiceError::Code& out) noexcept {
+  for (const auto& entry : service_error_table()) {
+    if (wire == entry.wire) {
+      out = entry.code;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace surro::net

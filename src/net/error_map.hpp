@@ -1,0 +1,47 @@
+#pragma once
+// The one table mapping typed serve::ServiceError codes to their wire
+// image: structured error-body name + the HTTP status the REST layer
+// answers when the error surfaces at submit time. Both directions of the
+// protocol use this table — the server (net/rest) renders errors through
+// the forward map, and every client-side consumer (ApiClient users,
+// serve::RemoteShard, the soak harness's socket clients) rebuilds the
+// typed error through the reverse map. Before this header the mapping
+// lived twice (a switch in rest.cpp, string compares in soak.cpp) and
+// could drift; now a round-trip test in tests/test_remote.cpp pins every
+// code.
+
+#include <array>
+#include <string_view>
+
+#include "serve/sample_service.hpp"
+
+namespace surro::net {
+
+struct ServiceErrorMapping {
+  serve::ServiceError::Code code;
+  const char* wire;  ///< {"error":{"code": ...}} name, and job error_code
+  int http_status;   ///< status when it surfaces at submit (503 = retryable)
+};
+
+/// Every ServiceError code, in enum order. kDeadline/kCancelled never
+/// surface at submit time (they ride in a failed job document under HTTP
+/// 200), so their status column records the nominal mapping should they
+/// ever gain a synchronous path.
+[[nodiscard]] const std::array<ServiceErrorMapping, 4>&
+service_error_table() noexcept;
+
+/// Forward map: typed code -> wire name ("overloaded" | "shed" |
+/// "deadline" | "cancelled").
+[[nodiscard]] const char* service_error_code(
+    serve::ServiceError::Code code) noexcept;
+
+/// Forward map: typed code -> HTTP status for a submit-time refusal.
+[[nodiscard]] int service_error_status(
+    serve::ServiceError::Code code) noexcept;
+
+/// Reverse map: wire name -> typed code. False when `wire` is not a
+/// ServiceError image (auth/quota/validation codes, "execution", ...).
+[[nodiscard]] bool parse_service_error_code(
+    std::string_view wire, serve::ServiceError::Code& out) noexcept;
+
+}  // namespace surro::net

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "linalg/simd.hpp"
+#include "net/error_map.hpp"
 #include "util/json.hpp"
 #include "util/json_parse.hpp"
 
@@ -68,16 +69,6 @@ const char* column_kind_name(tabular::ColumnKind kind) noexcept {
 }
 
 }  // namespace
-
-const char* service_error_code(serve::ServiceError::Code code) noexcept {
-  switch (code) {
-    case serve::ServiceError::Code::kOverloaded: return "overloaded";
-    case serve::ServiceError::Code::kShed: return "shed";
-    case serve::ServiceError::Code::kDeadline: return "deadline";
-    case serve::ServiceError::Code::kCancelled: return "cancelled";
-  }
-  return "service_error";
-}
 
 RestApi::RestApi(serve::SampleBackend& service, RestConfig cfg)
     : service_(service),
@@ -303,7 +294,8 @@ HttpResponse RestApi::handle_submit(const HttpRequest& request) {
     submitted = service_.submit_job(job);
   } catch (const serve::ServiceError& e) {
     // 1:1 mapping of the typed admission errors; both are retryable.
-    return make_error(503, service_error_code(e.code()), e.what(), 1.0);
+    return make_error(service_error_status(e.code()), service_error_code(e.code()),
+                      e.what(), 1.0);
   } catch (const std::logic_error& e) {
     return make_error(503, "shutting_down", e.what(), 1.0);
   }

@@ -63,11 +63,6 @@ struct RestConfig {
   double max_wait_ms = 30'000.0;
 };
 
-/// Wire name of a typed ServiceError code ("overloaded" | "shed" |
-/// "deadline" | "cancelled") — the 1:1 error-body mapping.
-[[nodiscard]] const char* service_error_code(
-    serve::ServiceError::Code code) noexcept;
-
 class RestApi {
  public:
   /// The backend (and whatever hosts it wraps) must outlive the API.

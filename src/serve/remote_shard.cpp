@@ -1,0 +1,280 @@
+#include "serve/remote_shard.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "net/error_map.hpp"
+#include "util/json_parse.hpp"
+
+namespace surro::serve {
+
+RemoteShardConfig parse_remote_endpoint(const std::string& spec) {
+  RemoteShardConfig cfg;
+  const std::size_t colon = spec.rfind(':');
+  const std::string port_text =
+      colon == std::string::npos ? spec : spec.substr(colon + 1);
+  if (colon != std::string::npos && colon > 0) cfg.host = spec.substr(0, colon);
+  unsigned port = 0;
+  const auto res = std::from_chars(port_text.data(),
+                                   port_text.data() + port_text.size(), port);
+  if (res.ec != std::errc{} || res.ptr != port_text.data() + port_text.size() ||
+      port == 0 || port > 65535) {
+    throw std::invalid_argument("bad remote shard endpoint '" + spec +
+                                "' (want host:port)");
+  }
+  cfg.port = static_cast<std::uint16_t>(port);
+  return cfg;
+}
+
+RemoteShard::RemoteShard(RemoteShardConfig cfg)
+    : cfg_(std::move(cfg)), control_(cfg_.host, cfg_.port, cfg_.api_key,
+                                     cfg_.http) {
+  const std::size_t n = std::max<std::size_t>(cfg_.harvest_threads, 1);
+  harvesters_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    harvesters_.emplace_back([this] { harvest_loop(); });
+  }
+}
+
+RemoteShard::~RemoteShard() {
+  {
+    const std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& t : harvesters_) t.join();
+  // Tasks the harvesters never picked up: fail their futures so no caller
+  // blocks forever on a destroyed shard.
+  for (auto& task : tasks_) {
+    task.promise->set_exception(std::make_exception_ptr(
+        std::logic_error("remote shard shutting down")));
+  }
+}
+
+Submitted RemoteShard::submit_job(SampleJob job) {
+  std::uint64_t id = 0;
+  try {
+    const std::lock_guard lock(control_mutex_);
+    id = control_.submit(job.model_key, job.rows, job.seed, job.chunk_rows,
+                         job.priority, job.deadline_ms);
+  } catch (const net::ApiError& e) {
+    // Rebuild the typed in-process error surface from the wire code.
+    ServiceError::Code code;
+    if (net::parse_service_error_code(e.code(), code)) {
+      throw ServiceError(code, e.what());
+    }
+    if (e.code() == "shutting_down") throw std::logic_error(e.what());
+    if (e.code() == "unknown_model") {
+      // A local submit surfaces an unknown key on the future, not at
+      // submit time; mirror that so pool routing semantics match.
+      auto promise = std::make_shared<std::promise<SampleResult>>();
+      promise->set_exception(std::make_exception_ptr(
+          std::invalid_argument(std::string(e.what()))));
+      Submitted out;
+      out.job_id = 0;
+      out.future = promise->get_future();
+      return out;
+    }
+    throw;
+  }
+  // Progress callbacks cannot cross the wire; the job still runs, the
+  // callback is just never invoked.
+
+  auto promise = std::make_shared<std::promise<SampleResult>>();
+  Submitted out;
+  out.job_id = id;
+  out.future = promise->get_future();
+  {
+    const std::lock_guard lock(mutex_);
+    tasks_.push_back(HarvestTask{id, std::move(promise)});
+    ++pending_;
+  }
+  task_ready_.notify_one();
+  return out;
+}
+
+void RemoteShard::finish_one() {
+  const std::lock_guard lock(mutex_);
+  --pending_;
+  idle_.notify_all();
+}
+
+void RemoteShard::harvest_loop() {
+  // Each harvester owns its connection: page downloads from different jobs
+  // proceed concurrently without serializing on the control client.
+  net::ApiClient api(cfg_.host, cfg_.port, cfg_.api_key, cfg_.http);
+  for (;;) {
+    HarvestTask task;
+    {
+      std::unique_lock lock(mutex_);
+      task_ready_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and nothing left to do
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    try {
+      net::RemoteResult r =
+          api.wait_result(task.job_id, cfg_.page_rows, cfg_.poll_wait_ms);
+      SampleResult result;
+      result.table = std::move(r.table);
+      result.model_key = std::move(r.model_key);
+      result.queue_seconds = r.queue_seconds;
+      result.sample_seconds = r.sample_seconds;
+      result.total_seconds = r.total_seconds;
+      result.cache_hit = r.cache_hit;
+      task.promise->set_value(std::move(result));
+    } catch (const net::ApiError& e) {
+      ServiceError::Code code;
+      if (net::parse_service_error_code(e.code(), code)) {
+        task.promise->set_exception(
+            std::make_exception_ptr(ServiceError(code, e.what())));
+      } else {
+        task.promise->set_exception(std::current_exception());
+      }
+    } catch (...) {
+      // TransportError and anything else: surface verbatim.
+      task.promise->set_exception(std::current_exception());
+    }
+    finish_one();
+  }
+}
+
+bool RemoteShard::cancel(std::uint64_t job_id) {
+  try {
+    const std::lock_guard lock(control_mutex_);
+    return control_.cancel(job_id);
+  } catch (const std::exception&) {
+    // Unknown job (404), already resolved, or an unreachable worker: the
+    // in-process contract answers false for "nothing left to cancel".
+    return false;
+  }
+}
+
+void RemoteShard::drain() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::size_t RemoteShard::queue_depth() const {
+  const std::lock_guard lock(mutex_);
+  return pending_;
+}
+
+const ServiceConfig& RemoteShard::config() const noexcept {
+  return service_cfg_;
+}
+
+ServiceStats RemoteShard::stats() const {
+  ServiceStats out;
+  std::string body;
+  try {
+    const std::lock_guard lock(control_mutex_);
+    body = control_.stats_json();
+  } catch (const std::exception&) {
+    const std::lock_guard lock(mutex_);
+    out.queue_depth = pending_;
+    return out;
+  }
+  try {
+    const auto doc = util::parse_json(body);
+    const auto& svc = doc.at("service");
+    const auto u64 = [&](const char* key) {
+      return static_cast<std::uint64_t>(svc.number_or(key, 0.0));
+    };
+    out.submitted = u64("submitted");
+    out.completed = u64("completed");
+    out.failed = u64("failed");
+    out.queue_depth = static_cast<std::size_t>(svc.number_or("queue_depth", 0));
+    out.queued_rows = static_cast<std::size_t>(svc.number_or("queued_rows", 0));
+    out.batches = u64("batches");
+    out.mean_batch_jobs = svc.number_or("mean_batch_jobs", 0.0);
+    out.uptime_seconds = doc.number_or("uptime_seconds", 0.0);
+    out.qps = svc.number_or("qps", 0.0);
+    out.rows_per_sec = svc.number_or("rows_per_sec", 0.0);
+    out.rejected = u64("rejected");
+    out.shed = u64("shed");
+    out.cancelled = u64("cancelled");
+    out.deadline_missed = u64("deadline_missed");
+    out.blocked = u64("blocked");
+    const auto pct = [&](const char* key) {
+      const auto& v = svc.at(key);
+      return v.is_null() ? std::numeric_limits<double>::infinity()
+                         : v.as_number();
+    };
+    if (svc.has("p50_latency_ms")) out.p50_latency_ms = pct("p50_latency_ms");
+    if (svc.has("p95_latency_ms")) out.p95_latency_ms = pct("p95_latency_ms");
+    if (svc.has("p99_latency_ms")) out.p99_latency_ms = pct("p99_latency_ms");
+    if (doc.has("cache")) {
+      const auto& cache = doc.at("cache");
+      const auto cu64 = [&](const char* key) {
+        return static_cast<std::uint64_t>(cache.number_or(key, 0.0));
+      };
+      out.host.registered = static_cast<std::size_t>(cu64("registered"));
+      out.host.resident = static_cast<std::size_t>(cu64("resident"));
+      out.host.pinned = static_cast<std::size_t>(cu64("pinned"));
+      out.host.capacity = static_cast<std::size_t>(cu64("capacity"));
+      out.host.hits = cu64("hits");
+      out.host.misses = cu64("misses");
+      out.host.loads = cu64("loads");
+      out.host.load_failures = cu64("load_failures");
+      out.host.evictions = cu64("evictions");
+      out.host.stale_reloads = cu64("stale_reloads");
+      out.host.invalidations = cu64("invalidations");
+    }
+  } catch (const std::exception&) {
+    // A stats document this client cannot decode degrades to zeros; the
+    // data plane (submit/harvest) is where correctness is enforced.
+  }
+  return out;
+}
+
+std::vector<std::string> RemoteShard::model_keys() const {
+  try {
+    const std::lock_guard lock(control_mutex_);
+    auto keys = control_.models();
+    model_keys_cache_ = keys;
+    return keys;
+  } catch (const std::exception&) {
+    const std::lock_guard lock(mutex_);
+    return model_keys_cache_.value_or(std::vector<std::string>{});
+  }
+}
+
+bool RemoteShard::has_model(const std::string& key) const {
+  const auto keys = model_keys();
+  for (const auto& k : keys) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+bool RemoteShard::model_resident(const std::string& key) const {
+  std::string body;
+  try {
+    const std::lock_guard lock(control_mutex_);
+    body = control_.http().request("GET", "/v1/models", "",
+                                   cfg_.api_key.empty()
+                                       ? std::map<std::string, std::string>{}
+                                       : std::map<std::string, std::string>{
+                                             {"x-api-key", cfg_.api_key}})
+               .body;
+    const auto doc = util::parse_json(body);
+    for (const auto& model : doc.at("models").array) {
+      if (model.at("key").as_string() == key) {
+        return model.at("resident").as_bool();
+      }
+    }
+  } catch (const std::exception&) {
+  }
+  return false;
+}
+
+bool RemoteShard::healthy(double timeout_seconds) const {
+  const std::lock_guard lock(control_mutex_);
+  return control_.healthy(timeout_seconds);
+}
+
+}  // namespace surro::serve

@@ -1,0 +1,128 @@
+#pragma once
+// RemoteShard: a SampleBackend that lives in another OS process. It
+// proxies submit/cancel/stats/drain over the HTTP/1.1 REST wire protocol
+// (net::ApiClient): seeds travel as decimal strings, results come back
+// through the paginated GET /v1/jobs/{id} long-poll path and are
+// reassembled into the same tabular::Table bytes the in-process backend
+// would have produced — the determinism contract (bytes depend only on
+// model, rows, seed, chunk_rows) holds across the process boundary.
+//
+// Error surface, mapped back to the in-process contract through the shared
+// net::error_map table:
+//   * "overloaded"/"shed" at submit  -> ServiceError thrown synchronously
+//     (exactly what a local submit_job would throw), so ShardPool replica
+//     re-route works unchanged;
+//   * "shutting_down"                -> std::logic_error (like a local
+//     submit after shutdown);
+//   * job failure codes ("deadline", "cancelled", "shed") -> ServiceError
+//     set on the future;
+//   * transport failures (connect refused, timeout, hangup, bad bytes)
+//     -> net::TransportError, the signal ShardPool counts as a transport
+//     re-route, distinct from admission refusals.
+//
+// Results are harvested by a small pool of background threads (each with
+// its own connection), so submit_job returns immediately with a future —
+// the same shape SampleService gives out.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "serve/sample_service.hpp"
+
+namespace surro::serve {
+
+struct RemoteShardConfig {
+  std::string host = "127.0.0.1";  ///< IPv4 literal (see net::HttpClient)
+  std::uint16_t port = 0;
+  std::string api_key;  ///< empty = anonymous (open-access worker)
+  /// Connection behavior for every request this shard issues. The default
+  /// retries a refused connect twice with backoff, so a worker mid-restart
+  /// gets a grace window before the pool re-routes around it.
+  net::ClientConfig http{30.0, 3, 50.0, 1000.0};
+  /// Page size for result reassembly (0 = the worker's configured default).
+  std::size_t page_rows = 0;
+  /// Long-poll budget per GET while the job is still pending.
+  double poll_wait_ms = 1000.0;
+  /// Background result-harvest threads (concurrent in-flight downloads).
+  std::size_t harvest_threads = 2;
+};
+
+/// Parse "host:port" (port required, host defaults to 127.0.0.1 when the
+/// spec is just ":port" or a bare port). Throws std::invalid_argument.
+[[nodiscard]] RemoteShardConfig parse_remote_endpoint(const std::string& spec);
+
+class RemoteShard : public SampleBackend {
+ public:
+  explicit RemoteShard(RemoteShardConfig cfg);
+  /// Joins the harvesters. Jobs still queued for harvest fail their
+  /// futures with std::logic_error ("shutting down").
+  ~RemoteShard() override;
+
+  RemoteShard(const RemoteShard&) = delete;
+  RemoteShard& operator=(const RemoteShard&) = delete;
+
+  [[nodiscard]] Submitted submit_job(SampleJob job) override;
+  bool cancel(std::uint64_t job_id) override;
+  /// Waits for every job submitted *through this proxy* to resolve.
+  void drain() override;
+
+  /// The worker's own counters, parsed from its GET /v1/stats document
+  /// (service + cache sections). A worker that cannot be reached answers
+  /// zeroed stats rather than throwing — pool-level aggregation must not
+  /// die because one worker is mid-restart.
+  [[nodiscard]] ServiceStats stats() const override;
+  /// Jobs submitted through this proxy and not yet resolved — a local
+  /// count, deliberately not a network round-trip: the pool's
+  /// least-depth replica ordering polls this on every submit.
+  [[nodiscard]] std::size_t queue_depth() const override;
+  /// A local default config (the worker applies its own chunk_rows to
+  /// jobs that leave chunk_rows at 0; explicit values pass through).
+  [[nodiscard]] const ServiceConfig& config() const noexcept override;
+
+  [[nodiscard]] std::vector<std::string> model_keys() const override;
+  [[nodiscard]] bool has_model(const std::string& key) const override;
+  [[nodiscard]] bool model_resident(const std::string& key) const override;
+
+  [[nodiscard]] const RemoteShardConfig& remote_config() const noexcept {
+    return cfg_;
+  }
+  /// GET /healthz with a short budget; the fleet readiness poll.
+  [[nodiscard]] bool healthy(double timeout_seconds = 1.0) const;
+
+ private:
+  struct HarvestTask {
+    std::uint64_t job_id = 0;
+    std::shared_ptr<std::promise<SampleResult>> promise;
+  };
+
+  void harvest_loop();
+  void finish_one();
+
+  RemoteShardConfig cfg_;
+  ServiceConfig service_cfg_;
+
+  /// Control-plane client (submit, cancel, models, stats) — serialized;
+  /// harvesters own per-thread clients for the data plane.
+  mutable std::mutex control_mutex_;
+  mutable net::ApiClient control_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::deque<HarvestTask> tasks_;
+  std::size_t pending_ = 0;  // submitted through this proxy, not resolved
+  bool stop_ = false;
+  mutable std::optional<std::vector<std::string>> model_keys_cache_;
+  std::vector<std::thread> harvesters_;
+};
+
+}  // namespace surro::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "net/client.hpp"
 #include "serve/latency_window.hpp"
 #include "util/json.hpp"
 
@@ -24,23 +25,51 @@ std::uint64_t encode_job_id(std::size_t shard, std::uint64_t local) {
 }  // namespace
 
 ShardPool::ShardPool(ShardPoolConfig cfg)
-    : cfg_(cfg),
-      router_(RouterConfig{cfg.shards, cfg.replication, cfg.virtual_nodes}) {
-  if (cfg_.shards == 0) {
-    throw std::invalid_argument("shard pool: shards must be positive");
+    : cfg_(std::move(cfg)),
+      router_(RouterConfig{cfg_.shards + cfg_.remotes.size(),
+                           cfg_.replication, cfg_.virtual_nodes}) {
+  const std::size_t total = cfg_.shards + cfg_.remotes.size();
+  if (total == 0) {
+    throw std::invalid_argument("shard pool: needs at least one shard "
+                                "(local or remote)");
   }
-  cfg_.replication = router_.config().replication;  // clamped
-  shards_.reserve(cfg_.shards);
+  cfg_.replication = router_.config().replication;  // clamped to `total`
+  shards_.reserve(total);
   for (std::size_t s = 0; s < cfg_.shards; ++s) {
     Shard shard;
     shard.host = std::make_unique<ModelHost>(cfg_.host);
     shard.service =
         std::make_unique<SampleService>(*shard.host, cfg_.service);
+    shard.backend = shard.service.get();
+    shards_.push_back(std::move(shard));
+  }
+  for (const auto& endpoint : cfg_.remotes) {
+    Shard shard;
+    shard.remote = std::make_unique<RemoteShard>(endpoint);
+    shard.backend = shard.remote.get();
     shards_.push_back(std::move(shard));
   }
 }
 
 ShardPool::~ShardPool() = default;
+
+SampleService& ShardPool::service(std::size_t shard) {
+  auto& owned = shards_.at(shard).service;
+  if (owned == nullptr) {
+    throw std::logic_error("shard pool: shard " + std::to_string(shard) +
+                           " is remote (no in-process service)");
+  }
+  return *owned;
+}
+
+ModelHost& ShardPool::host(std::size_t shard) {
+  auto& owned = shards_.at(shard).host;
+  if (owned == nullptr) {
+    throw std::logic_error("shard pool: shard " + std::to_string(shard) +
+                           " is remote (no in-process host)");
+  }
+  return *owned;
+}
 
 std::vector<std::size_t> ShardPool::owners_of(const std::string& key) const {
   {
@@ -57,7 +86,17 @@ void ShardPool::register_archive(const std::string& key,
                                  const std::string& path, double ttl_ms) {
   const auto owners = router_.owners(key);
   for (const std::size_t s : owners) {
-    shards_[s].host->register_archive(key, path, ttl_ms);
+    if (shards_[s].service != nullptr) {
+      shards_[s].host->register_archive(key, path, ttl_ms);
+    } else if (!shards_[s].backend->has_model(key)) {
+      // Workers load their own archives from their own --models flags;
+      // registration here only *verifies* the placement is serveable.
+      throw std::runtime_error(
+          "shard pool: remote shard " + std::to_string(s) + " (" +
+          shards_[s].remote->remote_config().host + ":" +
+          std::to_string(shards_[s].remote->remote_config().port) +
+          ") does not serve model '" + key + "'");
+    }
   }
   const std::lock_guard lock(mutex_);
   placement_.emplace(key, owners);
@@ -71,6 +110,15 @@ void ShardPool::register_fitted(
                                 "model");
   }
   const auto owners = router_.owners(key);
+  for (const std::size_t s : owners) {
+    if (shards_[s].service == nullptr) {
+      throw std::invalid_argument(
+          "shard pool: model '" + key + "' routes to remote shard " +
+          std::to_string(s) +
+          " — an in-memory instance cannot cross a process boundary; "
+          "save it and use register_archive");
+    }
+  }
   for (std::size_t i = 1; i < owners.size(); ++i) {
     // Clones first: if one throws, no shard has been mutated yet.
     shards_[owners[i]].host->register_fitted(
@@ -82,9 +130,13 @@ void ShardPool::register_fitted(
 }
 
 std::size_t ShardPool::invalidate(const std::string& key) {
+  // Cache invalidation is a local concern: remote workers run their own
+  // TTL/invalidations against their own archives.
   std::size_t dropped = 0;
   for (const std::size_t s : owners_of(key)) {
-    if (shards_[s].host->invalidate(key)) ++dropped;
+    if (shards_[s].host != nullptr && shards_[s].host->invalidate(key)) {
+      ++dropped;
+    }
   }
   return dropped;
 }
@@ -97,7 +149,7 @@ Submitted ShardPool::submit_job(SampleJob job) {
   std::vector<std::pair<std::size_t, std::size_t>> order;  // (depth, shard)
   order.reserve(owners.size());
   for (const std::size_t s : owners) {
-    order.emplace_back(shards_[s].service->queue_depth(), s);
+    order.emplace_back(shards_[s].backend->queue_depth(), s);
   }
   std::stable_sort(order.begin(), order.end(),
                    [](const auto& a, const auto& b) {
@@ -105,13 +157,16 @@ Submitted ShardPool::submit_job(SampleJob job) {
                    });
 
   std::exception_ptr refusal;
+  bool admission_refused = false;
+  bool transport_failed = false;
   for (const auto& [depth, s] : order) {
     try {
-      Submitted local = shards_[s].service->submit_job(job);
+      Submitted local = shards_[s].backend->submit_job(job);
       {
         const std::lock_guard lock(mutex_);
         ++routed_;
-        if (refusal != nullptr) ++rerouted_;
+        if (admission_refused) ++rerouted_;
+        if (transport_failed) ++rerouted_transport_;
       }
       local.job_id = encode_job_id(s, local.job_id);
       return local;
@@ -120,10 +175,16 @@ Submitted ShardPool::submit_job(SampleJob job) {
           e.code() != ServiceError::Code::kShed) {
         throw;
       }
+      admission_refused = true;
       refusal = std::current_exception();  // try the next replica
+    } catch (const net::TransportError&) {
+      // The replica's worker is gone or unreachable — same re-route, its
+      // own tally (a dead worker is not an overloaded one).
+      transport_failed = true;
+      refusal = std::current_exception();
     }
   }
-  std::rethrow_exception(refusal);  // every replica refused
+  std::rethrow_exception(refusal);  // every replica refused or failed
 }
 
 std::pair<std::size_t, std::uint64_t> ShardPool::decode_job_id(
@@ -138,16 +199,16 @@ std::pair<std::size_t, std::uint64_t> ShardPool::decode_job_id(
 bool ShardPool::cancel(std::uint64_t job_id) {
   const auto [shard, local] = decode_job_id(job_id);
   if (shard >= shards_.size()) return false;
-  return shards_[shard].service->cancel(local);
+  return shards_[shard].backend->cancel(local);
 }
 
 void ShardPool::drain() {
-  for (auto& shard : shards_) shard.service->drain();
+  for (auto& shard : shards_) shard.backend->drain();
 }
 
 std::size_t ShardPool::queue_depth() const {
   std::size_t depth = 0;
-  for (const auto& shard : shards_) depth += shard.service->queue_depth();
+  for (const auto& shard : shards_) depth += shard.backend->queue_depth();
   return depth;
 }
 
@@ -155,7 +216,7 @@ std::vector<std::size_t> ShardPool::shard_depths() const {
   std::vector<std::size_t> out;
   out.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    out.push_back(shard.service->queue_depth());
+    out.push_back(shard.backend->queue_depth());
   }
   return out;
 }
@@ -182,7 +243,10 @@ bool ShardPool::model_resident(const std::string& key) const {
     owners = it->second;
   }
   for (const std::size_t s : owners) {
-    if (shards_[s].host->resident(key)) return true;
+    if (shards_[s].host != nullptr ? shards_[s].host->resident(key)
+                                   : shards_[s].backend->model_resident(key)) {
+      return true;
+    }
   }
   return false;
 }
@@ -198,7 +262,7 @@ ServiceStats ShardPool::stats() const {
   double rows_weighted = 0.0;
   std::uint64_t batched_jobs = 0;
   for (const auto& shard : shards_) {
-    const ServiceStats s = shard.service->stats();
+    const ServiceStats s = shard.backend->stats();
     agg.submitted += s.submitted;
     agg.completed += s.completed;
     agg.failed += s.failed;
@@ -225,8 +289,14 @@ ServiceStats ShardPool::stats() const {
     agg.host.evictions += s.host.evictions;
     agg.host.stale_reloads += s.host.stale_reloads;
     agg.host.invalidations += s.host.invalidations;
-    const auto shard_window = shard.service->latency_snapshot();
-    window.insert(window.end(), shard_window.begin(), shard_window.end());
+    if (shard.service != nullptr) {
+      // Percentiles merge raw latency windows; a remote shard only ships
+      // its percentiles (windows do not cross the wire), so the merged
+      // numbers cover the local shards. Per-shard stats keep the remote
+      // percentiles individually.
+      const auto shard_window = shard.service->latency_snapshot();
+      window.insert(window.end(), shard_window.begin(), shard_window.end());
+    }
   }
   agg.mean_batch_jobs = agg.batches == 0
                             ? 0.0
@@ -249,12 +319,13 @@ ShardStats ShardPool::shard_stats() const {
   ShardStats out;
   out.per_shard.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    out.per_shard.push_back(shard.service->stats());
+    out.per_shard.push_back(shard.backend->stats());
   }
   out.aggregate = stats();
   const std::lock_guard lock(mutex_);
   out.routed = routed_;
   out.rerouted = rerouted_;
+  out.rerouted_transport = rerouted_transport_;
   out.placement.assign(placement_.begin(), placement_.end());
   return out;
 }
@@ -263,15 +334,19 @@ void ShardPool::append_stats_json(util::JsonWriter& w) const {
   const ShardStats ss = shard_stats();
   w.key("shards").begin_object();
   w.kv("count", shards_.size());
+  w.kv("local", cfg_.shards);
+  w.kv("remote", cfg_.remotes.size());
   w.kv("replication", cfg_.replication);
   w.kv("virtual_nodes", router_.config().virtual_nodes);
   w.kv("routed", ss.routed);
   w.kv("rerouted", ss.rerouted);
+  w.kv("rerouted_transport", ss.rerouted_transport);
   w.key("per_shard").begin_array();
   for (std::size_t s = 0; s < ss.per_shard.size(); ++s) {
     const ServiceStats& st = ss.per_shard[s];
     w.begin_object();
     w.kv("shard", s);
+    w.kv("remote", shards_[s].service == nullptr);
     w.kv("queue_depth", st.queue_depth);
     w.kv("submitted", st.submitted);
     w.kv("completed", st.completed);

@@ -1,8 +1,11 @@
 #pragma once
-// ShardPool: N in-process worker shards — each its own ModelHost LRU and
-// SampleService (independent capacity and admission config) — behind one
-// SampleBackend face. A consistent-hash ShardRouter partitions the model
-// keyspace; replication factor R places every key on R distinct shards.
+// ShardPool: N worker shards behind one SampleBackend face. A shard is
+// either *local* — its own ModelHost LRU + SampleService in this process —
+// or *remote* — a serve::RemoteShard proxying to a worker process over the
+// HTTP wire protocol. The two mix freely in one pool: a consistent-hash
+// ShardRouter partitions the model keyspace over all of them; replication
+// factor R places every key on R distinct shards regardless of where each
+// shard lives.
 //
 // Submission policy (the "lease"):
 //   1. Route to the key's owner shards, least current queue depth first
@@ -10,13 +13,20 @@
 //   2. If the chosen shard's admission gate refuses (kOverloaded / kShed),
 //      re-route to the next replica; only when *every* replica refuses does
 //      the caller see the error. Counted in ShardStats::rerouted.
+//   3. If the chosen shard's *transport* fails (net::TransportError —
+//      worker dead, connect refused, request timed out), re-route the same
+//      way but count it separately in ShardStats::rerouted_transport: an
+//      admission refusal is the service protecting itself, a transport
+//      failure is a worker being gone.
 //
 // Determinism: placement never changes bytes. A job's output depends only
 // on (model, rows, seed, chunk_rows) — every replica loads the same
 // archive (or a clone of the same fitted instance) and SampleService
-// preserves the contract per shard, so any (shards, replicas, placement)
-// configuration returns bitwise-identical tables. tests/test_shard.cpp
-// machine-checks this across shards=1/2/4 × replicas=1/2.
+// preserves the contract per shard — in-process or across a process
+// boundary, because the wire protocol round-trips tables bit-exactly.
+// tests/test_shard.cpp machine-checks in-process placements;
+// tests/test_remote.cpp extends the sweep to mixed local/remote pools and
+// worker-kill re-routes.
 
 #include <cstdint>
 #include <map>
@@ -26,20 +36,27 @@
 #include <utility>
 #include <vector>
 
+#include "serve/remote_shard.hpp"
 #include "serve/sample_service.hpp"
 #include "serve/shard_router.hpp"
 
 namespace surro::serve {
 
 struct ShardPoolConfig {
+  /// Local (in-process) shards. May be 0 when `remotes` is non-empty.
   std::size_t shards = 1;
-  /// Distinct shards hosting each key (clamped to `shards`).
+  /// Distinct shards hosting each key (clamped to the total shard count).
   std::size_t replication = 1;
   std::size_t virtual_nodes = 64;  ///< ring points per shard (ShardRouter)
-  /// Per-shard host and service configuration (every shard gets the same
-  /// knobs; capacity and admission bounds are therefore *per shard*).
+  /// Per-shard host and service configuration (every local shard gets the
+  /// same knobs; capacity and admission bounds are therefore *per shard*).
   HostConfig host;
   ServiceConfig service;
+  /// Remote worker shards, appended after the local ones: shard indices
+  /// [shards, shards + remotes.size()) proxy to these endpoints. The
+  /// router spans local + remote uniformly, so a key's replicas can mix
+  /// placements (that mix is what tests/test_remote.cpp sweeps).
+  std::vector<RemoteShardConfig> remotes;
 };
 
 /// The routing-layer picture: per-shard service stats plus pool tallies.
@@ -48,6 +65,10 @@ struct ShardStats {
   std::vector<ServiceStats> per_shard;  ///< index = shard
   std::uint64_t routed = 0;    ///< submits that landed on a shard
   std::uint64_t rerouted = 0;  ///< submits re-placed after a replica refused
+  /// Submits re-placed after a replica's *transport* failed (worker dead /
+  /// unreachable / timed out) — counted separately from admission
+  /// refusals. A submit that saw both kinds before landing counts in both.
+  std::uint64_t rerouted_transport = 0;
   /// Routing table: model key -> owner shards (primary first).
   std::vector<std::pair<std::string, std::vector<std::size_t>>> placement;
 };
@@ -60,13 +81,18 @@ class ShardPool : public SampleBackend {
   ShardPool(const ShardPool&) = delete;
   ShardPool& operator=(const ShardPool&) = delete;
 
-  /// Register `key` on its R owner shards, archive-backed. `ttl_ms` < 0
+  /// Register `key` on its R owner shards, archive-backed. Local owners
+  /// register the path; remote owners are *verified* to already serve the
+  /// key (workers load their own archives — paths do not cross the wire)
+  /// and a remote owner missing it throws std::runtime_error. `ttl_ms` < 0
   /// inherits the per-shard HostConfig::ttl_ms default.
   void register_archive(const std::string& key, const std::string& path,
                         double ttl_ms = -1.0);
   /// Register a fitted in-memory model. The first owner shard takes the
   /// given instance; further replicas take clone()s, so shards never share
-  /// one sampler (clones sample bitwise-identically by contract).
+  /// one sampler (clones sample bitwise-identically by contract). An
+  /// in-memory instance cannot cross a process boundary: when any owner is
+  /// remote this throws std::invalid_argument (use register_archive).
   void register_fitted(const std::string& key,
                        std::shared_ptr<models::TabularGenerator> model,
                        bool pin = true);
@@ -90,12 +116,22 @@ class ShardPool : public SampleBackend {
 
   // Shard-level introspection (tests, the soak monitor, the CLI banner).
   [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
-  [[nodiscard]] SampleService& service(std::size_t shard) {
-    return *shards_.at(shard).service;
+  /// Local shards occupy indices [0, local_shards()); remote proxies the
+  /// rest.
+  [[nodiscard]] std::size_t local_shards() const noexcept {
+    return cfg_.shards;
   }
-  [[nodiscard]] ModelHost& host(std::size_t shard) {
-    return *shards_.at(shard).host;
+  [[nodiscard]] bool shard_is_local(std::size_t shard) const {
+    return shards_.at(shard).service != nullptr;
   }
+  /// The uniform submission face of any shard, local or remote.
+  [[nodiscard]] SampleBackend& backend(std::size_t shard) {
+    return *shards_.at(shard).backend;
+  }
+  /// Local-shard internals; throws std::logic_error for a remote shard
+  /// (its host and service live in another process).
+  [[nodiscard]] SampleService& service(std::size_t shard);
+  [[nodiscard]] ModelHost& host(std::size_t shard);
   [[nodiscard]] const ShardRouter& router() const noexcept { return router_; }
   /// Per-shard queue depths in one cheap sweep (soak depth monitor).
   [[nodiscard]] std::vector<std::size_t> shard_depths() const;
@@ -108,8 +144,12 @@ class ShardPool : public SampleBackend {
 
  private:
   struct Shard {
-    std::unique_ptr<ModelHost> host;       // declared before service: the
-    std::unique_ptr<SampleService> service;  // service dies first
+    // Local shards own a host + service (host declared first: the service
+    // dies before it). Remote shards own a RemoteShard proxy instead.
+    std::unique_ptr<ModelHost> host;
+    std::unique_ptr<SampleService> service;
+    std::unique_ptr<RemoteShard> remote;
+    SampleBackend* backend = nullptr;  ///< the uniform face, never null
   };
 
   [[nodiscard]] std::vector<std::size_t> owners_of(
@@ -123,6 +163,7 @@ class ShardPool : public SampleBackend {
   std::map<std::string, std::vector<std::size_t>> placement_;
   std::uint64_t routed_ = 0;
   std::uint64_t rerouted_ = 0;
+  std::uint64_t rerouted_transport_ = 0;
 };
 
 }  // namespace surro::serve

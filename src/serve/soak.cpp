@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "net/client.hpp"
+#include "net/error_map.hpp"
 #include "net/rest.hpp"
 #include "serve/latency_window.hpp"
 #include "serve/shard_pool.hpp"
@@ -150,19 +151,25 @@ SoakResult run_soak(ModelHost& host, const SoakConfig& cfg) {
   std::unique_ptr<SampleService> single;
   std::unique_ptr<ShardPool> pool;
   SampleBackend* backend = nullptr;
-  if (cfg.shards > 1) {
+  if (cfg.shards > 1 || !cfg.remote_shards.empty()) {
     ShardPoolConfig pool_cfg;
     pool_cfg.shards = cfg.shards;
     pool_cfg.replication = std::max<std::size_t>(cfg.replicas, 1);
     pool_cfg.host.capacity = host.stats().capacity;
     pool_cfg.host.ttl_ms = cfg.shard_ttl_ms;
     pool_cfg.service = svc_cfg;
+    for (const auto& spec : cfg.remote_shards) {
+      pool_cfg.remotes.push_back(parse_remote_endpoint(spec));
+    }
     pool = std::make_unique<ShardPool>(pool_cfg);
     for (const auto& key : cfg.models) {
       const std::string path = host.archive_path(key);
       if (!path.empty()) {
         pool->register_archive(key, path);
       } else {
+        // A fitted in-memory model cannot cross a process boundary;
+        // register_fitted throws when any owner shard is remote, which is
+        // the right answer (the worker could never produce those bytes).
         pool->register_fitted(
             key, std::shared_ptr<models::TabularGenerator>(
                      host.acquire(key)->clone()));
@@ -170,8 +177,10 @@ SoakResult run_soak(ModelHost& host, const SoakConfig& cfg) {
     }
     backend = pool.get();
     if (cfg.verbose) {
-      std::printf("soak: sharded tier — %zu shards, replication %zu\n",
-                  cfg.shards, pool_cfg.replication);
+      std::printf(
+          "soak: sharded tier — %zu local + %zu remote shards, "
+          "replication %zu\n",
+          cfg.shards, cfg.remote_shards.size(), pool_cfg.replication);
     }
   } else {
     single = std::make_unique<SampleService>(host, svc_cfg);
@@ -350,10 +359,14 @@ SoakResult run_soak(ModelHost& host, const SoakConfig& cfg) {
                          job.priority, job.deadline_ms);
           in_flight.push_back({id, identity});
         } catch (const net::ApiError& e) {
-          // The structured codes are the typed ServiceError, 1:1.
-          if (e.code() == "shed") {
+          // The structured codes are the typed ServiceError, 1:1 via the
+          // shared wire table (src/net/error_map.hpp).
+          ServiceError::Code code;
+          if (!net::parse_service_error_code(e.code(), code)) {
+            ++tally.failed;
+          } else if (code == ServiceError::Code::kShed) {
             ++tally.shed;
-          } else if (e.code() == "overloaded") {
+          } else if (code == ServiceError::Code::kOverloaded) {
             ++tally.rejected;
           } else {
             ++tally.failed;
@@ -374,9 +387,12 @@ SoakResult run_soak(ModelHost& host, const SoakConfig& cfg) {
             tally.hashes_ok = false;
           }
         } catch (const net::ApiError& e) {
-          if (e.code() == "shed") {
+          ServiceError::Code code;
+          if (!net::parse_service_error_code(e.code(), code)) {
+            ++tally.failed;
+          } else if (code == ServiceError::Code::kShed) {
             ++tally.shed;
-          } else if (e.code() == "deadline") {
+          } else if (code == ServiceError::Code::kDeadline) {
             ++tally.deadline_missed;
           } else {
             ++tally.failed;
@@ -462,6 +478,7 @@ SoakResult run_soak(ModelHost& host, const SoakConfig& cfg) {
     result.shard_final_stats = ss.per_shard;
     result.routed = ss.routed;
     result.rerouted = ss.rerouted;
+    result.rerouted_transport = ss.rerouted_transport;
   }
   if (endpoint) {
     const net::ServerStats server = endpoint->server.stats();
@@ -500,11 +517,13 @@ std::string render_soak(const SoakResult& result) {
                 static_cast<unsigned long long>(result.expected_hash));
   out += line;
   if (!result.shard_final_stats.empty()) {
-    std::snprintf(line, sizeof(line),
-                  "shards: %zu (routed %llu, rerouted %llu)\n",
-                  result.shard_final_stats.size(),
-                  static_cast<unsigned long long>(result.routed),
-                  static_cast<unsigned long long>(result.rerouted));
+    std::snprintf(
+        line, sizeof(line),
+        "shards: %zu (routed %llu, rerouted %llu, transport reroutes %llu)\n",
+        result.shard_final_stats.size(),
+        static_cast<unsigned long long>(result.routed),
+        static_cast<unsigned long long>(result.rerouted),
+        static_cast<unsigned long long>(result.rerouted_transport));
     out += line;
   }
   return out;
@@ -540,8 +559,13 @@ std::string soak_to_json(const SoakConfig& cfg, const SoakResult& result) {
   w.kv("shards", cfg.shards);
   w.kv("replicas", cfg.replicas);
   w.kv("shard_ttl_ms", cfg.shard_ttl_ms);
+  w.key("remote_shards").begin_array();
+  for (const auto& spec : cfg.remote_shards) w.value(spec);
+  w.end_array();
   w.end_object();
   w.kv("transport", cfg.over_socket ? "socket" : "in-process");
+  w.kv("shard_transport",
+       cfg.remote_shards.empty() ? "in-process" : "multi-process");
   w.kv("capacity_jobs_per_sec", result.capacity_jobs_per_sec);
   w.kv("expected_hash", hash_hex);
   w.key("sweep").begin_array();
@@ -595,10 +619,13 @@ std::string soak_to_json(const SoakConfig& cfg, const SoakResult& result) {
   w.end_object();
   if (!result.shard_final_stats.empty()) {
     w.key("shards").begin_object();
-    w.kv("count", cfg.shards);
+    w.kv("count", result.shard_final_stats.size());
+    w.kv("local", cfg.shards);
+    w.kv("remote", cfg.remote_shards.size());
     w.kv("replicas", cfg.replicas);
     w.kv("routed", result.routed);
     w.kv("rerouted", result.rerouted);
+    w.kv("rerouted_transport", result.rerouted_transport);
     w.key("per_shard").begin_array();
     for (std::size_t i = 0; i < result.shard_final_stats.size(); ++i) {
       const ServiceStats& ss = result.shard_final_stats[i];

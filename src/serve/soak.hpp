@@ -77,10 +77,19 @@ struct SoakConfig {
   /// way — the expected_hash is placement-independent by contract, so a
   /// 1-shard and an 8-shard run of the same config must agree on it.
   std::size_t shards = 1;
-  /// Replication factor for the sharded tier (clamped to `shards`).
+  /// Replication factor for the sharded tier (clamped to the total shard
+  /// count, local + remote).
   std::size_t replicas = 1;
   /// Archive-cache TTL per shard (ModelHost staleness; 0 = never stale).
   double shard_ttl_ms = 0.0;
+  /// Remote worker endpoints ("host:port"), appended to the pool after the
+  /// `shards` local shards — the multi-process tier. Workers must already
+  /// serve every swept model (same --models flags); registration verifies
+  /// that. Calibration and the expected digests STILL come from the
+  /// caller's unsharded in-process host, so every remote sweep point is a
+  /// cross-process determinism check: bytes that crossed the wire must
+  /// land on the same expected_hash an in-process run computes.
+  std::vector<std::string> remote_shards;
 
   /// The queue-depth bound the sweep service actually enforces (resolves
   /// the 0 = clients default). Single source of truth for run_soak, the
@@ -141,6 +150,8 @@ struct SoakResult {
   std::vector<ServiceStats> shard_final_stats;
   std::uint64_t routed = 0;    ///< submits the router placed on a shard
   std::uint64_t rerouted = 0;  ///< submits re-placed after a replica refused
+  /// Submits re-placed after a replica's transport failed (dead worker).
+  std::uint64_t rerouted_transport = 0;
   double wall_seconds = 0.0;
   /// Socket-mode tallies (zero for in-process runs): the HTTP server's
   /// accepted connections and answered requests across the whole sweep.

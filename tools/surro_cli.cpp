@@ -84,11 +84,14 @@
 #include <string>
 #include <thread>
 
+#include <unistd.h>
+
 #include "core/surro.hpp"
 #include "eval/scenario.hpp"
 #include "linalg/simd.hpp"
 #include "net/client.hpp"
 #include "net/rest.hpp"
+#include "serve/worker_fleet.hpp"
 #include "stream/stream_eval.hpp"
 #include "twin/twin.hpp"
 #include "util/logging.hpp"
@@ -196,12 +199,16 @@ int usage() {
       "               --admission {block|reject|shed} --max-queue D\n"
       "               --max-queued-rows R --json-out FILE [--verbose]\n"
       "               [--shards N] [--replicas R] [--shard-ttl-ms MS]\n"
+      "               [--remote-shards HOST:PORT,...]\n"
       "               HTTP mode: --listen PORT (0 = ephemeral)\n"
       "               [--api-keys-file FILE] [--quota-rps R] "
       "[--quota-burst B]\n"
       "               [--max-body-bytes N] [--page-rows N] "
       "[--http-workers T]\n"
       "               [--serve-seconds S] [--self-probe]\n"
+      "               Worker mode: --worker [--port-file FILE]\n"
+      "               (single-shard HTTP leaf on an ephemeral port;\n"
+      "               SIGTERM drains in-flight jobs and exits 0)\n"
       "  request      --connect HOST:PORT --path /v1/... [--method M]\n"
       "               [--body JSON | --body-file FILE] [--key APIKEY]\n"
       "               [--expect-status CODE] [--max-time S]\n"
@@ -214,7 +221,14 @@ int usage() {
       "               --json-out FILE [--verbose] [--over-socket]\n"
       "               [--http-workers T] [--page-rows N] "
       "[--poll-wait-ms MS]\n"
-      "               [--shards N] [--replicas R] [--shard-ttl-ms MS]\n",
+      "               [--shards N] [--replicas R] [--shard-ttl-ms MS]\n"
+      "               [--remote-shards HOST:PORT,...]\n"
+      "  fleet        --workers N --models \"K1=FILE;...\" | "
+      "--models-dir DIR\n"
+      "               [--local-shards N] [--replicas R] [--rows N]\n"
+      "               [--seed S] [--chunk-rows C] [--cli PATH]\n"
+      "               (spawn N worker processes, probe mixed-pool\n"
+      "               determinism vs in-process, tear down gracefully)\n",
       keys.c_str(), keys.c_str(), keys.c_str());
   return 2;
 }
@@ -603,6 +617,26 @@ int cmd_serve_listen(const Args& args, serve::SampleBackend& service,
     endpoint.api.quotas().load_file(args.get("api-keys-file"));
   }
   endpoint.server.start();
+  // Worker discovery: --port-file publishes the bound (possibly ephemeral)
+  // port once the accept loop is live. Written before the banner so a
+  // supervisor polling the file never beats the server to its own port.
+  if (args.has("port-file")) {
+    const std::string path = args.get("port-file");
+    std::ofstream port_file(path, std::ios::binary | std::ios::trunc);
+    if (!port_file) {
+      endpoint.server.stop();
+      throw std::runtime_error("serve: cannot write --port-file " + path);
+    }
+    port_file << endpoint.server.port() << '\n';
+    port_file.flush();
+  }
+  if (args.flag("worker")) {
+    std::printf("serve: worker ready on %s:%u — %zu models, simd %s\n",
+                server_cfg.bind_address.c_str(),
+                static_cast<unsigned>(endpoint.server.port()),
+                host.keys().size(), linalg::simd::active_backend_name());
+    std::fflush(stdout);
+  }
   std::printf("serve: http on %s:%u — %zu models, %zu shard(s), %zu api "
               "keys%s, quota %.0f rps, %zu workers, simd %s\n",
               server_cfg.bind_address.c_str(),
@@ -655,8 +689,16 @@ int cmd_serve_listen(const Args& args, serve::SampleBackend& service,
     if (serve_seconds > 0.0 && up.seconds() >= serve_seconds) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  std::printf("serve: shutting down after %.1fs\n", up.seconds());
+  // Graceful shutdown: stop accepting new work first, then finish
+  // everything already admitted — a SIGTERM'd worker never strands an
+  // in-flight job, and exit 0 is the caller's proof of a clean drain
+  // (WorkerFleet::shutdown asserts exactly that).
+  std::printf("serve: shutting down after %.1fs — draining %zu queued "
+              "job(s)\n",
+              up.seconds(), service.queue_depth());
   endpoint.server.stop();
+  service.drain();
+  std::printf("serve: drained, exiting cleanly\n");
   return 0;
 }
 
@@ -738,22 +780,41 @@ int cmd_serve(const Args& args) {
 
   // --shards N > 1 swaps the single SampleService for a ShardPool (each
   // shard its own ModelHost + SampleService behind the consistent-hash
-  // router). The flat `host` stays the registry of record — and, in
-  // --listen --self-probe, the unsharded reference the socket digest is
-  // checked against, which is exactly the placement-invariance contract.
-  const std::size_t shards = std::max<std::size_t>(count("shards", 1.0), 1);
+  // router), and --remote-shards HOST:PORT,... appends worker *processes*
+  // as shards of the same pool. The flat `host` stays the registry of
+  // record — and, in --listen --self-probe, the unsharded reference the
+  // socket digest is checked against, which is exactly the
+  // placement-invariance contract (in-process and across processes).
+  //
+  // --worker pins the topology to one plain in-process shard: a worker is
+  // a leaf, placement is its caller's concern.
+  const bool worker = args.flag("worker");
+  const std::size_t shards =
+      worker ? 1 : std::max<std::size_t>(count("shards", 1.0), 1);
+  std::vector<serve::RemoteShardConfig> remotes;
+  if (!worker && args.has("remote-shards")) {
+    const std::string spec = args.get("remote-shards");
+    for (const auto raw : util::split(spec, ',')) {
+      const auto entry = util::trim(raw);
+      if (entry.empty()) continue;
+      remotes.push_back(serve::parse_remote_endpoint(std::string(entry)));
+    }
+  }
   std::unique_ptr<serve::SampleService> single;
   std::unique_ptr<serve::ShardPool> pool;
   serve::SampleBackend* backend = nullptr;
-  if (shards > 1) {
+  if (shards > 1 || !remotes.empty()) {
     serve::ShardPoolConfig pool_cfg;
     pool_cfg.shards = shards;
     pool_cfg.replication = std::max<std::size_t>(count("replicas", 1.0), 1);
     pool_cfg.host.capacity = host_cfg.capacity;
     pool_cfg.host.ttl_ms = args.num("shard-ttl-ms", 0.0);
     pool_cfg.service = svc_cfg;
+    pool_cfg.remotes = std::move(remotes);
     pool = std::make_unique<serve::ShardPool>(pool_cfg);
     for (const auto& key : host.keys()) {
+      // Local owners load the archive by path; remote owners are verified
+      // to already serve the key (their --models flags name the archives).
       pool->register_archive(key, host.archive_path(key));
     }
     backend = pool.get();
@@ -763,8 +824,9 @@ int cmd_serve(const Args& args) {
   }
   serve::SampleBackend& service = *backend;
 
-  if (args.has("listen")) {
-    return cmd_serve_listen(args, service, host, shards);
+  if (worker || args.has("listen")) {
+    return cmd_serve_listen(args, service, host,
+                            pool ? pool->shards() : shards);
   }
 
   serve::ReplayScript script;
@@ -883,6 +945,16 @@ int cmd_soak(const Args& args) {
   soak.shards = std::max<std::size_t>(count("shards", 1.0), 1);
   soak.replicas = std::max<std::size_t>(count("replicas", 1.0), 1);
   soak.shard_ttl_ms = args.num("shard-ttl-ms", 0.0);
+  if (args.has("remote-shards")) {
+    const std::string spec = args.get("remote-shards");
+    for (const auto raw : util::split(spec, ',')) {
+      const auto entry = util::trim(raw);
+      if (entry.empty()) continue;
+      // Validate now so a typo fails before calibration, not mid-sweep.
+      (void)serve::parse_remote_endpoint(std::string(entry));
+      soak.remote_shards.push_back(std::string(entry));
+    }
+  }
   if (!(soak.duration_seconds > 0.0)) {
     throw std::invalid_argument("soak: --duration must be positive");
   }
@@ -902,6 +974,133 @@ int cmd_soak(const Args& args) {
   file << serve::soak_to_json(soak, result) << '\n';
   std::printf("wrote %s\n", out.c_str());
   return result.deterministic ? 0 : 1;
+}
+
+/// Absolute path to this binary, for fleet workers to exec (readlink on
+/// /proc/self/exe; falls back to the launch name if /proc is odd).
+std::string self_exe_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0 != nullptr ? argv0 : "surro_cli";
+}
+
+const char* g_argv0 = nullptr;  // set once in main(), read by cmd_fleet
+
+/// `fleet`: spawn N worker processes, build a mixed local+remote ShardPool
+/// over them, and machine-check the whole point of the topology — that a
+/// job's bytes are identical whether it runs here or in a worker process —
+/// before tearing the fleet down gracefully (workers must exit 0).
+int cmd_fleet(const Args& args) {
+  const auto count = [&args](const std::string& key, double fallback) {
+    return count_flag(args, key, fallback);
+  };
+
+  // The reference registry: same --models/--models-dir the workers get,
+  // loaded in-process for the unsharded expected digests.
+  serve::HostConfig host_cfg;
+  host_cfg.capacity = count("capacity", 4.0);
+  serve::ModelHost host(host_cfg);
+  register_serve_models(host, args);
+
+  serve::WorkerFleetConfig fleet_cfg;
+  fleet_cfg.cli_path =
+      args.has("cli") ? args.get("cli") : self_exe_path(g_argv0);
+  fleet_cfg.workers = std::max<std::size_t>(count("workers", 2.0), 1);
+  fleet_cfg.ready_timeout_seconds = args.num("ready-timeout", 60.0);
+  if (args.has("models")) {
+    fleet_cfg.serve_args.push_back("--models");
+    fleet_cfg.serve_args.push_back(args.get("models"));
+  }
+  if (args.has("models-dir")) {
+    fleet_cfg.serve_args.push_back("--models-dir");
+    fleet_cfg.serve_args.push_back(args.get("models-dir"));
+  }
+  fleet_cfg.serve_args.push_back("--capacity");
+  fleet_cfg.serve_args.push_back(std::to_string(host_cfg.capacity));
+  // Orphan protection: if this process dies uncleanly, workers still exit
+  // on their own after the deadline instead of lingering forever.
+  fleet_cfg.serve_args.push_back("--serve-seconds");
+  fleet_cfg.serve_args.push_back(args.get("serve-seconds", "900"));
+
+  serve::WorkerFleet fleet(fleet_cfg);
+  fleet.start();
+  std::printf("fleet: %zu worker(s) ready on ports", fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    std::printf(" %u", static_cast<unsigned>(fleet.port(i)));
+  }
+  std::printf(" (logs in %s)\n", fleet.scratch_dir().c_str());
+
+  // Mixed pool: --local-shards in-process shards (0 = remote-only) plus
+  // every worker as a remote shard.
+  serve::ShardPoolConfig pool_cfg;
+  pool_cfg.shards = count("local-shards", 1.0);
+  pool_cfg.replication = std::max<std::size_t>(count("replicas", 2.0), 1);
+  pool_cfg.host.capacity = host_cfg.capacity;
+  pool_cfg.service.chunk_rows = count("chunk-rows", 1024.0);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    serve::RemoteShardConfig rc;
+    rc.port = fleet.port(i);
+    pool_cfg.remotes.push_back(rc);
+  }
+  serve::ShardPool pool(pool_cfg);
+  for (const auto& key : host.keys()) {
+    pool.register_archive(key, host.archive_path(key));
+  }
+
+  // The determinism probe: every model sampled through the mixed pool must
+  // match a direct in-process sample of the same (rows, seed, chunk_rows)
+  // identity bit for bit — placement (local shard, worker process, which
+  // replica won the lease) never changes bytes.
+  const std::size_t rows = std::max<std::size_t>(count("rows", 512.0), 1);
+  const std::uint64_t seed = static_cast<std::uint64_t>(count("seed", 1234.0));
+  const std::size_t chunk_rows =
+      std::max<std::size_t>(count("chunk-rows", 1024.0), 1);
+  bool all_ok = true;
+  for (const auto& key : host.keys()) {
+    serve::SampleJob job;
+    job.model_key = key;
+    job.rows = rows;
+    job.seed = seed;
+    job.chunk_rows = chunk_rows;
+    const tabular::Table pooled = pool.sample(std::move(job));
+
+    models::SampleRequest direct;
+    direct.rows = rows;
+    direct.seed = seed;
+    direct.chunk_rows = chunk_rows;
+    tabular::Table local;
+    host.acquire(key)->sample_into(local, direct);
+
+    const auto pooled_hash = serve::hash_table(pooled);
+    const bool ok = pooled_hash == serve::hash_table(local);
+    all_ok = all_ok && ok;
+    std::printf("fleet: %-10s %zu rows, digest %016llx %s\n", key.c_str(),
+                pooled.num_rows(),
+                static_cast<unsigned long long>(pooled_hash),
+                ok ? "== in-process" : "!= in-process (VIOLATION)");
+  }
+  const serve::ShardStats stats = pool.shard_stats();
+  std::printf("fleet: pool %zu local + %zu remote shard(s), replication "
+              "%zu — routed %llu, rerouted %llu (transport %llu)\n",
+              pool.local_shards(), fleet.size(), pool_cfg.replication,
+              static_cast<unsigned long long>(stats.routed),
+              static_cast<unsigned long long>(stats.rerouted),
+              static_cast<unsigned long long>(stats.rerouted_transport));
+
+  const int worst = fleet.shutdown(args.num("shutdown-timeout", 20.0));
+  if (worst != 0) {
+    throw std::runtime_error(
+        "fleet: worker exited with status " + std::to_string(worst) +
+        " during graceful shutdown (see " + fleet.scratch_dir() + ")");
+  }
+  std::printf("fleet: %zu worker(s) shut down cleanly (exit 0)\n",
+              fleet.size());
+  if (!all_ok) throw std::runtime_error("fleet: determinism probe failed");
+  return 0;
 }
 
 int cmd_simulate(const Args& args) {
@@ -1068,6 +1267,7 @@ int cmd_version() {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  g_argv0 = argv[0];
   const std::string cmd = argv[1];
   const Args args = parse_args(argc, argv, 2);
   try {
@@ -1093,6 +1293,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "request") return cmd_request(args);
     if (cmd == "soak") return cmd_soak(args);
+    if (cmd == "fleet") return cmd_fleet(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
