@@ -272,7 +272,15 @@ HttpResponse HttpClient::request(
     if (fd_ < 0) connect();
     apply_timeout(budget);
     HttpResponse response;
-    if (send_request(wire) && read_response(response)) return response;
+    try {
+      if (send_request(wire) && read_response(response)) return response;
+    } catch (...) {
+      // A timeout / truncated response leaves the stream desynchronized: a
+      // late reply would be read as the answer to the NEXT request on this
+      // keep-alive connection. Never hand that fd to a future call.
+      disconnect();
+      throw;
+    }
     // Dead keep-alive connection: reconnect once and retry. Safe for this
     // API because the failure happened before any response byte arrived.
     disconnect();

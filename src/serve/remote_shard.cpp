@@ -232,15 +232,20 @@ ServiceStats RemoteShard::stats() const {
 }
 
 std::vector<std::string> RemoteShard::model_keys() const {
+  std::vector<std::string> keys;
   try {
     const std::lock_guard lock(control_mutex_);
-    auto keys = control_.models();
-    model_keys_cache_ = keys;
-    return keys;
+    keys = control_.models();
   } catch (const std::exception&) {
     const std::lock_guard lock(mutex_);
     return model_keys_cache_.value_or(std::vector<std::string>{});
   }
+  // The cache is guarded by mutex_ on every touch (control_mutex_ only
+  // serializes the wire call above) so success and fallback paths never
+  // race on the same member under different locks.
+  const std::lock_guard lock(mutex_);
+  model_keys_cache_ = keys;
+  return keys;
 }
 
 bool RemoteShard::has_model(const std::string& key) const {

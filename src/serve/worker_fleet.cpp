@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <thread>
 
@@ -23,6 +24,11 @@ namespace surro::serve {
 
 namespace {
 
+/// Sentinel wait-status for a pid waitpid() refused to report on (ECHILD):
+/// decodes as "exited with 127" so shutdown() surfaces it as a failure
+/// instead of a stale zero.
+constexpr int kLostWaitStatus = 127 << 8;
+
 std::string make_scratch_dir() {
   char tmpl[] = "/tmp/surro_fleet_XXXXXX";
   if (::mkdtemp(tmpl) == nullptr) {
@@ -32,16 +38,24 @@ std::string make_scratch_dir() {
   return tmpl;
 }
 
-/// Read "12345\n" from a worker's --port-file; 0 while absent/empty.
+/// Read "12345\n" from a worker's --port-file; 0 while absent/incomplete.
+/// The worker publishes via rename() so the file is normally atomic, but
+/// the trailing-newline check also rejects any partially-written prefix
+/// ("12" of "12345") that would otherwise parse as a valid — wrong — port.
 std::uint16_t read_port_file(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return 0;
-  std::string text;
-  in >> text;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (text.empty() || text.back() != '\n') return 0;
+  text.pop_back();
   unsigned port = 0;
   const auto res =
       std::from_chars(text.data(), text.data() + text.size(), port);
-  if (res.ec != std::errc{} || port == 0 || port > 65535) return 0;
+  if (res.ec != std::errc{} || res.ptr != text.data() + text.size() ||
+      port == 0 || port > 65535) {
+    return 0;
+  }
   return static_cast<std::uint16_t>(port);
 }
 
@@ -153,6 +167,15 @@ bool WorkerFleet::alive(std::size_t i) const {
     mut.exit_status = status;
     return false;
   }
+  if (r < 0) {
+    // ECHILD etc.: the pid is no longer ours to track, and may already be
+    // recycled by an unrelated process. Mark it reaped so kill_all() /
+    // shutdown() never signal it.
+    auto& mut = const_cast<Worker&>(w);
+    mut.reaped = true;
+    mut.exit_status = kLostWaitStatus;
+    return false;
+  }
   return r == 0;
 }
 
@@ -181,6 +204,13 @@ int WorkerFleet::shutdown(double timeout_seconds) {
       if (r == w.pid) {
         w.reaped = true;
         w.exit_status = status;
+        break;
+      }
+      if (r < 0) {
+        // Same as alive(): never escalate to SIGKILL on a pid we can no
+        // longer wait on — it may have been recycled.
+        w.reaped = true;
+        w.exit_status = kLostWaitStatus;
         break;
       }
       if (clock.seconds() > timeout_seconds) {

@@ -370,6 +370,74 @@ TEST(TransportErrors, SilentServerIsTypedTimeoutNotAHang) {
   EXPECT_LT(waited, 1.5);  // typed error well before the 2-second linger
 }
 
+TEST(TransportErrors, TimedOutRequestNeverLeaksItsLateReplyIntoTheNext) {
+  // A reply that lands after the client gave up must not be readable as
+  // the answer to the NEXT request on the same keep-alive connection: the
+  // timed-out request tears the connection down, so the follow-up call
+  // reconnects and reads reply B — never the stale reply A (which, on a
+  // RemoteShard control connection, would be another job's job_id).
+  const std::string body_a = "{\"which\":\"A\"}";
+  const std::string body_b = "{\"which\":\"B\"}";
+  const auto wire = [](const std::string& body) {
+    return "HTTP/1.1 200 OK\r\ncontent-length: " + std::to_string(body.size()) +
+           "\r\n\r\n" + body;
+  };
+
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = ::htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 4), 0);
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  addr.sin_addr.s_addr = ::htonl(INADDR_LOOPBACK);  // reuse for dummy connect
+
+  std::thread server([&] {
+    char sink[4096];
+    const int conn1 = ::accept(listen_fd, nullptr, nullptr);
+    if (conn1 < 0) return;
+    (void)::recv(conn1, sink, sizeof(sink), 0);
+    // Answer request 1 well after the client's 250ms budget expired.
+    std::this_thread::sleep_for(std::chrono::milliseconds(700));
+    const std::string late_a = wire(body_a);
+    (void)::send(conn1, late_a.data(), late_a.size(), MSG_NOSIGNAL);
+    const int conn2 = ::accept(listen_fd, nullptr, nullptr);
+    if (conn2 >= 0) {
+      (void)::recv(conn2, sink, sizeof(sink), 0);
+      const std::string b = wire(body_b);
+      (void)::send(conn2, b.data(), b.size(), MSG_NOSIGNAL);
+      ::close(conn2);
+    }
+    ::close(conn1);
+  });
+
+  net::HttpClient http("127.0.0.1", ::ntohs(addr.sin_port),
+                       net::ClientConfig{0.25, 1, 0.0, 0.0});
+  try {
+    (void)http.request("GET", "/v1/stats");
+    ADD_FAILURE() << "expected TransportError";
+  } catch (const net::TransportError& e) {
+    EXPECT_EQ(e.kind(), net::TransportError::Kind::kTimeout);
+  }
+  net::HttpResponse second;
+  try {
+    second = http.request("GET", "/v1/stats", "", {}, /*timeout_seconds=*/5.0);
+  } catch (const net::TransportError& e) {
+    ADD_FAILURE() << "second request failed: " << e.what();
+  }
+  EXPECT_EQ(second.body, body_b);  // the stale reply A never surfaces
+
+  // If a regression kept the client on conn1, nothing ever dials conn2;
+  // feed the server's pending accept so the thread can exit either way.
+  const int dummy = ::socket(AF_INET, SOCK_STREAM, 0);
+  (void)::connect(dummy, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  ::close(dummy);
+  server.join();
+  ::close(listen_fd);
+}
+
 TEST(TransportErrors, KindNamesAreStable) {
   using Kind = net::TransportError::Kind;
   EXPECT_STREQ(net::transport_error_kind_name(Kind::kConnect), "connect");

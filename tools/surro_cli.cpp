@@ -72,6 +72,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -622,13 +623,23 @@ int cmd_serve_listen(const Args& args, serve::SampleBackend& service,
   // supervisor polling the file never beats the server to its own port.
   if (args.has("port-file")) {
     const std::string path = args.get("port-file");
-    std::ofstream port_file(path, std::ios::binary | std::ios::trunc);
-    if (!port_file) {
-      endpoint.server.stop();
-      throw std::runtime_error("serve: cannot write --port-file " + path);
+    // Write to a temp file and rename() into place: the supervisor polling
+    // the path either sees nothing or the complete "PORT\n", never a
+    // partially-written prefix that parses as the wrong port.
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream port_file(tmp, std::ios::binary | std::ios::trunc);
+      if (!port_file) {
+        endpoint.server.stop();
+        throw std::runtime_error("serve: cannot write --port-file " + path);
+      }
+      port_file << endpoint.server.port() << '\n';
     }
-    port_file << endpoint.server.port() << '\n';
-    port_file.flush();
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      endpoint.server.stop();
+      throw std::runtime_error("serve: cannot publish --port-file " + path +
+                               ": " + std::strerror(errno));
+    }
   }
   if (args.flag("worker")) {
     std::printf("serve: worker ready on %s:%u — %zu models, simd %s\n",
